@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench eval docs dataset clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerates every table and figure of the paper plus the ablation
+# study and micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+eval:
+	dune exec bin/patchitpy_cli.exe -- eval
+
+# Regenerate the rule-catalog documentation.
+docs:
+	dune exec bin/patchitpy_cli.exe -- rules --markdown > docs/RULES.md
+	dune exec bin/patchitpy_cli.exe -- rules --markdown --lang js > docs/RULES-JS.md
+
+# Materialize the 609-sample evaluation corpus.
+dataset:
+	dune exec bin/patchitpy_cli.exe -- corpus --dump dataset
+
+clean:
+	dune clean
