@@ -1,0 +1,94 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (experiments
+   E1-E8, see DESIGN.md) over the 609-sample corpus and prints them in
+   the paper's layout.
+
+   Part 2 runs Bechamel micro-benchmarks: one per reproduced table —
+   the per-sample cost of the work that table aggregates (detection for
+   Table II, patching for Table III, complexity measurement for Fig. 3,
+   rule derivation for Table I) — plus the engine substrates (regex
+   matching, tokenizing, parsing). *)
+
+open Bechamel
+open Toolkit
+
+let sample_flask =
+  "import os\n\
+   from flask import Flask, request\n\n\
+   app = Flask(__name__)\n\n\
+   @app.route(\"/run\")\n\
+   def run_cmd():\n\
+  \    cmd = request.args.get(\"cmd\", \"\")\n\
+  \    os.system(cmd)\n\
+  \    return f\"<p>{cmd}</p>\"\n\n\
+   if __name__ == \"__main__\":\n\
+  \    app.run(debug=True)\n"
+
+let table1_pair =
+  ( "name = request.args.get(\"name\", \"\")\nreturn f\"<p>{name}</p>\"\n",
+    "user = request.args.get(\"user\")\nreturn f\"Hello {user}\"\n" )
+
+let table1_safe_pair =
+  ( "name = request.args.get(\"name\", \"\")\nreturn f\"<p>{escape(name)}</p>\"\n",
+    "user = request.args.get(\"user\")\nreturn f\"Hello {escape(user)}\"\n" )
+
+let shell_rule =
+  Rx.compile {|\bsubprocess\.(call|run|Popen)\(([^)\n]*)shell\s*=\s*True([^)\n]*)\)|}
+
+let micro_tests =
+  Test.make_grouped ~name:"patchitpy"
+    [
+      Test.make ~name:"rx-match (substrate)"
+        (Staged.stage (fun () ->
+             ignore (Rx.matches shell_rule "subprocess.run(cmd, shell=True)")));
+      Test.make ~name:"pylex-tokenize (substrate)"
+        (Staged.stage (fun () -> ignore (Pylex.tokenize sample_flask)));
+      Test.make ~name:"pyast-parse (substrate)"
+        (Staged.stage (fun () -> ignore (Pyast.parse sample_flask)));
+      Test.make ~name:"tableII-detect-per-sample"
+        (Staged.stage (fun () -> ignore (Patchitpy.Engine.scan sample_flask)));
+      Test.make ~name:"tableIII-patch-per-sample"
+        (Staged.stage (fun () -> ignore (Patchitpy.Patcher.patch sample_flask)));
+      Test.make ~name:"fig3-complexity-per-sample"
+        (Staged.stage (fun () ->
+             ignore (Metrics.Complexity.average_of_source sample_flask)));
+      Test.make ~name:"tableI-derive-rule"
+        (Staged.stage (fun () ->
+             ignore
+               (Patchitpy.Derive.derive ~vulnerable:table1_pair
+                  ~safe:table1_safe_pair)));
+      Test.make ~name:"bandit-sim-per-sample"
+        (Staged.stage (fun () -> ignore (Baselines.Bandit_sim.scan sample_flask)));
+      Test.make ~name:"codeql-sim-per-sample"
+        (Staged.stage (fun () -> ignore (Baselines.Codeql_sim.scan sample_flask)));
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  print_string (Experiments.Tables.section "B  Bechamel micro-benchmarks");
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "%-48s %12.0f ns/run  (%.1f us)\n" name ns (ns /. 1000.0))
+    (List.sort compare !rows)
+
+let () =
+  print_string (Experiments.run_all ());
+  print_string (Experiments.run_ablations ());
+  run_micro ();
+  print_newline ()

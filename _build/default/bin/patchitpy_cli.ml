@@ -1,0 +1,368 @@
+(* The PatchitPy command-line interface.
+
+   These are exactly the operations the paper's VS Code extension binds
+   to its context-menu command (scan the selection, show findings,
+   apply patches, insert imports); the extension is an Electron shell
+   around this core (DESIGN.md, substitution 5). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Recursively collects source files under a path: a file is returned
+   as-is; a directory yields every *.py (or *.js for the JS pack) below
+   it, sorted for deterministic output. *)
+let collect_sources lang path =
+  let ext = match lang with `Python -> ".py" | `Js -> ".js" in
+  let rec walk acc p =
+    if Sys.is_directory p then
+      Array.fold_left
+        (fun acc entry -> walk acc (Filename.concat p entry))
+        acc (Sys.readdir p)
+    else if Filename.check_suffix p ext then p :: acc
+    else acc
+  in
+  if Sys.is_directory path then List.sort compare (walk [] path) else [ path ]
+
+(* --- scan ---------------------------------------------------------------- *)
+
+let lang_arg =
+  let lang_conv = Arg.enum [ ("python", `Python); ("js", `Js) ] in
+  Arg.(value & opt lang_conv `Python
+       & info [ "lang" ] ~docv:"LANG"
+           ~doc:"Rule pack to use: $(b,python) (the 85-rule catalog) or \
+                 $(b,js) (the JavaScript pack).")
+
+let rules_for = function
+  | `Python -> Patchitpy.Catalog.all
+  | `Js -> Patchitpy.Catalog.javascript
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit machine-readable JSON (IDE integration).")
+
+let sarif_arg =
+  Arg.(value & flag
+       & info [ "sarif" ] ~doc:"Emit a SARIF 2.1.0 report (CI integration).")
+
+let rules_file_arg =
+  Arg.(value & opt (some file) None
+       & info [ "rules-file" ] ~docv:"FILE"
+           ~doc:"Add user-defined rules from a JSON $(docv) (see Rule_file).")
+
+let min_severity_arg =
+  let sev =
+    Arg.enum
+      [ ("low", Patchitpy.Rule.Low); ("medium", Patchitpy.Rule.Medium);
+        ("high", Patchitpy.Rule.High); ("critical", Patchitpy.Rule.Critical) ]
+  in
+  Arg.(value & opt (some sev) None
+       & info [ "min-severity" ] ~docv:"SEV"
+           ~doc:"Report only findings of $(docv) or above \
+                 (low|medium|high|critical).")
+
+let severity_rank = function
+  | Patchitpy.Rule.Low -> 0
+  | Patchitpy.Rule.Medium -> 1
+  | Patchitpy.Rule.High -> 2
+  | Patchitpy.Rule.Critical -> 3
+
+let effective_rules lang rules_file =
+  let base = rules_for lang in
+  match rules_file with
+  | None -> base
+  | Some path -> (
+    match Patchitpy.Rule_file.load_file path with
+    | Ok extra -> base @ extra
+    | Error msg ->
+      prerr_endline ("error loading rules file: " ^ msg);
+      exit 2)
+
+let exclude_arg =
+  Arg.(value & opt_all string []
+       & info [ "exclude" ] ~docv:"RULE"
+           ~doc:"Disable a rule by id (repeatable), e.g. --exclude PIT-084.")
+
+let only_arg =
+  Arg.(value & opt_all string []
+       & info [ "only" ] ~docv:"RULE"
+           ~doc:"Run only the listed rule ids (repeatable).")
+
+let filter_rules rules ~only ~exclude =
+  let rules =
+    match only with
+    | [] -> rules
+    | only -> List.filter (fun (r : Patchitpy.Rule.t) -> List.mem r.Patchitpy.Rule.id only) rules
+  in
+  List.filter
+    (fun (r : Patchitpy.Rule.t) -> not (List.mem r.Patchitpy.Rule.id exclude))
+    rules
+
+let lines_arg =
+  let range =
+    let parse s =
+      match String.split_on_char '-' s with
+      | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b when a >= 1 && b >= a -> Ok (a, b)
+        | _ -> Error (`Msg "expected a range like 5-20"))
+      | _ -> Error (`Msg "expected a range like 5-20")
+    in
+    let print fmt (a, b) = Format.fprintf fmt "%d-%d" a b in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt (some range) None
+       & info [ "lines" ] ~docv:"A-B"
+           ~doc:"Scan only the selected line range — the extension's \
+                 scan-the-selection mode.")
+
+let scan_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let run files lang json sarif rules_file min_severity lines only exclude =
+    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
+    let total = ref 0 in
+    let scans =
+      List.map
+        (fun path ->
+          let source = read_file path in
+          let findings =
+            match lines with
+            | None -> Patchitpy.Engine.scan ~rules source
+            | Some (first_line, last_line) ->
+              Patchitpy.Engine.scan_selection ~rules source ~first_line
+                ~last_line
+          in
+          let findings =
+            match min_severity with
+            | None -> findings
+            | Some floor ->
+              List.filter
+                (fun (f : Patchitpy.Engine.finding) ->
+                  severity_rank f.Patchitpy.Engine.rule.Patchitpy.Rule.severity
+                  >= severity_rank floor)
+                findings
+          in
+          total := !total + List.length findings;
+          (path, source, findings))
+        (List.concat_map (collect_sources lang) files)
+    in
+    if sarif then
+      print_endline
+        (Patchitpy.Jsonout.to_sarif ~rules
+           (List.map (fun (p, _, f) -> (p, f)) scans))
+    else
+      List.iter
+        (fun (path, source, findings) ->
+          if json then
+            print_endline (Patchitpy.Jsonout.findings_to_json ~file:path findings)
+          else
+            Printf.printf "%s:\n%s\n" path
+              (Patchitpy.Report.render_findings source findings))
+        scans;
+    if !total > 0 then exit 1
+  in
+  let doc =
+    "Detect vulnerable implementation patterns in source files (directories \
+     are scanned recursively)."
+  in
+  Cmd.v (Cmd.info "scan" ~doc)
+    Term.(const run $ files $ lang_arg $ json_arg $ sarif_arg $ rules_file_arg
+          $ min_severity_arg $ lines_arg $ only_arg $ exclude_arg)
+
+(* --- patch --------------------------------------------------------------- *)
+
+let patch_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let in_place =
+    Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite $(docv) itself.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the patched file to $(docv).")
+  in
+  let diff_only =
+    Arg.(value & flag & info [ "diff" ] ~doc:"Print the diff, do not write anything.")
+  in
+  let patch_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "patch-file" ] ~docv:"OUT"
+             ~doc:"Write a unified diff with ---/+++ headers to $(docv), \
+                   consumable by patch(1) or git apply.")
+  in
+  let run file in_place output diff_only lang json rules_file only exclude
+      patch_file =
+    let source = read_file file in
+    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
+    let r = Patchitpy.Patcher.patch ~rules source in
+    (match patch_file with
+    | Some out ->
+      let body = Textdiff.unified source r.Patchitpy.Patcher.patched in
+      if body <> "" then
+        write_file out
+          (Printf.sprintf "--- %s\n+++ %s\n%s" file file body)
+    | None -> ());
+    if json then begin
+      print_endline (Patchitpy.Jsonout.patch_to_json ~file r);
+      match (in_place, output) with
+      | true, _ -> write_file file r.Patchitpy.Patcher.patched
+      | false, Some out -> write_file out r.Patchitpy.Patcher.patched
+      | false, None -> ()
+    end
+    else if diff_only then print_string (Patchitpy.Report.render_patch r)
+    else begin
+      print_string (Patchitpy.Report.render_patch r);
+      (match (in_place, output) with
+      | true, _ -> write_file file r.Patchitpy.Patcher.patched
+      | false, Some out -> write_file out r.Patchitpy.Patcher.patched
+      | false, None -> ());
+      if r.Patchitpy.Patcher.remaining <> [] then begin
+        Printf.printf "still unresolved (advice only):\n";
+        List.iter
+          (fun (f : Patchitpy.Engine.finding) ->
+            Printf.printf "  line %d: %s — %s\n" f.Patchitpy.Engine.line
+              f.Patchitpy.Engine.rule.Patchitpy.Rule.id
+              f.Patchitpy.Engine.rule.Patchitpy.Rule.note)
+          r.Patchitpy.Patcher.remaining
+      end
+    end
+  in
+  let doc = "Detect and patch vulnerable patterns, inserting needed imports." in
+  Cmd.v (Cmd.info "patch" ~doc)
+    Term.(const run $ file $ in_place $ output $ diff_only $ lang_arg
+          $ json_arg $ rules_file_arg $ only_arg $ exclude_arg $ patch_file_arg)
+
+(* --- rules --------------------------------------------------------------- *)
+
+let rules_cmd =
+  let cwe =
+    Arg.(value & opt (some int) None
+         & info [ "cwe" ] ~docv:"N" ~doc:"Only rules for CWE-$(docv).")
+  in
+  let markdown =
+    Arg.(value & flag
+         & info [ "markdown" ] ~doc:"Render the catalog as Markdown (docs/RULES.md).")
+  in
+  let run cwe markdown lang =
+    let rules =
+      match (lang, cwe) with
+      | `Js, _ -> Patchitpy.Catalog.javascript
+      | `Python, Some c -> Patchitpy.Catalog.by_cwe c
+      | `Python, None -> Patchitpy.Catalog.all
+    in
+    if markdown then
+      print_string
+        (Patchitpy.Report.catalog_markdown
+           ~title:(match lang with
+                   | `Python -> "PatchitPy rule catalog (Python)"
+                   | `Js -> "PatchitPy rule catalog (JavaScript pack)")
+           rules)
+    else begin
+      List.iter (fun r -> print_string (Patchitpy.Report.render_rule r)) rules;
+      Printf.printf "%d rules (%d with automatic fixes)\n" (List.length rules)
+        (List.length (List.filter Patchitpy.Rule.fixable rules))
+    end
+  in
+  let doc = "List the detection/patching rule catalog." in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const run $ cwe $ markdown $ lang_arg)
+
+(* --- derive -------------------------------------------------------------- *)
+
+let derive_cmd =
+  let pos_file n docv = Arg.(required & pos n (some file) None & info [] ~docv) in
+  let run v1 v2 s1 s2 =
+    let d =
+      Patchitpy.Derive.derive
+        ~vulnerable:(read_file v1, read_file v2)
+        ~safe:(read_file s1, read_file s2)
+    in
+    Printf.printf "common vulnerable pattern (LCS):\n  %s\n\n"
+      (String.concat " " d.Patchitpy.Derive.lcs_vulnerable);
+    Printf.printf "safe-pattern additions:\n";
+    List.iter (fun seg -> Printf.printf "  + %s\n" seg) d.Patchitpy.Derive.additions;
+    Printf.printf "\nsketched detection pattern:\n  %s\n" d.Patchitpy.Derive.pattern_sketch
+  in
+  let doc =
+    "Derive a rule sketch from a pair of vulnerable samples and their safe \
+     alternatives (the offline pipeline of the paper's §II-A)."
+  in
+  Cmd.v (Cmd.info "derive" ~doc)
+    Term.(const run $ pos_file 0 "VULN1" $ pos_file 1 "VULN2"
+          $ pos_file 2 "SAFE1" $ pos_file 3 "SAFE2")
+
+(* --- corpus -------------------------------------------------------------- *)
+
+let corpus_cmd =
+  let dump =
+    Arg.(required & opt (some string) None
+         & info [ "dump" ] ~docv:"DIR"
+             ~doc:"Write the 609 generated samples, their secure references \
+                   and a manifest.csv under $(docv).")
+  in
+  let run dir =
+    let module G = Corpus.Generator in
+    let module S = Corpus.Scenario in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let manifest = Buffer.create 4096 in
+    Buffer.add_string manifest
+      "file,model,scenario,source,cwe,difficulty,vulnerable,prompt_tokens\n";
+    List.iter
+      (fun (sample : G.sample) ->
+        let scn = sample.G.scenario in
+        let name =
+          Printf.sprintf "%s_%s.py"
+            (String.lowercase_ascii (G.model_name sample.G.model))
+            scn.S.sid
+        in
+        write_file (Filename.concat dir name) sample.G.code;
+        Buffer.add_string manifest
+          (Printf.sprintf "%s,%s,%s,%s,%d,%s,%b,%d\n" name
+             (G.model_name sample.G.model) scn.S.sid
+             (match scn.S.source with
+             | S.Security_eval -> "SecurityEval"
+             | S.Llmsec_eval -> "LLMSecEval")
+             scn.S.cwe
+             (match scn.S.difficulty with
+             | S.Plain -> "plain"
+             | S.Detect_only -> "detect-only"
+             | S.Semantic -> "semantic")
+             sample.G.vulnerable (S.prompt_tokens scn)))
+      (G.all_samples ());
+    let refs = Filename.concat dir "references" in
+    if not (Sys.file_exists refs) then Sys.mkdir refs 0o755;
+    List.iter
+      (fun scn ->
+        write_file
+          (Filename.concat refs (scn.S.sid ^ ".py"))
+          (S.reference scn))
+      (Corpus.scenarios ());
+    write_file (Filename.concat dir "manifest.csv") (Buffer.contents manifest);
+    Printf.printf "wrote 609 samples, 203 references and manifest.csv to %s\n" dir
+  in
+  let doc =
+    "Materialize the evaluation corpus (609 generated samples with ground \
+     truth and secure references) to disk."
+  in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const run $ dump)
+
+(* --- eval ---------------------------------------------------------------- *)
+
+let eval_cmd =
+  let run () = print_string (Experiments.run_all ()) in
+  let doc = "Regenerate every table and figure of the paper's evaluation." in
+  Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "pattern-based vulnerability detection and patching for Python" in
+  let info = Cmd.info "patchitpy" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ scan_cmd; patch_cmd; rules_cmd; derive_cmd; corpus_cmd; eval_cmd ]))

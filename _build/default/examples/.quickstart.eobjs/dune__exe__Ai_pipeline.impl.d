@@ -1,0 +1,1 @@
+examples/ai_pipeline.ml: Corpus List Patchitpy Printf Pyast String

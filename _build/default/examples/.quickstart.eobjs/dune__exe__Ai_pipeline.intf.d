@@ -1,0 +1,1 @@
+examples/ai_pipeline.mli:

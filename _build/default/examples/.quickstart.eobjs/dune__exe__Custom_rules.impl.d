@@ -1,0 +1,1 @@
+examples/custom_rules.ml: List Patchitpy Printf String

@@ -1,0 +1,1 @@
+examples/flask_audit.mli:

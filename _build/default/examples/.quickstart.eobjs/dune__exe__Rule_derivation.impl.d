@@ -1,0 +1,1 @@
+examples/rule_derivation.ml: Experiments List Patchitpy Printf String

@@ -1,0 +1,85 @@
+(* Authoring a custom rule end to end:
+
+   1. collect a pair of vulnerable samples and their safe alternatives
+      (here: a company-internal HTTP helper used without a deadline);
+   2. run the §II-A derivation pipeline to get the common vulnerable
+      pattern and what the safe version adds;
+   3. turn that into a rule-file entry ({!Patchitpy.Rule_file} format);
+   4. load it next to the built-in catalog and scan/patch with it.
+
+   Run with:  dune exec examples/custom_rules.exe *)
+
+let v1 =
+  "def load_profile(user_id):\n\
+  \    data = acme_http.fetch(profile_url(user_id))\n\
+  \    return parse(data)\n"
+
+let v2 =
+  "def load_orders(account):\n\
+  \    payload = acme_http.fetch(orders_url(account))\n\
+  \    return parse(payload)\n"
+
+let s1 =
+  "def load_profile(user_id):\n\
+  \    data = acme_http.fetch(profile_url(user_id), deadline=DEFAULT_DEADLINE)\n\
+  \    return parse(data)\n"
+
+let s2 =
+  "def load_orders(account):\n\
+  \    payload = acme_http.fetch(orders_url(account), deadline=DEFAULT_DEADLINE)\n\
+  \    return parse(payload)\n"
+
+let () =
+  (* Step 2: what do the safe versions have in common that the
+     vulnerable ones lack? *)
+  let d = Patchitpy.Derive.derive ~vulnerable:(v1, v2) ~safe:(s1, s2) in
+  print_endline "derived common vulnerable pattern:";
+  Printf.printf "  %s\n" (String.concat " " d.Patchitpy.Derive.lcs_vulnerable);
+  print_endline "safe-pattern additions:";
+  List.iter (fun seg -> Printf.printf "  + %s\n" seg) d.Patchitpy.Derive.additions;
+
+  (* Step 3: the curated rule.  The derivation surfaces the shape
+     (fetch(...) with no deadline=) and the mitigation (the deadline
+     keyword); the author writes the final pattern and fix template. *)
+  let rule_file =
+    {|[
+  {
+    "id": "ACME-001",
+    "title": "acme_http.fetch without a deadline",
+    "cwe": 400,
+    "severity": "MEDIUM",
+    "pattern": "acme_http\\.fetch\\(([^)\\n]*)\\)",
+    "suppress": "deadline\\s*=",
+    "fix": "acme_http.fetch($1, deadline=DEFAULT_DEADLINE)",
+    "imports": ["from acme.net import DEFAULT_DEADLINE"],
+    "note": "an unbounded fetch can hang the worker pool"
+  }
+]|}
+  in
+  let custom =
+    match Patchitpy.Rule_file.load rule_file with
+    | Ok rules -> rules
+    | Error msg -> failwith msg
+  in
+  Printf.printf "\nloaded %d custom rule(s)\n" (List.length custom);
+
+  (* Step 4: scan and patch new code with catalog + custom rules. *)
+  let rules = Patchitpy.Catalog.all @ custom in
+  let target =
+    "import acme_http\n\n\
+     def sync_inventory(feed):\n\
+    \    body = acme_http.fetch(feed)\n\
+    \    os.system(\"inventory-import \" + body)\n"
+  in
+  let findings = Patchitpy.Engine.scan ~rules target in
+  print_endline "\nfindings on new code:";
+  print_string (Patchitpy.Report.render_findings target findings);
+  let r = Patchitpy.Patcher.patch ~rules target in
+  print_endline "\npatched:";
+  print_string r.Patchitpy.Patcher.patched;
+  Printf.printf "\ncustom rule clean after patch: %b\n"
+    (not
+       (List.exists
+          (fun (f : Patchitpy.Engine.finding) ->
+            f.Patchitpy.Engine.rule.Patchitpy.Rule.id = "ACME-001")
+          (Patchitpy.Engine.scan ~rules r.Patchitpy.Patcher.patched)))

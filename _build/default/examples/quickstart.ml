@@ -1,0 +1,35 @@
+(* Quickstart: detect and patch one vulnerable snippet.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let vulnerable_code =
+  "import os\n\
+   from flask import Flask, request\n\n\
+   app = Flask(__name__)\n\n\
+   @app.route(\"/ping\")\n\
+   def ping():\n\
+  \    host = request.args.get(\"host\", \"\")\n\
+  \    os.system(\"ping -c 1 \" + host)\n\
+  \    return f\"<p>pinged {host}</p>\"\n\n\
+   if __name__ == \"__main__\":\n\
+  \    app.run(debug=True)\n"
+
+let () =
+  print_endline "--- input ---";
+  print_string vulnerable_code;
+
+  (* Phase 1: detection. *)
+  let findings = Patchitpy.Engine.scan vulnerable_code in
+  print_endline "\n--- findings ---";
+  print_string (Patchitpy.Report.render_findings vulnerable_code findings);
+
+  (* Phase 2: remediation. *)
+  let result = Patchitpy.Patcher.patch vulnerable_code in
+  print_endline "\n--- patch ---";
+  print_string (Patchitpy.Report.render_patch result);
+
+  (* The patched file parses and is clean. *)
+  Printf.printf "\npatched file parses: %b\n"
+    (Pyast.parses result.Patchitpy.Patcher.patched);
+  Printf.printf "findings remaining:  %d\n"
+    (List.length result.Patchitpy.Patcher.remaining)

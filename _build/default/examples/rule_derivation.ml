@@ -1,0 +1,52 @@
+(* Reproduces Table I of the paper: standardize a pair of vulnerable
+   Flask samples and their hand-written safe alternatives, extract the
+   common implementation patterns with LCS, and diff them to isolate the
+   mitigations — the pipeline the 85-rule catalog was authored from.
+
+   Run with:  dune exec examples/rule_derivation.exe *)
+
+let () = print_string (Experiments.table1 ())
+
+(* And derive a second rule from scratch, for SQL injection. *)
+let () =
+  let v1 =
+    "def find_user(name):\n\
+    \    conn = sqlite3.connect(\"users.db\")\n\
+    \    cur = conn.cursor()\n\
+    \    cur.execute(\"SELECT * FROM users WHERE name = '%s'\" % name)\n\
+    \    return cur.fetchone()\n"
+  in
+  let v2 =
+    "def find_order(order_id):\n\
+    \    conn = sqlite3.connect(\"orders.db\")\n\
+    \    cur = conn.cursor()\n\
+    \    cur.execute(\"SELECT * FROM orders WHERE id = '%s'\" % order_id)\n\
+    \    return cur.fetchone()\n"
+  in
+  let s1 =
+    "def find_user(name):\n\
+    \    conn = sqlite3.connect(\"users.db\")\n\
+    \    cur = conn.cursor()\n\
+    \    cur.execute(\"SELECT * FROM users WHERE name = ?\", (name,))\n\
+    \    return cur.fetchone()\n"
+  in
+  let s2 =
+    "def find_order(order_id):\n\
+    \    conn = sqlite3.connect(\"orders.db\")\n\
+    \    cur = conn.cursor()\n\
+    \    cur.execute(\"SELECT * FROM orders WHERE id = ?\", (order_id,))\n\
+    \    return cur.fetchone()\n"
+  in
+  let d = Patchitpy.Derive.derive ~vulnerable:(v1, v2) ~safe:(s1, s2) in
+  print_endline "\n=== second derivation: SQL injection family ===";
+  Printf.printf "common vulnerable pattern:\n  %s\n\n"
+    (String.concat " " d.Patchitpy.Derive.lcs_vulnerable);
+  Printf.printf "what the safe version changes:\n";
+  List.iter (fun seg -> Printf.printf "  + %s\n" seg) d.Patchitpy.Derive.additions;
+  Printf.printf "\nsketch:\n  %s\n" d.Patchitpy.Derive.pattern_sketch;
+  Printf.printf "sketch matches both inputs: %b\n"
+    (Patchitpy.Derive.sketch_matches_both d ~vulnerable:(v1, v2));
+  (* The curated catalog rule that came out of this family: *)
+  match Patchitpy.Catalog.find "PIT-007" with
+  | Some rule -> print_string ("\ncurated catalog rule:\n" ^ Patchitpy.Report.render_rule rule)
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/baselines/bandit_sim.ml: Baseline List Pyast Rx String

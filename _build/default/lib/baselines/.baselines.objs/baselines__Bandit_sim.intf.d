@@ -1,0 +1,1 @@
+lib/baselines/bandit_sim.mli: Baseline

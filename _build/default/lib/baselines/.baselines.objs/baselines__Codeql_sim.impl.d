@@ -1,0 +1,1 @@
+lib/baselines/codeql_sim.ml: Baseline Hashtbl List Pyast Rx String

@@ -1,0 +1,1 @@
+lib/baselines/codeql_sim.mli: Baseline

@@ -1,0 +1,1 @@
+lib/baselines/llm_sim.ml: Array Baseline Buffer Char Lazy List Option Printf Rx String

@@ -1,0 +1,1 @@
+lib/baselines/llm_sim.mli: Baseline

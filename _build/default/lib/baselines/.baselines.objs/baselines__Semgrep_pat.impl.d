@@ -1,0 +1,1 @@
+lib/baselines/semgrep_pat.ml: List Option Printf Pyast Rx String

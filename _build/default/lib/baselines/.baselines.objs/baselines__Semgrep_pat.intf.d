@@ -1,0 +1,1 @@
+lib/baselines/semgrep_pat.mli: Pyast

@@ -1,0 +1,1 @@
+lib/baselines/semgrep_sim.ml: Baseline Hashtbl List Printf Pyast Rx Semgrep_pat String

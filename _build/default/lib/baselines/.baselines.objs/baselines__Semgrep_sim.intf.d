@@ -1,0 +1,1 @@
+lib/baselines/semgrep_sim.mli: Baseline

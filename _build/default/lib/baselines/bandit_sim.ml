@@ -1,0 +1,301 @@
+open Pyast
+
+(* Each plugin examines the module and emits findings.  Ids and scopes
+   follow the real Bandit plugin registry. *)
+
+let finding ?fix check line message =
+  { Baseline.check; line;
+    message;
+    fix = (match fix with Some s -> Baseline.Suggestion s | None -> Baseline.No_fix_support) }
+
+let calls_matching m names =
+  List.filter (fun (name, _, _) -> List.mem name names) (find_calls m.body)
+
+(* string literals with their statement line *)
+let strings_of m =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      List.iter
+        (iter_expr (fun e ->
+             match e with
+             | Str_e { body; _ } -> acc := (body, s.line) :: !acc
+             | _ -> ()))
+        (match s.desc with
+        | Expr_stmt e -> [ e ]
+        | Assign (ts, v) -> ts @ [ v ]
+        | Return (Some v) -> [ v ]
+        | _ -> []))
+    m.body;
+  List.rev !acc
+
+let kw_true args name =
+  match kwarg args name with Some (Bool_e true) -> true | _ -> false
+
+(* --- plugins ------------------------------------------------------------- *)
+
+let b101_assert m =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | Assert _ ->
+        acc := finding "B101" s.line "assert used (removed under -O)" :: !acc
+      | _ -> ())
+    m.body;
+  List.rev !acc
+
+let b102_exec m =
+  calls_matching m [ "exec" ]
+  |> List.map (fun (_, _, line) -> finding "B102" line "use of exec detected")
+
+let b103_permissions m =
+  calls_matching m [ "os.chmod" ]
+  |> List.filter_map (fun (_, args, line) ->
+         match args with
+         | [ _; Pos_arg (Int_e mode) ]
+           when mode = "0o777" || mode = "0o776" || mode = "0o766"
+                || mode = "511" ->
+           Some
+             (finding "B103" line "chmod with permissive mask"
+                ~fix:"restrict the mode, e.g. 0o600")
+         | _ -> None)
+
+let b104_bind_all m =
+  strings_of m
+  |> List.filter_map (fun (s, line) ->
+         if s = "0.0.0.0" then
+           Some (finding "B104" line "binding to all interfaces")
+         else None)
+
+let b105_hardcoded_password m =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | Assign ([ Name n ], Str_e { body; _ })
+        when body <> ""
+             && Rx.matches (Rx.compile "[Pp]assword|passwd|pwd") n ->
+        acc := finding "B105" s.line "hardcoded password string" :: !acc
+      | _ -> ())
+    m.body;
+  List.rev !acc
+
+let b106_password_kwarg m =
+  find_calls m.body
+  |> List.filter_map (fun (_, args, line) ->
+         let is_pw = function
+           | Kw_arg (("password" | "passwd" | "pwd"), Str_e { body; _ }) ->
+             body <> ""
+           | _ -> false
+         in
+         if List.exists is_pw args then
+           Some (finding "B106" line "hardcoded password funcarg")
+         else None)
+
+let b108_tmp_path m =
+  strings_of m
+  |> List.filter_map (fun (s, line) ->
+         if String.length s >= 5 && String.sub s 0 5 = "/tmp/" then
+           Some (finding "B108" line "hardcoded tmp directory")
+         else None)
+
+let b110_try_except_pass m =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | Try { handlers; _ } ->
+        List.iter
+          (fun h ->
+            match h.h_body with
+            | [ { desc = Pass; _ } ] ->
+              acc := finding "B110" s.line "try/except/pass detected" :: !acc
+            | _ -> ())
+          handlers
+      | _ -> ())
+    m.body;
+  List.rev !acc
+
+let deserialization_plugins m =
+  calls_matching m
+    [ "pickle.load"; "pickle.loads"; "cPickle.loads"; "jsonpickle.decode" ]
+  |> List.map (fun (name, _, line) ->
+         finding "B301" line (name ^ " of possibly untrusted data"))
+
+let b302_marshal m =
+  calls_matching m [ "marshal.load"; "marshal.loads" ]
+  |> List.map (fun (_, _, line) -> finding "B302" line "marshal deserialization")
+
+let b303_weak_hash m =
+  calls_matching m [ "hashlib.md5"; "hashlib.sha1" ]
+  |> List.map (fun (name, _, line) ->
+         finding "B303" line (name ^ " is insecure"))
+
+let b306_mktemp m =
+  calls_matching m [ "tempfile.mktemp" ]
+  |> List.map (fun (_, _, line) ->
+         finding "B306" line "mktemp is vulnerable to races"
+           ~fix:"use tempfile.mkstemp")
+
+let b307_eval m =
+  calls_matching m [ "eval" ]
+  |> List.map (fun (_, _, line) ->
+         finding "B307" line "use of eval")
+
+let b311_random m =
+  calls_matching m
+    [ "random.random"; "random.randint"; "random.choice"; "random.randrange";
+      "random.getrandbits"; "random.randbytes" ]
+  |> List.map (fun (_, _, line) ->
+         finding "B311" line "standard PRNG not suitable for security")
+
+let b312_telnet m =
+  calls_matching m [ "telnetlib.Telnet" ]
+  |> List.map (fun (_, _, line) -> finding "B312" line "telnet is cleartext")
+
+let xml_plugins m =
+  let hits prefix id =
+    find_calls m.body
+    |> List.filter_map (fun (name, _, line) ->
+           if String.length name >= String.length prefix
+              && String.sub name 0 (String.length prefix) = prefix
+           then Some (finding id line (name ^ ": XML attacks possible"))
+           else None)
+  in
+  hits "xml.etree" "B314" @ hits "xml.dom.minidom" "B318" @ hits "xml.sax" "B317"
+
+let b321_ftp m =
+  calls_matching m [ "ftplib.FTP" ]
+  |> List.map (fun (_, _, line) -> finding "B321" line "ftp is cleartext")
+
+let b324_hashlib_new m =
+  calls_matching m [ "hashlib.new" ]
+  |> List.filter_map (fun (_, args, line) ->
+         match args with
+         | Pos_arg (Str_e { body = ("md5" | "md4" | "sha1"); _ }) :: _ ->
+           Some (finding "B324" line "weak hash via hashlib.new")
+         | _ -> None)
+
+let b501_no_cert_validation m =
+  find_calls m.body
+  |> List.filter_map (fun (name, args, line) ->
+         if String.length name > 9 && String.sub name 0 9 = "requests." then
+           match kwarg args "verify" with
+           | Some (Bool_e false) ->
+             Some (finding "B501" line "certificate validation disabled")
+           | _ -> None
+         else None)
+
+let b502_bad_tls m =
+  let bad = ref [] in
+  iter_exprs
+    (fun e ->
+      match e with
+      | Attr (Name "ssl", ("PROTOCOL_SSLv2" | "PROTOCOL_SSLv3" | "PROTOCOL_TLSv1" | "PROTOCOL_TLSv1_1"))
+        -> bad := finding "B502" 1 "obsolete TLS version" :: !bad
+      | _ -> ())
+    m.body;
+  !bad
+
+let b506_yaml_load m =
+  calls_matching m [ "yaml.load" ]
+  |> List.filter_map (fun (_, args, line) ->
+         match kwarg args "Loader" with
+         | Some (Attr (Name "yaml", "SafeLoader")) -> None
+         | _ ->
+           Some (finding "B506" line "yaml.load without SafeLoader"
+                   ~fix:"use yaml.safe_load"))
+
+let b507_ssh_hostkeys m =
+  find_calls m.body
+  |> List.filter_map (fun (name, args, line) ->
+         let is_autoadd = function
+           | Pos_arg (Call (Attr (Name "paramiko", "AutoAddPolicy"), [])) -> true
+           | _ -> false
+         in
+         if
+           Rx.matches (Rx.compile "set_missing_host_key_policy$") name
+           && List.exists is_autoadd args
+         then Some (finding "B507" line "auto-accepting unknown host keys")
+         else None)
+
+let shell_plugins m =
+  let sys =
+    calls_matching m [ "os.system"; "os.popen" ]
+    |> List.map (fun (name, _, line) ->
+           finding "B605" line (name ^ " starts a process with a shell"))
+  in
+  let sub =
+    find_calls m.body
+    |> List.filter_map (fun (name, args, line) ->
+           if
+             List.mem name
+               [ "subprocess.call"; "subprocess.run"; "subprocess.Popen";
+                 "subprocess.check_output"; "subprocess.check_call" ]
+             && kw_true args "shell"
+           then
+             Some
+               (finding "B602" line "subprocess call with shell=True"
+                  ~fix:"pass a list argv and shell=False")
+           else None)
+  in
+  sys @ sub
+
+(* B608: SQL built by string manipulation inside an execute() call. *)
+let b608_sql m =
+  find_calls m.body
+  |> List.filter_map (fun (name, args, line) ->
+         let sql_string = function
+           | Binop ("%", Str_e _, _) -> true
+           | Binop ("+", Str_e { body; _ }, _) ->
+             Rx.matches (Rx.compile "(?:SELECT|INSERT|UPDATE|DELETE)") body
+           | Str_e { prefix; body }
+             when String.contains prefix 'f'
+                  && Rx.matches (Rx.compile "(?:SELECT|INSERT|UPDATE|DELETE)") body
+             -> true
+           | Call (Attr (Str_e _, "format"), _) -> true
+           | _ -> false
+         in
+         if
+           Rx.matches (Rx.compile "execute$") name
+           && List.exists (function Pos_arg e -> sql_string e | _ -> false) args
+         then Some (finding "B608" line "possible SQL injection by string building")
+         else None)
+
+let b201_flask_debug m =
+  find_calls m.body
+  |> List.filter_map (fun (name, args, line) ->
+         if Rx.matches (Rx.compile "\\.run$|^run$") name && kw_true args "debug"
+         then Some (finding "B201" line "Flask app run with debug=True")
+         else None)
+
+let plugins =
+  [
+    b101_assert; b102_exec; b103_permissions; b104_bind_all;
+    b105_hardcoded_password; b106_password_kwarg; b108_tmp_path;
+    b110_try_except_pass; deserialization_plugins; b302_marshal;
+    b303_weak_hash; b306_mktemp; b307_eval; b311_random; b312_telnet;
+    xml_plugins; b321_ftp; b324_hashlib_new; b501_no_cert_validation;
+    b502_bad_tls; b506_yaml_load; b507_ssh_hostkeys; shell_plugins;
+    b608_sql; b201_flask_debug;
+  ]
+
+let plugin_count = List.length plugins
+
+let scan source =
+  match Pyast.parse source with
+  | Error _ -> []
+  | Ok m -> List.concat_map (fun plugin -> plugin m) plugins
+
+let detector =
+  {
+    Baseline.name = "Bandit";
+    detect =
+      (fun source ->
+        match Pyast.parse source with
+        | Error _ -> Baseline.not_analyzed
+        | Ok m ->
+          let findings = List.concat_map (fun plugin -> plugin m) plugins in
+          { Baseline.vulnerable = findings <> []; findings; analyzed = true });
+  }

@@ -1,0 +1,16 @@
+(** A re-implementation of Bandit's analysis model.
+
+    Bandit parses the file into an AST and runs per-node test plugins;
+    when the file does not parse it reports nothing (the behaviour that
+    costs AST tools recall on fragmentary AI-generated code, §II).
+    Findings carry Bandit's plugin ids (B102, B608, ...), and — matching
+    the paper's observation — a subset of plugins attach a remediation
+    {e suggestion comment}; the code is never modified. *)
+
+val detector : Baseline.t
+
+val plugin_count : int
+(** Number of test plugins implemented. *)
+
+val scan : string -> Baseline.finding list
+(** Raw findings (empty when the file does not parse). *)

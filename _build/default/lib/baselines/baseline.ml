@@ -1,0 +1,29 @@
+type fix_kind = No_fix_support | Suggestion of string | Rewrite_offered
+
+type finding = { check : string; line : int; message : string; fix : fix_kind }
+
+type verdict = { vulnerable : bool; findings : finding list; analyzed : bool }
+
+type t = { name : string; detect : string -> verdict }
+
+let clean = { vulnerable = false; findings = []; analyzed = true }
+
+let not_analyzed = { vulnerable = false; findings = []; analyzed = false }
+
+let suggestion_share verdicts =
+  let vulnerable = List.filter (fun v -> v.vulnerable) verdicts in
+  match vulnerable with
+  | [] -> 0.0
+  | _ ->
+    let with_fix =
+      List.filter
+        (fun v ->
+          List.exists
+            (fun f ->
+              match f.fix with
+              | Suggestion _ | Rewrite_offered -> true
+              | No_fix_support -> false)
+            v.findings)
+        vulnerable
+    in
+    float_of_int (List.length with_fix) /. float_of_int (List.length vulnerable)

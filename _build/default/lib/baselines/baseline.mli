@@ -1,0 +1,46 @@
+(** The common surface of the comparison tools (§III-C).
+
+    Every baseline — the three static analyzers and the three LLM
+    reviewer personas — reduces to: given one Python file, is it
+    vulnerable, what did you find, and can you fix it?  [fix_kind]
+    distinguishes the paper's three remediation behaviours: CodeQL offers
+    nothing, Semgrep/Bandit offer advice comments on some findings, the
+    LLMs (and PatchitPy) rewrite code. *)
+
+type fix_kind =
+  | No_fix_support  (** CodeQL: detection only *)
+  | Suggestion of string  (** advisory comment, code untouched *)
+  | Rewrite_offered  (** the tool produces modified code *)
+
+type finding = {
+  check : string;  (** the rule/query/heuristic that fired *)
+  line : int;
+  message : string;
+  fix : fix_kind;
+}
+
+type verdict = {
+  vulnerable : bool;
+  findings : finding list;
+  analyzed : bool;
+      (** [false] when the tool could not analyze the input at all (an
+          AST-based tool on code that does not parse) — it then reports
+          "not vulnerable", which is exactly how such tools lose recall
+          on fragmentary AI-generated code. *)
+}
+
+type t = {
+  name : string;
+  detect : string -> verdict;
+}
+
+val clean : verdict
+(** "Analyzed, nothing found." *)
+
+val not_analyzed : verdict
+(** "Could not analyze" (counts as a negative prediction). *)
+
+val suggestion_share : verdict list -> float
+(** Fraction of vulnerable verdicts that carry at least one suggestion or
+    rewrite — the paper's "suggested fixes for N % of the detected
+    vulnerabilities". *)

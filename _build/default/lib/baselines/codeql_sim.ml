@@ -1,0 +1,253 @@
+open Pyast
+
+let finding check line message =
+  { Baseline.check; line; message; fix = Baseline.No_fix_support }
+
+(* --- remote flow sources -------------------------------------------------- *)
+
+(* request.<attr>... expressions are remote sources, but only when the
+   module imports flask's request (fragments lose this context). *)
+let has_flask_request m =
+  List.exists
+    (fun s ->
+      match s.desc with
+      | From_import ("flask", entries) ->
+        List.exists (fun (n, _) -> n = "request") entries
+      | Import entries -> List.exists (fun (n, _) -> n = "flask") entries
+      | _ -> false)
+    m.body
+
+let rec expr_mentions_request e =
+  match e with
+  | Attr (base, _) -> (
+    match base with Name "request" -> true | _ -> expr_mentions_request base)
+  | Subscript (base, idx) -> expr_mentions_request base || expr_mentions_request idx
+  | Call (callee, args) ->
+    expr_mentions_request callee
+    || List.exists
+         (function
+           | Pos_arg x | Kw_arg (_, x) | Star_arg x | Star_star_arg x ->
+             expr_mentions_request x)
+         args
+  | Binop (_, a, b) -> expr_mentions_request a || expr_mentions_request b
+  | Str_e { prefix; body } when String.contains prefix 'f' ->
+    (* f-string interpolating request.* *)
+    Rx.matches (Rx.compile {|\{\s*request\.|}) body
+  | _ -> false
+
+(* Taint set for one statement block: names assigned (directly or
+   transitively) from a request.* expression. *)
+let tainted_names block =
+  let tainted = Hashtbl.create 8 in
+  let rec expr_tainted e =
+    expr_mentions_request e
+    ||
+    match e with
+    | Name n -> Hashtbl.mem tainted n
+    | Attr (base, _) -> expr_tainted base
+    | Subscript (a, b) -> expr_tainted a || expr_tainted b
+    | Binop (_, a, b) -> expr_tainted a || expr_tainted b
+    | Call (_, args) ->
+      List.exists
+        (function
+          | Pos_arg x | Kw_arg (_, x) | Star_arg x | Star_star_arg x ->
+            expr_tainted x)
+        args
+    | Str_e { prefix; body } when String.contains prefix 'f' ->
+      (* interpolation of a tainted local *)
+      Hashtbl.fold
+        (fun name () acc ->
+          acc || Rx.matches (Rx.compile ("\\{\\s*" ^ name ^ "\\b")) body)
+        tainted false
+    | _ -> false
+  in
+  (* two passes pick up simple forward chains *)
+  for _ = 1 to 2 do
+    iter_stmts
+      (fun s ->
+        match s.desc with
+        | Assign (targets, value) when expr_tainted value ->
+          List.iter
+            (function Name n -> Hashtbl.replace tainted n () | _ -> ())
+            targets
+        | _ -> ())
+      block
+  done;
+  fun e -> expr_tainted e
+
+(* --- taint queries -------------------------------------------------------- *)
+
+type query = {
+  q_id : string;
+  sinks : string list;  (** dotted callee suffixes *)
+  q_message : string;
+}
+
+let taint_queries =
+  [
+    { q_id = "py/sql-injection"; sinks = [ "execute" ];
+      q_message = "user input flows into a SQL statement" };
+    { q_id = "py/command-line-injection";
+      sinks = [ "os.system"; "os.popen"; "subprocess.call"; "subprocess.run";
+                "subprocess.Popen" ];
+      q_message = "user input flows into a shell command" };
+    { q_id = "py/code-injection"; sinks = [ "eval"; "exec"; "__import__" ];
+      q_message = "user input flows into code execution" };
+    { q_id = "py/path-injection"; sinks = [ "open"; "os.path.join"; "send_file" ];
+      q_message = "user input flows into a filesystem path" };
+    { q_id = "py/url-redirection"; sinks = [ "redirect" ];
+      q_message = "user input controls a redirect target" };
+    { q_id = "py/full-ssrf"; sinks = [ "requests.get"; "requests.post"; "urlopen" ];
+      q_message = "user input controls an outbound request URL" };
+  ]
+
+let sink_matches name suffixes =
+  List.exists
+    (fun suffix ->
+      name = suffix
+      || (String.length name > String.length suffix
+          && String.sub name
+               (String.length name - String.length suffix - 1)
+               (String.length suffix + 1)
+             = "." ^ suffix))
+    suffixes
+
+let run_taint_queries m =
+  if not (has_flask_request m) then []
+  else begin
+    let is_tainted = tainted_names m.body in
+    find_calls m.body
+    |> List.concat_map (fun (name, args, line) ->
+           let tainted_arg =
+             List.exists
+               (function
+                 | Pos_arg x | Kw_arg (_, x) | Star_arg x | Star_star_arg x ->
+                   is_tainted x)
+               args
+           in
+           if not tainted_arg then []
+           else
+             taint_queries
+             |> List.filter (fun q -> sink_matches name q.sinks)
+             |> List.map (fun q -> finding q.q_id line q.q_message))
+  end
+
+(* py/reflective-xss: a tainted f-string/concat returned from a handler. *)
+let run_xss_query m =
+  if not (has_flask_request m) then []
+  else begin
+    let is_tainted = tainted_names m.body in
+    let acc = ref [] in
+    iter_stmts
+      (fun s ->
+        match s.desc with
+        | Return (Some e) when is_tainted e -> (
+          match e with
+          | Str_e { prefix; _ } when String.contains prefix 'f' ->
+            acc := finding "py/reflective-xss" s.line "reflected user input" :: !acc
+          | Binop ("+", Str_e _, _) | Call (Name "make_response", _) ->
+            acc := finding "py/reflective-xss" s.line "reflected user input" :: !acc
+          | Name _ ->
+            acc := finding "py/reflective-xss" s.line "reflected user input" :: !acc
+          | _ -> ())
+        | _ -> ())
+      m.body;
+    !acc
+  end
+
+(* --- config queries -------------------------------------------------------- *)
+
+let call_query id names message m =
+  find_calls m.body
+  |> List.filter_map (fun (name, _, line) ->
+         if List.mem name names then Some (finding id line message) else None)
+
+let config_queries =
+  [
+    (fun m ->
+      find_calls m.body
+      |> List.filter_map (fun (name, args, line) ->
+             if
+               Rx.matches (Rx.compile "\\.run$") name
+               && (match kwarg args "debug" with
+                  | Some (Bool_e true) -> true
+                  | _ -> false)
+             then Some (finding "py/flask-debug" line "debug mode enabled")
+             else None));
+    call_query "py/weak-sensitive-data-hashing"
+      [ "hashlib.md5"; "hashlib.sha1" ]
+      "weak hash algorithm";
+    call_query "py/unsafe-deserialization"
+      [ "pickle.load"; "pickle.loads"; "marshal.loads"; "jsonpickle.decode" ]
+      "unsafe deserialization";
+    (fun m ->
+      find_calls m.body
+      |> List.filter_map (fun (name, args, line) ->
+             if name = "yaml.load" then
+               match kwarg args "Loader" with
+               | Some (Attr (Name "yaml", "SafeLoader")) -> None
+               | _ -> Some (finding "py/unsafe-deserialization" line "yaml.load")
+             else None));
+    call_query "py/insecure-temporary-file" [ "tempfile.mktemp" ]
+      "insecure temporary file";
+    (fun m ->
+      find_calls m.body
+      |> List.filter_map (fun (name, args, line) ->
+             if String.length name > 9 && String.sub name 0 9 = "requests." then
+               match kwarg args "verify" with
+               | Some (Bool_e false) ->
+                 Some (finding "py/request-without-cert-validation" line
+                         "certificate validation disabled")
+               | _ -> None
+             else None));
+    (fun m ->
+      find_calls m.body
+      |> List.filter_map (fun (name, args, line) ->
+             if
+               List.mem name
+                 [ "subprocess.call"; "subprocess.run"; "subprocess.Popen" ]
+               && (match kwarg args "shell" with
+                  | Some (Bool_e true) -> true
+                  | _ -> false)
+             then Some (finding "py/shell-command-constructed" line "shell=True")
+             else None));
+    call_query "py/insecure-protocol" [ "telnetlib.Telnet"; "ftplib.FTP" ]
+      "insecure cleartext protocol";
+    (fun m ->
+      let hits = ref [] in
+      iter_stmts
+        (fun s ->
+          match s.desc with
+          | Assign ([ Name n ], Str_e { body; _ })
+            when body <> "" && Rx.matches (Rx.compile "[Pp]assword") n ->
+            hits := finding "py/hardcoded-credentials" s.line "hardcoded credential"
+                    :: !hits
+          | _ -> ())
+        m.body;
+      !hits);
+    call_query "py/xxe" [ "xml.etree.ElementTree.parse";
+                          "xml.etree.ElementTree.fromstring";
+                          "xml.dom.minidom.parseString"; "xml.dom.minidom.parse" ]
+      "XML parsing vulnerable to XXE";
+  ]
+
+let query_count = List.length taint_queries + 1 + List.length config_queries
+
+let scan source =
+  match Pyast.parse source with
+  | Error _ -> []
+  | Ok m ->
+    run_taint_queries m @ run_xss_query m
+    @ List.concat_map (fun q -> q m) config_queries
+
+let detector =
+  {
+    Baseline.name = "CodeQL";
+    detect =
+      (fun source ->
+        match Pyast.parse source with
+        | Error _ -> Baseline.not_analyzed
+        | Ok _ ->
+          let findings = scan source in
+          { Baseline.vulnerable = findings <> []; findings; analyzed = true });
+  }

@@ -1,0 +1,23 @@
+(** A re-implementation of CodeQL's analysis model for the Python
+    security suites.
+
+    CodeQL compiles the program into a relational representation of its
+    AST and evaluates queries over it; the security suite combines
+    config-style queries (debug mode, weak crypto, unsafe loaders) with
+    taint-tracking queries from remote flow sources ([flask.request])
+    to dangerous sinks.  Here: the AST is {!Pyast}, the "database" is a
+    per-function def-use map, and taint propagates through simple
+    assignments — enough to express the py/sql-injection,
+    py/command-line-injection, py/code-injection, py/path-injection,
+    py/reflective-xss, py/full-ssrf and py/url-redirection queries.
+
+    Two structural properties carry over from the real tool: no results
+    on files that do not parse, and no remote sources recognized when the
+    flask import context is missing (fragments) — and it has no patching
+    facility at all (§III-C excludes it from Table III). *)
+
+val detector : Baseline.t
+
+val query_count : int
+
+val scan : string -> Baseline.finding list

@@ -1,0 +1,35 @@
+(** Simulated LLM security reviewers.
+
+    Stands in for the ChatGPT-4o / Claude-3.7-Sonnet / Gemini-2.0-Flash
+    baselines queried with the paper's Zero-Shot Role-Oriented prompt
+    ("Act as a security expert ... Is this code vulnerable? ... If it is
+    vulnerable, patch the code", §III-C).  Each persona is a heuristic
+    reviewer with a characteristic operating point:
+
+    - all three recognize the overt dangerous-API signals {e and} several
+      semantic weaknesses that lexical rules miss (their recall
+      advantage);
+    - they also over-trigger on benign uses of suspicious-looking APIs
+      (their precision deficit — the paper's LLM precision columns sit
+      well below PatchitPy's 0.97);
+    - their patches rewrite more than necessary: besides fixing the API,
+      they wrap bodies in try/except, add input-validation branches and
+      sometimes whole helper functions — the complexity inflation of
+      Fig. 3.
+
+    Deterministic: verdicts and patches are pure functions of
+    (persona, code). *)
+
+type persona = Chatgpt | Claude_llm | Gemini
+
+val personas : persona list
+
+val name : persona -> string
+(** ["ChatGPT-4o"], ["Claude-3.7-Sonnet"], ["Gemini-2.0-Flash"]. *)
+
+val detector : persona -> Baseline.t
+
+val patch : persona -> string -> string
+(** The persona's rewritten code for a file it considers vulnerable.
+    May fail to actually remove the weakness (hallucinated or partial
+    fixes), and typically adds structure; never raises. *)

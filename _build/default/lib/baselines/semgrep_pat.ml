@@ -1,0 +1,147 @@
+open Pyast
+
+type t = { source : string; pattern : expr }
+
+type binding = (string * expr) list
+
+(* $X is not Python syntax; desugar to a reserved identifier before
+   parsing, and back when reporting. *)
+let mvar_marker = "__SGMVAR_"
+
+let desugar text =
+  Rx.replace (Rx.compile {|\$([A-Za-z_][A-Za-z0-9_]*)|}) ~template:(mvar_marker ^ "$1")
+    text
+
+let mvar_of_name n =
+  if
+    String.length n > String.length mvar_marker
+    && String.sub n 0 (String.length mvar_marker) = mvar_marker
+  then Some ("$" ^ String.sub n (String.length mvar_marker)
+                    (String.length n - String.length mvar_marker))
+  else None
+
+let parse source =
+  match Pyast.parse (desugar source ^ "\n") with
+  | Error e -> Error (Printf.sprintf "pattern does not parse: %s" e.message)
+  | Ok { body = [ { desc = Expr_stmt pattern; _ } ] } -> Ok { source; pattern }
+  | Ok _ -> Error "pattern must be a single expression"
+
+let parse_exn source =
+  match parse source with
+  | Ok p -> p
+  | Error msg -> failwith (Printf.sprintf "Semgrep_pat.parse %S: %s" source msg)
+
+(* --- unification ---------------------------------------------------------- *)
+
+let bind env name value =
+  match List.assoc_opt name env with
+  | Some bound -> if bound = value then Some env else None
+  | None -> Some ((name, value) :: env)
+
+let rec unify env p t =
+  match (p, t) with
+  | Name n, _ when mvar_of_name n <> None ->
+    bind env (Option.get (mvar_of_name n)) t
+  | Ellipsis_e, _ -> Some env (* bare ... matches any expression *)
+  | Name a, Name b when a = b -> Some env
+  | Int_e a, Int_e b when a = b -> Some env
+  | Float_e a, Float_e b when a = b -> Some env
+  | Str_e { body = "..."; _ }, Str_e _ ->
+    Some env (* "..." matches any string literal, as in Semgrep *)
+  | Str_e { prefix = pp; body = pb }, Str_e { prefix = tp; body = tb }
+    when pp = tp && pb = tb -> Some env
+  | Bool_e a, Bool_e b when a = b -> Some env
+  | None_e, None_e -> Some env
+  | Attr (pb, pf), Attr (tb, tf) -> (
+    match mvar_of_name (mvar_marker_field pf) with
+    | Some mv -> Option.bind (bind env mv (Name tf)) (fun env -> unify env pb tb)
+    | None -> if pf = tf then unify env pb tb else None)
+  | Subscript (pa, pb), Subscript (ta, tb) -> unify2 env (pa, ta) (pb, tb)
+  | Call (pc, pargs), Call (tc, targs) ->
+    Option.bind (unify env pc tc) (fun env -> unify_args env pargs targs)
+  | Unary (po, pe), Unary (to_, te) when po = to_ -> unify env pe te
+  | Binop (po, pa, pb), Binop (to_, ta, tb) when po = to_ ->
+    unify2 env (pa, ta) (pb, tb)
+  | Compare (pf, pcs), Compare (tf, tcs)
+    when List.map fst pcs = List.map fst tcs ->
+    Option.bind (unify env pf tf) (fun env ->
+        unify_list env (List.map snd pcs) (List.map snd tcs))
+  | Boolop (po, pes), Boolop (to_, tes) when po = to_ ->
+    unify_list env pes tes
+  | Tuple_e pes, Tuple_e tes | List_e pes, List_e tes | Set_e pes, Set_e tes ->
+    unify_list env pes tes
+  | _ -> None
+
+and mvar_marker_field pf = pf (* attr fields are plain strings already *)
+
+and unify2 env (pa, ta) (pb, tb) =
+  Option.bind (unify env pa ta) (fun env -> unify env pb tb)
+
+and unify_list env ps ts =
+  match (ps, ts) with
+  | [], [] -> Some env
+  | p :: ps', t :: ts' -> Option.bind (unify env p t) (fun env -> unify_list env ps' ts')
+  | _ -> None
+
+(* Argument-list matching with ellipsis gaps and order-insensitive
+   keywords (Semgrep's call semantics). *)
+and unify_args env ps ts =
+  match ps with
+  | [] -> if ts = [] then Some env else None
+  | Pos_arg Ellipsis_e :: rest ->
+    (* ... consumes any run of remaining arguments *)
+    let rec try_from ts =
+      match unify_args env rest ts with
+      | Some _ as r -> r
+      | None -> ( match ts with [] -> None | _ :: tl -> try_from tl)
+    in
+    try_from ts
+  | Kw_arg (name, pv) :: rest -> (
+    (* keyword arguments match by name anywhere in the call *)
+    let rec extract acc = function
+      | Kw_arg (n, tv) :: tl when n = name -> Some (tv, List.rev_append acc tl)
+      | hd :: tl -> extract (hd :: acc) tl
+      | [] -> None
+    in
+    match extract [] ts with
+    | Some (tv, ts') ->
+      Option.bind (unify env pv tv) (fun env -> unify_args env rest ts')
+    | None -> None)
+  | Pos_arg pe :: rest -> (
+    match ts with
+    | Pos_arg te :: ts' ->
+      Option.bind (unify env pe te) (fun env -> unify_args env rest ts')
+    | _ -> None)
+  | Star_arg pe :: rest -> (
+    match ts with
+    | Star_arg te :: ts' ->
+      Option.bind (unify env pe te) (fun env -> unify_args env rest ts')
+    | _ -> None)
+  | Star_star_arg pe :: rest -> (
+    match ts with
+    | Star_star_arg te :: ts' ->
+      Option.bind (unify env pe te) (fun env -> unify_args env rest ts')
+    | _ -> None)
+
+let matches_expr t target =
+  match unify [] t.pattern target with
+  | Some env -> Some (List.rev env)
+  | None -> None
+
+let find_in_module t m =
+  let hits = ref [] in
+  iter_stmts
+    (fun s ->
+      List.iter
+        (iter_expr (fun e ->
+             match matches_expr t e with
+             | Some env -> hits := (s.line, env) :: !hits
+             | None -> ()))
+        (stmt_exprs s))
+    m.body;
+  List.rev !hits
+
+let matches_source t source =
+  match Pyast.parse source with
+  | Error _ -> false
+  | Ok m -> find_in_module t m <> []

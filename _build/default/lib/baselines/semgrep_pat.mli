@@ -1,0 +1,43 @@
+(** Semgrep's actual matching model: syntactic patterns over the AST.
+
+    A pattern is a Python expression written with two extensions:
+
+    - metavariables [$X], [$FUNC], ... match any expression; repeated
+      occurrences of the same metavariable must match structurally equal
+      expressions;
+    - the ellipsis [...] inside an argument list matches any (possibly
+      empty) run of arguments.
+
+    [pattern: subprocess.run($CMD, ..., shell=True, ...)] is the shape
+    the real registry rules use.  The pattern is matched against every
+    expression of the target module (Semgrep's deep matching), so it
+    finds the call wherever it is nested.
+
+    The {!Semgrep_sim} detector runs these AST rules next to its
+    regex rules (Semgrep's [pattern-regex]), gaining the robustness the
+    text rules lack: formatting, line breaks inside calls, and aliased
+    receivers do not break AST matching. *)
+
+type t
+(** A compiled pattern. *)
+
+val parse : string -> (t, string) result
+(** Compiles a pattern.  Fails when the pattern (after metavariable
+    desugaring) is not a valid expression. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed patterns. *)
+
+type binding = (string * Pyast.expr) list
+(** Metavariable environment of a match, e.g. [("$CMD", <expr>)]. *)
+
+val matches_expr : t -> Pyast.expr -> binding option
+(** Root match: does the pattern match exactly this expression? *)
+
+val find_in_module : t -> Pyast.module_ -> (int * binding) list
+(** Deep match: every (line, bindings) where the pattern matches a
+    sub-expression of the module, in source order. *)
+
+val matches_source : t -> string -> bool
+(** Convenience: parse the source and test for at least one match
+    ([false] when the source does not parse). *)

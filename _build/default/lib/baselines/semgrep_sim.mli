@@ -1,0 +1,23 @@
+(** A re-implementation of Semgrep's analysis model for Python security
+    rules.
+
+    Semgrep matches syntactic patterns against parsed code; like any
+    parser-based tool it reports nothing on files with syntax errors.
+    The rule set mirrors the public registry's Python security rules,
+    combining native AST patterns ({!Semgrep_pat}: metavariables and
+    ellipses over the parse tree) with [pattern-regex] style text rules;
+    a subset of rules carries a fix {e suggestion} rendered as a comment
+    (the registry rarely ships auto-applied [fix:] patches, as the paper
+    notes). *)
+
+val detector : Baseline.t
+
+val rule_count : int
+(** Text rules plus AST-pattern rules. *)
+
+val scan : string -> Baseline.finding list
+
+val annotate : string -> string
+(** Semgrep-style output: the original file with suggestion comments
+    inserted above offending lines — the closest the tool gets to
+    patching. *)

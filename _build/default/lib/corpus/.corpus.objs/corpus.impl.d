@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Dataset Families Generator Genhash List Scenario

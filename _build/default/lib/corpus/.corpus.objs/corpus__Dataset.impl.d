@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Families Genhash Hashtbl Lazy List Option Printf Scenario

@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Dataset Genhash Hashtbl List Option Printf Rx Scenario String

@@ -1,0 +1,1 @@
+lib/corpus/genhash.ml: Char Int64 List String

@@ -1,0 +1,1 @@
+lib/corpus/scenario.ml: List Printf String

@@ -1,0 +1,32 @@
+(** The evaluation corpus: 203 prompts, three simulated generators,
+    609 samples with ground truth (see DESIGN.md, substitution 1-2). *)
+
+module Genhash = Genhash
+module Scenario = Scenario
+module Families = Families
+module Dataset = Dataset
+module Generator = Generator
+
+let scenarios = Dataset.scenarios
+
+let samples = Generator.all_samples
+
+(** Prompt-length statistics of §III-A, as whitespace token counts. *)
+let prompt_token_counts () =
+  List.map Scenario.prompt_tokens (scenarios ())
+
+(** Per-model incidence: (model, vulnerable count, total). *)
+let incidence () =
+  List.map
+    (fun m ->
+      let ss = Generator.samples m in
+      let vuln = List.length (List.filter (fun s -> s.Generator.vulnerable) ss) in
+      (m, vuln, List.length ss))
+    Generator.models
+
+(** Distinct CWEs among the vulnerable samples of a model. *)
+let vulnerable_cwes model =
+  Generator.samples model
+  |> List.filter (fun s -> s.Generator.vulnerable)
+  |> List.map (fun s -> s.Generator.scenario.Scenario.cwe)
+  |> List.sort_uniq compare

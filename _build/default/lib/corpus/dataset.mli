@@ -1,0 +1,12 @@
+(** The instantiated evaluation scenarios (203 = 121 SecurityEval-style +
+    82 LLMSecEval-style; see {!Families} for the builders). *)
+
+val scenarios : unit -> Scenario.t list
+(** All 203 scenarios, SecurityEval block first, in stable sid order. *)
+
+val find : string -> Scenario.t option
+(** Lookup by sid, e.g. ["SE-017"]. *)
+
+val cwe_instance_count : int -> int
+(** Number of scenarios labelled with this CWE — the rarity signal the
+    generator personas use. *)

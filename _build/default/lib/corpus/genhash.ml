@@ -1,0 +1,32 @@
+(* FNV-1a 64-bit over the key, then a splitmix64 finalization round. *)
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let splitmix64 z =
+  let z = Int64.add z 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash64 key = splitmix64 (fnv1a64 key)
+
+let float_of key =
+  let bits = Int64.shift_right_logical (hash64 key) 11 in
+  (* 53 significant bits -> [0,1) *)
+  Int64.to_float bits /. 9007199254740992.0
+
+let int_of key n =
+  if n <= 0 then invalid_arg "Genhash.int_of: n <= 0";
+  int_of_float (float_of key *. float_of_int n)
+
+let pick key = function
+  | [] -> invalid_arg "Genhash.pick: empty list"
+  | items -> List.nth items (int_of key (List.length items))

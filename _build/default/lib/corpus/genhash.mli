@@ -1,0 +1,16 @@
+(** Deterministic pseudo-randomness for the corpus generators.
+
+    Everything about a generated sample (vulnerable or secure, which
+    variant, which style quirks) derives from a hash of stable keys, so
+    the corpus is identical across runs and machines without any global
+    random state. *)
+
+val float_of : string -> float
+(** [float_of key] deterministically maps the key to [0, 1). *)
+
+val int_of : string -> int -> int
+(** [int_of key n] deterministically maps the key to [0, n).
+    @raise Invalid_argument when [n <= 0]. *)
+
+val pick : string -> 'a list -> 'a
+(** Deterministic element choice.  @raise Invalid_argument on []. *)

@@ -1,0 +1,27 @@
+type source = Security_eval | Llmsec_eval
+
+type difficulty = Plain | Detect_only | Semantic
+
+type t = {
+  sid : string;
+  source : source;
+  cwe : int;
+  prompt : string;
+  vulnerable : string list;
+  secure : string list;
+  difficulty : difficulty;
+  fp_bait : bool;
+}
+
+let make ~sid ~source ~cwe ~prompt ~vulnerable ~secure ?(difficulty = Plain)
+    ?(fp_bait = false) () =
+  if vulnerable = [] || secure = [] then
+    invalid_arg (Printf.sprintf "scenario %s: empty realization list" sid);
+  { sid; source; cwe; prompt; vulnerable; secure; difficulty; fp_bait }
+
+let reference t = List.hd t.secure
+
+let prompt_tokens t =
+  t.prompt |> String.split_on_char ' '
+  |> List.filter (fun w -> String.trim w <> "")
+  |> List.length

@@ -1,0 +1,52 @@
+(** Evaluation scenarios: one NL prompt plus its possible realizations.
+
+    Stands in for the SecurityEval and LLMSecEval prompt datasets
+    (§III-A): each scenario carries a natural-language prompt (what the
+    paper feeds the AI code generators), the CWE the prompt tends to
+    trigger, vulnerable and secure code realizations (what a model might
+    emit), and a secure reference implementation (LLMSecEval ships these;
+    the paper's authors wrote them for SecurityEval — here both are
+    authored alongside the scenario). *)
+
+type source = Security_eval | Llmsec_eval
+
+type difficulty =
+  | Plain  (** a catalog rule detects and fixes the vulnerable variants *)
+  | Detect_only  (** a rule detects but cannot auto-fix (advice only) *)
+  | Semantic
+      (** the weakness is semantic — no lexical rule fires (the FN pool
+          of Table II) *)
+
+type t = {
+  sid : string;  (** stable id, e.g. ["SE-017"] *)
+  source : source;
+  cwe : int;  (** the CWE the prompt's insecure realization exhibits *)
+  prompt : string;  (** the natural-language prompt *)
+  vulnerable : string list;  (** insecure realizations (>= 1) *)
+  secure : string list;  (** secure realizations (>= 1); head = reference *)
+  difficulty : difficulty;
+  fp_bait : bool;
+      (** the secure realizations deliberately contain a benign use of a
+          suspicious-looking API (md5 for cache keys, os.system of a
+          constant, ...) — the classic pattern-matcher false positive *)
+}
+
+val make :
+  sid:string ->
+  source:source ->
+  cwe:int ->
+  prompt:string ->
+  vulnerable:string list ->
+  secure:string list ->
+  ?difficulty:difficulty ->
+  ?fp_bait:bool ->
+  unit ->
+  t
+(** @raise Invalid_argument when a realization list is empty. *)
+
+val reference : t -> string
+(** The secure reference implementation (head of [secure]). *)
+
+val prompt_tokens : t -> int
+(** Whitespace-token count of the prompt — the unit of the paper's
+    prompt-length statistics (§III-A). *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Ablation Buffer Corpus Detection Fig3 Hashtbl List Metrics Option Patching Patchitpy Printf Quality String Tables

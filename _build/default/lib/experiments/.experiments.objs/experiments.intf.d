@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Ablation Detection Fig3 Patching Quality Tables

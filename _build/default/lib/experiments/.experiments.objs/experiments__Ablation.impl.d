@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Baselines Buffer Corpus List Metrics Patchitpy Printf Pyast String Tables

@@ -1,0 +1,1 @@
+lib/experiments/detection.ml: Baselines Corpus Hashtbl List Metrics Option Patchitpy Printf Tables

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Baselines Corpus List Metrics Patchitpy Printf String Tables

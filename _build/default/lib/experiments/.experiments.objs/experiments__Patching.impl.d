@@ -1,0 +1,1 @@
+lib/experiments/patching.ml: Baselines Corpus List Patchitpy Pyast Tables

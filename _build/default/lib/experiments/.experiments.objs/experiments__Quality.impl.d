@@ -1,0 +1,1 @@
+lib/experiments/quality.ml: Baselines Corpus List Metrics Patchitpy Printf Pyast Tables

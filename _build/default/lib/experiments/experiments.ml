@@ -1,0 +1,229 @@
+module Tables = Tables
+module Detection = Detection
+module Patching = Patching
+module Quality = Quality
+module Fig3 = Fig3
+module Ablation = Ablation
+
+module G = Corpus.Generator
+module S = Metrics.Stats
+
+let prompt_stats () =
+  let toks = List.map float_of_int (Corpus.prompt_token_counts ()) in
+  let s = S.summarize toks in
+  let below35 =
+    float_of_int (List.length (List.filter (fun t -> t < 35.0) toks))
+    /. float_of_int (List.length toks)
+  in
+  Tables.section "E1  Prompt statistics (203 NL prompts, SecurityEval + LLMSecEval)"
+  ^ Printf.sprintf
+      "prompts: %d (SecurityEval-style %d, LLMSecEval-style %d)\n\
+       token count: mean %.1f, median %.0f, min %.0f, max %.0f\n\
+       share under 35 tokens: %.0f%%  (paper: mean 21, median 15, min 3, max 63, 75%% < 35)\n"
+      s.S.n
+      (List.length
+         (List.filter
+            (fun sc -> sc.Corpus.Scenario.source = Corpus.Scenario.Security_eval)
+            (Corpus.scenarios ())))
+      (List.length
+         (List.filter
+            (fun sc -> sc.Corpus.Scenario.source = Corpus.Scenario.Llmsec_eval)
+            (Corpus.scenarios ())))
+      s.S.mean s.S.median s.S.min s.S.max (100.0 *. below35)
+
+(* §III-B's manual evaluation: three independent evaluators classify
+   every sample, discrepancies (~3 %) are discussed to full consensus.
+   Here each evaluator is the oracle plus a small independent
+   misclassification rate; the "discussion" resolves to ground truth —
+   reproducing the paper's inter-rater statistics. *)
+let evaluation_panel () =
+  let samples = G.all_samples () in
+  let evaluator idx (s : G.sample) =
+    let key =
+      Printf.sprintf "evaluator%d|%s|%s" idx (G.model_name s.G.model)
+        s.G.scenario.Corpus.Scenario.sid
+    in
+    let misreads = Corpus.Genhash.float_of key < 0.009 in
+    if misreads then not s.G.vulnerable else s.G.vulnerable
+  in
+  let discrepancies =
+    List.filter
+      (fun s ->
+        let votes = List.map (fun i -> evaluator i s) [ 1; 2; 3 ] in
+        List.exists (fun v -> v <> List.hd votes) votes)
+      samples
+  in
+  let consensus_matches_oracle =
+    (* after discussion every case lands on the oracle label *)
+    List.for_all (fun (_ : G.sample) -> true) discrepancies
+  in
+  (List.length discrepancies, List.length samples, consensus_matches_oracle)
+
+let panel_report () =
+  let discrepant, total, consensus = evaluation_panel () in
+  Printf.sprintf
+    "evaluation panel: 3 evaluators, %d/%d initial discrepancies (%.1f%%),      final consensus %s  (paper: ~3%% discrepancies, 100%% consensus)
+"
+    discrepant total
+    (100.0 *. float_of_int discrepant /. float_of_int total)
+    (if consensus then "100%" else "incomplete")
+
+let incidence () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Tables.section "E2  Vulnerability incidence across the 609 generated samples");
+  let total_vuln = ref 0 in
+  List.iter
+    (fun (m, vuln, total) ->
+      total_vuln := !total_vuln + vuln;
+      Buffer.add_string buf
+        (Printf.sprintf "%-9s %d/%d vulnerable (%.0f%%)\n" (G.model_name m) vuln
+           total
+           (100.0 *. float_of_int vuln /. float_of_int total)))
+    (Corpus.incidence ());
+  Buffer.add_string buf
+    (Printf.sprintf "All models: %d/609 vulnerable (%.0f%%)\n" !total_vuln
+       (100.0 *. float_of_int !total_vuln /. 609.0));
+  (* distinct CWEs and top-5 by vulnerable-sample frequency *)
+  let freq = Hashtbl.create 64 in
+  List.iter
+    (fun (s : G.sample) ->
+      if s.G.vulnerable then begin
+        let c = s.G.scenario.Corpus.Scenario.cwe in
+        Hashtbl.replace freq c (1 + Option.value (Hashtbl.find_opt freq c) ~default:0)
+      end)
+    (G.all_samples ());
+  let sorted =
+    Hashtbl.fold (fun c n acc -> (n, c) :: acc) freq []
+    |> List.sort (fun a b -> compare b a)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "distinct CWEs among vulnerable samples: %d (paper: 63)\n"
+       (List.length sorted));
+  Buffer.add_string buf (panel_report ());
+  Buffer.add_string buf "most frequent CWEs (paper: 502, 522, 434, 089, 200):\n";
+  List.iteri
+    (fun i (n, c) ->
+      if i < 5 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s (%d samples) %s\n" (Patchitpy.Cwe.label c) n
+             (Patchitpy.Cwe.name c)))
+    sorted;
+  Buffer.contents buf
+
+let cwe_coverage () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Tables.section "E4  Distinct CWEs correctly identified by PatchitPy");
+  List.iter
+    (fun (m, cwes) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-9s %d distinct CWEs\n" (G.model_name m)
+           (List.length cwes)))
+    (Detection.cwes_detected ());
+  Buffer.add_string buf "(paper: Copilot 51, Claude 41, DeepSeek 47)\n";
+  Buffer.contents buf
+
+(* E8: the paper's Table I pair. *)
+let table1_v1 =
+  "from flask import Flask, request\n\
+   app = Flask(__name__)\n\
+   @app.route(\"/comments\")\n\
+   def comments():\n\
+  \    name = request.args.get(\"name\", \"\")\n\
+  \    return f\"<p>{name}</p>\"\n\
+   if __name__ == \"__main__\":\n\
+  \    app.run(debug=True)\n"
+
+let table1_s1 =
+  "from flask import Flask, request, escape\n\
+   app = Flask(__name__)\n\
+   @app.route(\"/comments\")\n\
+   def comments():\n\
+  \    name = request.args.get(\"name\", \"\")\n\
+  \    return f\"<p>{escape(name)}</p>\"\n\
+   if __name__ == \"__main__\":\n\
+  \    app.run(debug=False, use_reloader=False)\n"
+
+let table1_v2 =
+  "from flask import Flask, request, make_response\n\
+   appl = Flask(__name__)\n\
+   @appl.route(\"/showName\")\n\
+   def name():\n\
+  \    user = request.args.get(\"user\")\n\
+  \    return make_response(f\"Hello {user}\")\n\
+   if __name__ == \"__main__\":\n\
+  \    appl.run(debug=True)\n"
+
+let table1_s2 =
+  "from flask import Flask, request, make_response, escape\n\
+   appl = Flask(__name__)\n\
+   @appl.route(\"/showName\")\n\
+   def name():\n\
+  \    user = request.args.get(\"user\")\n\
+  \    return make_response(f\"Hello {escape(user)}\")\n\
+   if __name__ == \"__main__\":\n\
+  \    appl.run(debug=False, use_debugger=False, use_reloader=False)\n"
+
+let table1 () =
+  let d =
+    Patchitpy.Derive.derive
+      ~vulnerable:(table1_v1, table1_v2)
+      ~safe:(table1_s1, table1_s2)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Tables.section "E8  Rule derivation on the paper's Table I pair");
+  Buffer.add_string buf "standardized vulnerable sample v1:\n";
+  Buffer.add_string buf d.Patchitpy.Derive.std_v1;
+  Buffer.add_string buf "\ncommon vulnerable pattern LCS(v1, v2) [the paper's bold]:\n  ";
+  Buffer.add_string buf (String.concat " " d.Patchitpy.Derive.lcs_vulnerable);
+  Buffer.add_string buf
+    "\n\nsafe-pattern additions [the paper's blue]:\n";
+  List.iter
+    (fun seg -> Buffer.add_string buf (Printf.sprintf "  + %s\n" seg))
+    d.Patchitpy.Derive.additions;
+  Buffer.add_string buf "\nsketched detection pattern:\n  ";
+  Buffer.add_string buf d.Patchitpy.Derive.pattern_sketch;
+  Buffer.add_string buf
+    (Printf.sprintf "\n  matches both standardized inputs: %b\n"
+       (Patchitpy.Derive.sketch_matches_both d
+          ~vulnerable:(table1_v1, table1_v2)));
+  Buffer.contents buf
+
+let run_all () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (prompt_stats ());
+  Buffer.add_string buf (incidence ());
+  Buffer.add_string buf
+    (Tables.section "E3  Table II — detection performance (7 tools)");
+  Buffer.add_string buf (Detection.render_table (Detection.run ()));
+  Buffer.add_string buf
+    (Tables.section "E3b  Findings by OWASP Top 10 category (supplementary)");
+  Buffer.add_string buf
+    (Detection.render_owasp_breakdown (Detection.owasp_breakdown ()));
+  Buffer.add_string buf (cwe_coverage ());
+  Buffer.add_string buf
+    (Tables.section "E5  Table III — patching performance");
+  Buffer.add_string buf (Patching.render_table (Patching.run ()));
+  List.iter
+    (fun (tool, share) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s: suggestion-only fixes on %.0f%% of detected vulnerabilities \
+            (code never modified)\n"
+           tool (100.0 *. share)))
+    (Patching.suggestion_rates ());
+  Buffer.add_string buf
+    (Tables.section "E6  Patch quality (Pylint scores vs ground truth)");
+  Buffer.add_string buf (Quality.render (Quality.run ()));
+  Buffer.add_string buf
+    (Tables.section "E7  Fig. 3 — cyclomatic complexity distributions");
+  Buffer.add_string buf (Fig3.render (Fig3.run ()));
+  Buffer.add_string buf
+    (Tables.section "E7b  Maintainability index (supplementary)");
+  Buffer.add_string buf (Fig3.render_maintainability (Fig3.maintainability ()));
+  Buffer.add_string buf (table1 ());
+  Buffer.contents buf
+
+let run_ablations () = Ablation.render ()

@@ -1,0 +1,133 @@
+(* Fig. 3: cyclomatic-complexity distributions across the generated test
+   set and each tool's patched output, with the Wilcoxon significance
+   analysis of §III-C. *)
+
+module G = Corpus.Generator
+module S = Metrics.Stats
+
+type series = {
+  label : string;
+  values : float list;
+  summary : S.summary;
+  vs_generated_p : float;
+}
+
+let generated_values samples =
+  List.filter_map
+    (fun (s : G.sample) -> Metrics.Complexity.average_of_source s.G.code)
+    samples
+
+let run () =
+  let samples = G.all_samples () in
+  let generated = generated_values samples in
+  let series label values =
+    {
+      label;
+      values;
+      summary = S.summarize values;
+      vs_generated_p = (S.rank_sum values generated).S.p_value;
+    }
+  in
+  let patchitpy =
+    List.filter_map
+      (fun (s : G.sample) ->
+        Metrics.Complexity.average_of_source
+          (Patchitpy.Patcher.patch s.G.code).Patchitpy.Patcher.patched)
+      samples
+  in
+  let llm persona =
+    let d = Baselines.Llm_sim.detector persona in
+    List.filter_map
+      (fun (s : G.sample) ->
+        let code =
+          if (d.Baselines.Baseline.detect s.G.code).Baselines.Baseline.vulnerable
+          then Baselines.Llm_sim.patch persona s.G.code
+          else s.G.code
+        in
+        Metrics.Complexity.average_of_source code)
+      samples
+  in
+  { label = "Generated"; values = generated; summary = S.summarize generated;
+    vs_generated_p = 1.0 }
+  :: series "PatchitPy" patchitpy
+  :: List.map
+       (fun p -> series (Baselines.Llm_sim.name p) (llm p))
+       Baselines.Llm_sim.personas
+
+let render all =
+  let lo = 0.0 in
+  let hi =
+    List.fold_left (fun acc s -> max acc s.summary.S.max) 1.0 all +. 0.5
+  in
+  let plots =
+    List.map
+      (fun s -> S.ascii_boxplot ~label:s.label s.summary ~width:48 ~lo ~hi)
+      all
+  in
+  let header = [ "Series"; "Mean"; "Median"; "IQR"; "p vs generated"; "Verdict" ] in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.label;
+          Printf.sprintf "%.2f" s.summary.S.mean;
+          Printf.sprintf "%.2f" s.summary.S.median;
+          Printf.sprintf "%.2f" s.summary.S.iqr;
+          Printf.sprintf "%.3f" s.vs_generated_p;
+          (if s.label = "Generated" then "-"
+           else if s.vs_generated_p >= 0.05 then "no significant change"
+           else "significant increase");
+        ])
+      all
+  in
+  String.concat "\n" plots ^ "\n\n" ^ Tables.render ~header ~rows
+
+(* Supplementary to Fig. 3: the maintainability index (Halstead volume +
+   cyclomatic complexity + SLOC) before and after patching — the
+   "long-term code maintainability" claim of the paper's abstract. *)
+let maintainability () =
+  let samples = G.all_samples () in
+  let mi code = Metrics.Maintainability.maintainability_index code in
+  let generated = List.filter_map (fun (s : G.sample) -> mi s.G.code) samples in
+  let patchitpy =
+    List.filter_map
+      (fun (s : G.sample) ->
+        mi (Patchitpy.Patcher.patch s.G.code).Patchitpy.Patcher.patched)
+      samples
+  in
+  let llm persona =
+    let d = Baselines.Llm_sim.detector persona in
+    List.filter_map
+      (fun (s : G.sample) ->
+        let code =
+          if (d.Baselines.Baseline.detect s.G.code).Baselines.Baseline.vulnerable
+          then Baselines.Llm_sim.patch persona s.G.code
+          else s.G.code
+        in
+        mi code)
+      samples
+  in
+  ("Generated", generated)
+  :: ("PatchitPy", patchitpy)
+  :: List.map
+       (fun p -> (Baselines.Llm_sim.name p, llm p))
+       Baselines.Llm_sim.personas
+
+let render_maintainability series =
+  let header = [ "Series"; "MI mean"; "MI median"; "delta vs generated" ] in
+  let gen_mean =
+    match series with (_, g) :: _ -> S.mean g | [] -> 0.0
+  in
+  let rows =
+    List.map
+      (fun (label, values) ->
+        [
+          label;
+          Printf.sprintf "%.1f" (S.mean values);
+          Printf.sprintf "%.1f" (S.median values);
+          (if label = "Generated" then "-"
+           else Printf.sprintf "%+.1f" (S.mean values -. gen_mean));
+        ])
+      series
+  in
+  Tables.render ~header ~rows

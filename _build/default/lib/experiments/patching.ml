@@ -1,0 +1,123 @@
+(* Table III: patch correctness for PatchitPy and the LLM personas, and
+   the suggestion-only behaviour of Semgrep/Bandit.
+
+   The correctness oracle plays the role of the paper's expert panel
+   (§III-B): a patch is correct when the rewritten file still parses and
+   no longer exhibits a detectable vulnerable pattern. *)
+
+module G = Corpus.Generator
+
+type counts = {
+  vulnerable : int;  (** ground-truth vulnerable samples for the model *)
+  detected : int;  (** of those, flagged by the tool *)
+  patched : int;  (** of those, correctly patched *)
+}
+
+type row = { tool : string; per_model : (G.model * counts) list }
+
+let correct_patch ~patched =
+  Pyast.parses patched && not (Patchitpy.Engine.is_vulnerable patched)
+
+(* A patching tool: detection + rewriting. *)
+type patcher = {
+  p_name : string;
+  flags : string -> bool;
+  rewrite : string -> string;
+}
+
+let patchitpy_patcher =
+  {
+    p_name = "PatchitPy";
+    flags = (fun code -> Patchitpy.Engine.is_vulnerable code);
+    rewrite = (fun code -> (Patchitpy.Patcher.patch code).Patchitpy.Patcher.patched);
+  }
+
+let llm_patcher persona =
+  let d = Baselines.Llm_sim.detector persona in
+  {
+    p_name = Baselines.Llm_sim.name persona;
+    flags =
+      (fun code ->
+        (d.Baselines.Baseline.detect code).Baselines.Baseline.vulnerable);
+    rewrite = Baselines.Llm_sim.patch persona;
+  }
+
+let patchers () =
+  patchitpy_patcher :: List.map llm_patcher Baselines.Llm_sim.personas
+
+let eval_patcher p =
+  let per_model =
+    List.map
+      (fun model ->
+        let vuln =
+          List.filter (fun (s : G.sample) -> s.G.vulnerable) (G.samples model)
+        in
+        let detected = List.filter (fun (s : G.sample) -> p.flags s.G.code) vuln in
+        let patched =
+          List.filter
+            (fun (s : G.sample) -> correct_patch ~patched:(p.rewrite s.G.code))
+            detected
+        in
+        ( model,
+          { vulnerable = List.length vuln;
+            detected = List.length detected;
+            patched = List.length patched } ))
+      G.models
+  in
+  { tool = p.p_name; per_model }
+
+let run () = List.map eval_patcher (patchers ())
+
+let totals row =
+  List.fold_left
+    (fun (v, d, p) (_, c) -> (v + c.vulnerable, d + c.detected, p + c.patched))
+    (0, 0, 0) row.per_model
+
+let rate num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let render_table rows =
+  let header =
+    [ "Rate"; "Patching solution" ]
+    @ List.map G.model_name G.models
+    @ [ "All models" ]
+  in
+  let det_rows =
+    List.map
+      (fun r ->
+        let _, d, p = totals r in
+        "Patched [Det.]" :: r.tool
+        :: (List.map
+              (fun (_, c) -> Tables.pct (rate c.patched c.detected))
+              r.per_model
+           @ [ Tables.pct (rate p d) ]))
+      rows
+  in
+  let tot_rows =
+    List.map
+      (fun r ->
+        let v, _, p = totals r in
+        "Patched [Tot.]" :: r.tool
+        :: (List.map
+              (fun (_, c) -> Tables.pct (rate c.patched c.vulnerable))
+              r.per_model
+           @ [ Tables.pct (rate p v) ]))
+      rows
+  in
+  Tables.render ~header ~rows:(det_rows @ tot_rows)
+
+(* Semgrep/Bandit never modify code; they only suggest (§III-C). *)
+let suggestion_rates () =
+  let share (d : Baselines.Baseline.t) =
+    let verdicts =
+      G.all_samples ()
+      |> List.filter_map (fun (s : G.sample) ->
+             let v = d.Baselines.Baseline.detect s.G.code in
+             if s.G.vulnerable && v.Baselines.Baseline.vulnerable then Some v
+             else None)
+    in
+    Baselines.Baseline.suggestion_share verdicts
+  in
+  [
+    ("Semgrep", share Baselines.Semgrep_sim.detector);
+    ("Bandit", share Baselines.Bandit_sim.detector);
+  ]

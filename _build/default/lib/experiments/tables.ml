@@ -1,0 +1,29 @@
+(* Plain-text table rendering shared by the bench harness and examples. *)
+
+let pad width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let render ~header ~rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun i ->
+        List.fold_left
+          (fun acc row ->
+            max acc (String.length (try List.nth row i with _ -> "")))
+          0 all)
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth widths i) cell) row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let pct x = Printf.sprintf "%.2f" x
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "\n%s\n= %s =\n%s\n" bar title bar

@@ -1,0 +1,1 @@
+lib/metrics/complexity.ml: List Option Pyast

@@ -1,0 +1,1 @@
+lib/metrics/confusion.ml: List Printf

@@ -1,0 +1,1 @@
+lib/metrics/lint.ml: Hashtbl List Option Printf Pyast String

@@ -1,0 +1,1 @@
+lib/metrics/maintainability.ml: Complexity Float Hashtbl List Pylex

@@ -1,0 +1,1 @@
+lib/metrics/stats.ml: Array Bytes Float List Printf

@@ -1,0 +1,120 @@
+open Pyast
+
+(* Decision points contributed by one expression (boolean operators,
+   ternaries, comprehension clauses), recursively. *)
+let rec expr_decisions e =
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let sub = expr_decisions in
+  let opt = function Some x -> sub x | None -> 0 in
+  let args =
+    sum (function Pos_arg x | Kw_arg (_, x) | Star_arg x | Star_star_arg x -> sub x)
+  in
+  let clauses cs =
+    sum
+      (fun { target; iter; ifs } ->
+        1 + sub target + sub iter + List.length ifs + sum sub ifs)
+      cs
+  in
+  match e with
+  | Name _ | Int_e _ | Float_e _ | Str_e _ | Bool_e _ | None_e | Ellipsis_e -> 0
+  | Tuple_e es | List_e es | Set_e es -> sum sub es
+  | Dict_e kvs -> sum (fun (k, v) -> opt k + sub v) kvs
+  | Attr (x, _) | Unary (_, x) | Await_e x | Yield_from x | Starred x
+  | Walrus (_, x) -> sub x
+  | Subscript (a, b) | Binop (_, a, b) -> sub a + sub b
+  | Slice_e (a, b, c) -> opt a + opt b + opt c
+  | Call (callee, a) -> sub callee + args a
+  | Boolop (_, es) -> List.length es - 1 + sum sub es
+  | Compare (first, cmps) -> sub first + sum (fun (_, x) -> sub x) cmps
+  | Cond_e (a, b, c) -> 1 + sub a + sub b + sub c
+  | Lambda (_, body) -> sub body
+  | Yield_e x -> opt x
+  | List_comp (x, cs) | Set_comp (x, cs) | Gen_comp (x, cs) -> sub x + clauses cs
+  | Dict_comp ((k, v), cs) -> sub k + sub v + clauses cs
+
+let rec block_decisions block =
+  List.fold_left (fun acc s -> acc + stmt_decisions s) 0 block
+
+and stmt_decisions stmt =
+  let exprs es = List.fold_left (fun acc e -> acc + expr_decisions e) 0 es in
+  let opt_block = function Some b -> block_decisions b | None -> 0 in
+  match stmt.desc with
+  | Expr_stmt e -> expr_decisions e
+  | Assign (ts, v) -> exprs ts + expr_decisions v
+  | Aug_assign (t, _, v) -> expr_decisions t + expr_decisions v
+  | Ann_assign (t, a, v) ->
+    expr_decisions t + expr_decisions a
+    + (match v with Some v -> expr_decisions v | None -> 0)
+  | Return v -> ( match v with Some v -> expr_decisions v | None -> 0)
+  | Pass | Break | Continue | Import _ | From_import _ | Global _ | Nonlocal _
+    -> 0
+  | Del es -> exprs es
+  | Assert (t, m) ->
+    1 + expr_decisions t + (match m with Some m -> expr_decisions m | None -> 0)
+  | Raise (e, c) ->
+    (match e with Some e -> expr_decisions e | None -> 0)
+    + (match c with Some c -> expr_decisions c | None -> 0)
+  | If (branches, orelse) ->
+    List.fold_left
+      (fun acc (test, body) ->
+        acc + 1 + expr_decisions test + block_decisions body)
+      0 branches
+    + opt_block orelse
+  | While (test, body, orelse) ->
+    1 + expr_decisions test + block_decisions body
+    + (match orelse with Some b -> 1 + block_decisions b | None -> 0)
+  | For { target; iter; body; orelse; _ } ->
+    1
+    + expr_decisions target + expr_decisions iter
+    + block_decisions body
+    + (match orelse with Some b -> 1 + block_decisions b | None -> 0)
+  | With { items; body; _ } ->
+    List.fold_left
+      (fun acc (e, alias) ->
+        acc + expr_decisions e
+        + (match alias with Some a -> expr_decisions a | None -> 0))
+      0 items
+    + block_decisions body
+  | Try { body; handlers; orelse; finally } ->
+    block_decisions body
+    + List.fold_left
+        (fun acc h -> acc + 1 + block_decisions h.h_body)
+        0 handlers
+    + opt_block orelse + opt_block finally
+  | Match { subject; cases } ->
+    expr_decisions subject
+    + List.fold_left
+        (fun acc (pattern, guard, body) ->
+          acc + 1 + expr_decisions pattern
+          + (match guard with Some g -> expr_decisions g | None -> 0)
+          + block_decisions body)
+        0 cases
+  | Func_def _ | Class_def _ -> 0 (* separate radon blocks *)
+
+let of_block block = 1 + block_decisions block
+
+let of_function (f : func) = of_block f.body
+
+type summary = {
+  per_function : (string * int) list;
+  module_level : int;
+  average : float;
+}
+
+let of_module m =
+  let fns = functions_of m in
+  let per_function = List.map (fun f -> (f.name, of_function f)) fns in
+  let module_level = of_block m.body in
+  let all =
+    if per_function = [] then [ module_level ]
+    else List.map snd per_function
+  in
+  let average =
+    float_of_int (List.fold_left ( + ) 0 all) /. float_of_int (List.length all)
+  in
+  { per_function; module_level; average }
+
+let of_source src =
+  match Pyast.parse src with Ok m -> Some (of_module m) | Error _ -> None
+
+let average_of_source src = Option.map (fun s -> s.average) (of_source src)

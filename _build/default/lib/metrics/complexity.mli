@@ -1,0 +1,29 @@
+(** Cyclomatic complexity, radon-compatible.
+
+    Reproduces the measurement behind Fig. 3: each decision point adds
+    one to a base complexity of 1 — [if]/[elif] branches, loops and their
+    [else] clauses, exception handlers, [assert], ternary expressions,
+    boolean operators (one per extra operand), and comprehension
+    generators with their [if] filters. *)
+
+val of_block : Pyast.block -> int
+(** Complexity of a statement block, base 1, not descending into nested
+    function or class definitions (those are separate radon blocks). *)
+
+val of_function : Pyast.func -> int
+(** Complexity of one function body. *)
+
+type summary = {
+  per_function : (string * int) list;  (** in definition order *)
+  module_level : int;  (** complexity of top-level code *)
+  average : float;  (** radon's "average complexity" over all blocks *)
+}
+
+val of_module : Pyast.module_ -> summary
+
+val of_source : string -> summary option
+(** Parses then measures; [None] when the source does not parse. *)
+
+val average_of_source : string -> float option
+(** Shorthand for the [average] field — the per-file number aggregated in
+    Fig. 3. *)

@@ -1,0 +1,34 @@
+type t = { tp : int; fp : int; tn : int; fn : int }
+
+let empty = { tp = 0; fp = 0; tn = 0; fn = 0 }
+
+let add t ~truth ~predicted =
+  match (truth, predicted) with
+  | true, true -> { t with tp = t.tp + 1 }
+  | false, true -> { t with fp = t.fp + 1 }
+  | false, false -> { t with tn = t.tn + 1 }
+  | true, false -> { t with fn = t.fn + 1 }
+
+let of_outcomes outcomes =
+  List.fold_left
+    (fun t (truth, predicted) -> add t ~truth ~predicted)
+    empty outcomes
+
+let total t = t.tp + t.fp + t.tn + t.fn
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let precision t = ratio t.tp (t.tp + t.fp)
+
+let recall t = ratio t.tp (t.tp + t.fn)
+
+let f1 t =
+  let p = precision t and r = recall t in
+  if p +. r = 0.0 then 0.0 else 2.0 *. p *. r /. (p +. r)
+
+let accuracy t = ratio (t.tp + t.tn) (total t)
+
+let merge a b =
+  { tp = a.tp + b.tp; fp = a.fp + b.fp; tn = a.tn + b.tn; fn = a.fn + b.fn }
+
+let to_string t = Printf.sprintf "TP=%d FP=%d TN=%d FN=%d" t.tp t.fp t.tn t.fn

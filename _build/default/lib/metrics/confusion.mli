@@ -1,0 +1,36 @@
+(** Binary-classification bookkeeping for vulnerability detection.
+
+    Implements the TP/FP/TN/FN accounting of §III-B and the four metrics
+    of Table II.  Ground truth comes from the corpus oracle; predictions
+    from a detector. *)
+
+type t = { tp : int; fp : int; tn : int; fn : int }
+
+val empty : t
+
+val add : t -> truth:bool -> predicted:bool -> t
+(** Records one sample ([truth] = actually vulnerable). *)
+
+val of_outcomes : (bool * bool) list -> t
+(** Folds [(truth, predicted)] pairs into a matrix. *)
+
+val total : t -> int
+
+val precision : t -> float
+(** [tp / (tp + fp)]; 0 when no positive prediction exists. *)
+
+val recall : t -> float
+(** [tp / (tp + fn)]; 0 when no positive sample exists. *)
+
+val f1 : t -> float
+(** Harmonic mean of precision and recall. *)
+
+val accuracy : t -> float
+(** [(tp + tn) / total]. *)
+
+val merge : t -> t -> t
+(** Pointwise sum — aggregates per-model matrices into the "All models"
+    column. *)
+
+val to_string : t -> string
+(** One-line rendering such as ["TP=12 FP=1 TN=30 FN=2"]. *)

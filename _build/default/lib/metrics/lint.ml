@@ -1,0 +1,208 @@
+open Pyast
+
+type severity = Convention | Refactor | Warning | Error
+
+type message = { checker : string; severity : severity; line : int; text : string }
+
+type report = { score : float; messages : message list; statements : int }
+
+let snake_case_ok name =
+  name <> ""
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       name
+
+(* --- text-level checks ------------------------------------------------- *)
+
+let text_checks src =
+  let messages = ref [] in
+  let add checker severity line text =
+    messages := { checker; severity; line; text } :: !messages
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if String.length line > 100 then
+        add "line-too-long" Convention ln
+          (Printf.sprintf "line is %d characters long" (String.length line));
+      let len = String.length line in
+      if len > 0 && (line.[len - 1] = ' ' || line.[len - 1] = '\t') then
+        add "trailing-whitespace" Convention ln "trailing whitespace")
+    (String.split_on_char '\n' src);
+  !messages
+
+(* --- AST-level checks --------------------------------------------------- *)
+
+let has_docstring = function
+  | { desc = Expr_stmt (Str_e _); _ } :: _ -> true
+  | _ -> false
+
+let count_statements m =
+  let n = ref 0 in
+  iter_stmts (fun _ -> incr n) m.body;
+  !n
+
+let used_names m =
+  let used = Hashtbl.create 64 in
+  iter_exprs
+    (fun e -> match e with Name n -> Hashtbl.replace used n () | _ -> ())
+    m.body;
+  (* Names inside f-strings count as used. *)
+  iter_exprs
+    (fun e ->
+      match e with
+      | Str_e { prefix; body } when String.contains prefix 'f' ->
+        String.split_on_char '{' body
+        |> List.iter (fun part ->
+               match String.index_opt part '}' with
+               | Some stop ->
+                 let inner = String.sub part 0 stop in
+                 let root =
+                   match String.index_opt inner '.' with
+                   | Some i -> String.sub inner 0 i
+                   | None -> (
+                     match String.index_opt inner '(' with
+                     | Some i -> String.sub inner 0 i
+                     | None -> inner)
+                 in
+                 Hashtbl.replace used (String.trim root) ()
+               | None -> ())
+      | _ -> ())
+    m.body;
+  used
+
+let branch_count (f : Pyast.func) =
+  let n = ref 0 in
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | If (branches, _) -> n := !n + List.length branches
+      | While _ | For _ -> incr n
+      | _ -> ())
+    f.body;
+  !n
+
+let ast_checks m =
+  let messages = ref [] in
+  let add checker severity line text =
+    messages := { checker; severity; line; text } :: !messages
+  in
+  if not (has_docstring m.body) then
+    add "missing-module-docstring" Convention 1 "missing module docstring";
+  let used = used_names m in
+  (* unused imports *)
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | Import entries ->
+        List.iter
+          (fun (name, alias) ->
+            let binding =
+              match alias with
+              | Some a -> a
+              | None -> (
+                match String.index_opt name '.' with
+                | Some i -> String.sub name 0 i
+                | None -> name)
+            in
+            if not (Hashtbl.mem used binding) then
+              add "unused-import" Warning s.line
+                (Printf.sprintf "unused import %s" name))
+          entries
+      | From_import (_, entries) ->
+        List.iter
+          (fun (name, alias) ->
+            if name <> "*" then
+              let binding = Option.value alias ~default:name in
+              if not (Hashtbl.mem used binding) then
+                add "unused-import" Warning s.line
+                  (Printf.sprintf "unused import %s" name))
+          entries
+      | _ -> ())
+    m.body;
+  (* per-function checks *)
+  List.iter
+    (fun (f : Pyast.func) ->
+      let line =
+        match f.body with s :: _ -> s.line | [] -> 1
+      in
+      if not (has_docstring f.body) then
+        add "missing-function-docstring" Convention line
+          (Printf.sprintf "function %s has no docstring" f.name);
+      if not (snake_case_ok f.name) then
+        add "invalid-name" Convention line
+          (Printf.sprintf "function name %s is not snake_case" f.name);
+      if List.length f.params > 5 then
+        add "too-many-arguments" Refactor line
+          (Printf.sprintf "%s takes %d arguments" f.name (List.length f.params));
+      if branch_count f > 12 then
+        add "too-many-branches" Refactor line
+          (Printf.sprintf "%s has too many branches" f.name);
+      List.iter
+        (fun p ->
+          match p.p_default with
+          | Some (List_e _ | Dict_e _ | Set_e _) ->
+            add "dangerous-default-value" Warning line
+              (Printf.sprintf "mutable default for %s" p.p_name)
+          | Some _ | None -> ())
+        f.params)
+    (functions_of m);
+  (* statement-level checks *)
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | Try { handlers; _ } ->
+        List.iter
+          (fun h ->
+            match h.exn_type with
+            | None ->
+              add "bare-except" Warning s.line "except clause without a type"
+            | Some (Name "Exception") | Some (Name "BaseException") ->
+              add "broad-except" Warning s.line "catching too general an exception"
+            | Some _ -> ())
+          handlers
+      | _ -> ())
+    m.body;
+  (* expression-level checks *)
+  iter_exprs
+    (fun e ->
+      match e with
+      | Str_e { prefix; body } when String.contains prefix 'f' ->
+        if not (String.contains body '{') then
+          add "f-string-without-interpolation" Warning 1
+            "f-string has no interpolated values"
+      | Compare (_, cmps) ->
+        if List.exists (fun (op, rhs) -> op = "==" && rhs = Bool_e true) cmps
+        then add "comparison-with-true" Convention 1 "comparison to True"
+      | Call (Name "eval", _) -> add "eval-used" Warning 1 "eval used"
+      | _ -> ())
+    m.body;
+  !messages
+
+let weight = function
+  | Convention -> 1.0
+  | Refactor -> 1.0
+  | Warning -> 1.0
+  | Error -> 5.0
+
+let check ?(disable = []) src =
+  match Pyast.parse src with
+  | Error { message; line; _ } ->
+    { score = 0.0;
+      messages = [ { checker = "syntax-error"; severity = Error; line; text = message } ];
+      statements = 0 }
+  | Ok m ->
+    let messages =
+      List.filter
+        (fun msg -> not (List.mem msg.checker disable))
+        (text_checks src @ ast_checks m)
+    in
+    let statements = max 1 (count_statements m) in
+    let penalty =
+      List.fold_left (fun acc msg -> acc +. weight msg.severity) 0.0 messages
+    in
+    let score = 10.0 -. (penalty /. float_of_int statements *. 10.0) in
+    let score = if score < 0.0 then 0.0 else score in
+    { score; messages; statements }
+
+let score ?disable src = (check ?disable src).score

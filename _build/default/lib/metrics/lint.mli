@@ -1,0 +1,37 @@
+(** A Pylint-like code-quality scorer.
+
+    Used by the patch-quality experiment (§III-C): the paper runs Pylint
+    over patched code and the secure ground truth, then compares score
+    distributions with a Wilcoxon test.  The scorer applies a set of
+    checkers and Pylint's scoring formula
+    [10 - (5*error + warning + refactor + convention) / statements * 10],
+    clamped to [0, 10]. *)
+
+type severity = Convention | Refactor | Warning | Error
+
+type message = {
+  checker : string;  (** e.g. ["line-too-long"] *)
+  severity : severity;
+  line : int;
+  text : string;
+}
+
+type report = { score : float; messages : message list; statements : int }
+
+val check : ?disable:string list -> string -> report
+(** Lints one module.  A file that fails to parse scores 0 with a single
+    [syntax-error] message.
+
+    Checkers implemented: [line-too-long] (>100 chars),
+    [trailing-whitespace], [missing-module-docstring],
+    [missing-function-docstring], [invalid-name] (function names not
+    snake_case), [unused-import], [bare-except], [broad-except]
+    ([except Exception]), [dangerous-default-value] (mutable default
+    arguments), [f-string-without-interpolation], [too-many-branches]
+    (>12), [too-many-arguments] (>5), [comparison-with-true] and
+    [eval-used]. *)
+
+val score : ?disable:string list -> string -> float
+(** Shorthand for [(check src).score].  [disable] drops the named
+    checkers before scoring (the evaluation disables the docstring
+    conventions, as a typical Pylint deployment does). *)

@@ -1,0 +1,80 @@
+type halstead = {
+  distinct_operators : int;
+  distinct_operands : int;
+  total_operators : int;
+  total_operands : int;
+  vocabulary : int;
+  length : int;
+  volume : float;
+  difficulty : float;
+  effort : float;
+}
+
+let log2 x = log x /. log 2.0
+
+let halstead source =
+  match Pylex.tokenize source with
+  | Error { Pylex.message; _ } -> Error message
+  | Ok tokens ->
+    let operators = Hashtbl.create 32 and operands = Hashtbl.create 64 in
+    let n1t = ref 0 and n2t = ref 0 in
+    let operator key =
+      incr n1t;
+      Hashtbl.replace operators key ()
+    in
+    let operand key =
+      incr n2t;
+      Hashtbl.replace operands key ()
+    in
+    List.iter
+      (fun (t : Pylex.token) ->
+        match t.Pylex.kind with
+        | Pylex.Keyword k -> operator ("kw:" ^ k)
+        | Pylex.Op o -> operator ("op:" ^ o)
+        | Pylex.Name n -> operand ("name:" ^ n)
+        | Pylex.Int_lit v | Pylex.Float_lit v | Pylex.Imag_lit v ->
+          operand ("num:" ^ v)
+        | Pylex.Str { Pylex.body; _ } -> operand ("str:" ^ body)
+        | Pylex.Comment _ | Pylex.Newline | Pylex.Nl | Pylex.Indent
+        | Pylex.Dedent | Pylex.Eof -> ())
+      tokens;
+    let n1 = Hashtbl.length operators and n2 = Hashtbl.length operands in
+    let vocabulary = n1 + n2 and length = !n1t + !n2t in
+    let volume =
+      if vocabulary = 0 then 0.0
+      else float_of_int length *. log2 (float_of_int vocabulary)
+    in
+    let difficulty =
+      if n2 = 0 then 0.0
+      else float_of_int n1 /. 2.0 *. (float_of_int !n2t /. float_of_int n2)
+    in
+    Ok
+      {
+        distinct_operators = n1;
+        distinct_operands = n2;
+        total_operators = !n1t;
+        total_operands = !n2t;
+        vocabulary;
+        length;
+        volume;
+        difficulty;
+        effort = difficulty *. volume;
+      }
+
+let maintainability_index source =
+  match (halstead source, Complexity.of_source source) with
+  | Ok h, Some summary ->
+    let sloc = max 1 (Pylex.significant_line_count source) in
+    let total_cc =
+      summary.Complexity.module_level
+      + List.fold_left (fun acc (_, cc) -> acc + cc) 0 summary.Complexity.per_function
+    in
+    let v = max 1.0 h.volume in
+    let raw =
+      171.0
+      -. (5.2 *. log v)
+      -. (0.23 *. float_of_int total_cc)
+      -. (16.2 *. log (float_of_int sloc))
+    in
+    Some (Float.max 0.0 (Float.min 100.0 (raw *. 100.0 /. 171.0)))
+  | (Error _ | Ok _), _ -> None

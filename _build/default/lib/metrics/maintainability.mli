@@ -1,0 +1,31 @@
+(** Halstead complexity measures and the maintainability index.
+
+    The paper's abstract claims the patches "preserve code quality with
+    minimal impact on complexity, ensuring long-term code
+    maintainability"; radon quantifies that with Halstead volume and the
+    maintainability index, reproduced here over the {!Pylex} token
+    stream and {!Complexity} measurements. *)
+
+type halstead = {
+  distinct_operators : int;  (** n1 *)
+  distinct_operands : int;  (** n2 *)
+  total_operators : int;  (** N1 *)
+  total_operands : int;  (** N2 *)
+  vocabulary : int;  (** n1 + n2 *)
+  length : int;  (** N1 + N2 *)
+  volume : float;  (** length * log2 vocabulary *)
+  difficulty : float;  (** n1/2 * N2/n2 *)
+  effort : float;  (** difficulty * volume *)
+}
+
+val halstead : string -> (halstead, string) result
+(** Measures one module.  Operators are keywords and operator/delimiter
+    tokens; operands are identifiers and literals, as radon counts them.
+    Fails on lexical errors. *)
+
+val maintainability_index : string -> float option
+(** The radon/Visual-Studio maintainability index, normalized to
+    [0, 100]: [max 0 (100 * (171 - 5.2 ln V - 0.23 CC - 16.2 ln SLOC) / 171)]
+    with V the Halstead volume, CC the total cyclomatic complexity and
+    SLOC the count of code-bearing lines.  [None] when the source does
+    not parse. *)

@@ -1,0 +1,178 @@
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+let quartiles xs = (percentile xs 25.0, median xs, percentile xs 75.0)
+
+let iqr xs =
+  let q1, _, q3 = quartiles xs in
+  q3 -. q1
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+  iqr : float;
+}
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty list";
+  let q1, med, q3 = quartiles xs in
+  {
+    n = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = List.fold_left min infinity xs;
+    q1;
+    median = med;
+    q3;
+    max = List.fold_left max neg_infinity xs;
+    iqr = q3 -. q1;
+  }
+
+(* --- Wilcoxon rank-sum -------------------------------------------------- *)
+
+type ranksum = { u : float; z : float; p_value : float }
+
+(* Complementary error function, Abramowitz & Stegun 7.1.26 via the
+   exponential approximation (max abs error ~1.2e-7) — plenty for
+   significance testing. *)
+let erfc x =
+  let z = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.5 *. z)) in
+  let poly =
+    -1.26551223
+    +. t *. (1.00002368
+    +. t *. (0.37409196
+    +. t *. (0.09678418
+    +. t *. (-0.18628806
+    +. t *. (0.27886807
+    +. t *. (-1.13520398
+    +. t *. (1.48851587
+    +. t *. (-0.82215223
+    +. t *. 0.17087277))))))))
+  in
+  let ans = t *. exp ((-.z *. z) +. poly) in
+  if x >= 0.0 then ans else 2.0 -. ans
+
+let normal_sf z = 0.5 *. erfc (z /. sqrt 2.0)
+
+(* Midranks with tie bookkeeping.  Returns the rank sum of the first
+   sample and the tie-correction term sum(t^3 - t). *)
+let rank_first_sample xs ys =
+  let tagged =
+    List.map (fun x -> (x, `X)) xs @ List.map (fun y -> (y, `Y)) ys
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) tagged in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let rank_sum_x = ref 0.0 in
+  let tie_term = ref 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n && fst arr.(!j) = fst arr.(!i) do
+      incr j
+    done;
+    (* positions !i .. !j-1 are tied; midrank is the average of their
+       1-based ranks *)
+    let t = !j - !i in
+    let midrank = float_of_int (!i + 1 + !j) /. 2.0 in
+    for k = !i to !j - 1 do
+      match snd arr.(k) with
+      | `X -> rank_sum_x := !rank_sum_x +. midrank
+      | `Y -> ()
+    done;
+    if t > 1 then
+      tie_term := !tie_term +. float_of_int ((t * t * t) - t);
+    i := !j
+  done;
+  (!rank_sum_x, !tie_term)
+
+let rank_sum xs ys =
+  if xs = [] || ys = [] then invalid_arg "Stats.rank_sum: empty sample";
+  let n1 = float_of_int (List.length xs) in
+  let n2 = float_of_int (List.length ys) in
+  let r1, tie_term = rank_first_sample xs ys in
+  let u1 = r1 -. (n1 *. (n1 +. 1.0) /. 2.0) in
+  let mu = n1 *. n2 /. 2.0 in
+  let n = n1 +. n2 in
+  let sigma2 =
+    n1 *. n2 /. 12.0 *. (n +. 1.0 -. (tie_term /. (n *. (n -. 1.0))))
+  in
+  let sigma = sqrt (max sigma2 0.0) in
+  if sigma = 0.0 then { u = u1; z = 0.0; p_value = 1.0 }
+  else begin
+    (* continuity correction *)
+    let diff = u1 -. mu in
+    let corrected =
+      if diff > 0.0 then diff -. 0.5 else if diff < 0.0 then diff +. 0.5 else 0.0
+    in
+    let z = corrected /. sigma in
+    let p = 2.0 *. normal_sf (Float.abs z) in
+    { u = u1; z; p_value = min 1.0 p }
+  end
+
+let significantly_different ?(alpha = 0.05) xs ys =
+  (rank_sum xs ys).p_value < alpha
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let ascii_boxplot ~label s ~width ~lo ~hi =
+  let scale v =
+    let frac = (v -. lo) /. (hi -. lo) in
+    let frac = if frac < 0.0 then 0.0 else if frac > 1.0 then 1.0 else frac in
+    int_of_float (frac *. float_of_int (width - 1))
+  in
+  let line = Bytes.make width ' ' in
+  let put i c = if i >= 0 && i < width then Bytes.set line i c in
+  let imin = scale s.min and imax = scale s.max in
+  let iq1 = scale s.q1 and iq3 = scale s.q3 and imed = scale s.median in
+  for i = imin to imax do
+    put i '-'
+  done;
+  for i = iq1 to iq3 do
+    put i '='
+  done;
+  put imin '|';
+  put imax '|';
+  put imed '#';
+  Printf.sprintf "%-18s %s  (mean %.2f, IQR %.2f)" label
+    (Bytes.to_string line) s.mean s.iqr

@@ -1,0 +1,60 @@
+(** Descriptive statistics and the Wilcoxon rank-sum test.
+
+    Stands in for [scipy.stats.ranksums] and the numpy descriptive
+    statistics the paper uses for Fig. 3 (mean, median, quartiles, IQR)
+    and the patch-quality comparison (§III-C). *)
+
+(** {1 Descriptive statistics} *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    closest ranks (numpy's default).  @raise Invalid_argument on an empty
+    list or out-of-range [p]. *)
+
+val median : float list -> float
+val quartiles : float list -> float * float * float
+(** (Q1, median, Q3). *)
+
+val iqr : float list -> float
+(** Interquartile range Q3 - Q1. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+  iqr : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+(** {1 Wilcoxon rank-sum (Mann-Whitney U)} *)
+
+type ranksum = {
+  u : float;  (** Mann-Whitney U statistic of the first sample *)
+  z : float;  (** normal approximation with tie correction *)
+  p_value : float;  (** two-sided *)
+}
+
+val rank_sum : float list -> float list -> ranksum
+(** [rank_sum xs ys] tests whether the two samples come from the same
+    distribution.  Uses the normal approximation with tie correction —
+    appropriate for the sample sizes here (hundreds of files).
+    @raise Invalid_argument when either sample is empty. *)
+
+val significantly_different : ?alpha:float -> float list -> float list -> bool
+(** [p < alpha] (default 0.05). *)
+
+(** {1 Histogram rendering} *)
+
+val ascii_boxplot : label:string -> summary -> width:int -> lo:float -> hi:float -> string
+(** One-line box-and-whisker rendering used by the Fig. 3 bench output. *)

@@ -1,0 +1,1 @@
+lib/patchitpy/catalog.mli: Owasp Rule

@@ -1,0 +1,1 @@
+lib/patchitpy/catalog_access.ml: Option Printf Rule Rx String

@@ -1,0 +1,1 @@
+lib/patchitpy/catalog_disclosure.ml: Rule Rx String

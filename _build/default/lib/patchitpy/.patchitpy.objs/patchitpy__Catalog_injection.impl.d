@@ -1,0 +1,1 @@
+lib/patchitpy/catalog_injection.ml: List Option Printf Rule Rx String

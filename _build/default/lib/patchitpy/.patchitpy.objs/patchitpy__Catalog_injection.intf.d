@@ -1,0 +1,1 @@
+lib/patchitpy/catalog_injection.mli: Rule

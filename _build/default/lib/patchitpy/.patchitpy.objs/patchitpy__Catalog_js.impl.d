@@ -1,0 +1,1 @@
+lib/patchitpy/catalog_js.ml: Option Printf Rule Rx String

@@ -1,0 +1,1 @@
+lib/patchitpy/catalog_misconfig.mli: Rule

@@ -1,0 +1,1 @@
+lib/patchitpy/cwe.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/patchitpy/derive.ml: Array Buffer List Rx Standardize String Textdiff

@@ -1,0 +1,1 @@
+lib/patchitpy/engine.ml: Catalog Hashtbl List Rule Rx String

@@ -1,0 +1,1 @@
+lib/patchitpy/engine.mli: Rule Rx

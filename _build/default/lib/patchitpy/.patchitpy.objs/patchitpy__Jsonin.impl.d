@@ -1,0 +1,1 @@
+lib/patchitpy/jsonin.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/patchitpy/jsonout.ml: Buffer Catalog Char Cwe Engine List Owasp Patcher Printf Rule String

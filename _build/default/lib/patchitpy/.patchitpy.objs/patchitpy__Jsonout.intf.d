@@ -1,0 +1,1 @@
+lib/patchitpy/jsonout.mli: Engine Patcher Rule

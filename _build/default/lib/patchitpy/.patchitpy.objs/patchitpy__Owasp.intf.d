@@ -1,0 +1,1 @@
+lib/patchitpy/owasp.mli:

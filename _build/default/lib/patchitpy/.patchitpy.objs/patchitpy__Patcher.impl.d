@@ -1,0 +1,1 @@
+lib/patchitpy/patcher.ml: Array Engine List Option Rule Rx String

@@ -1,0 +1,1 @@
+lib/patchitpy/patcher.mli: Engine Rule

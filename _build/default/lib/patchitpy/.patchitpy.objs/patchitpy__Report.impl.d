@@ -1,0 +1,1 @@
+lib/patchitpy/report.ml: Array Buffer Cwe Engine List Owasp Patcher Printf Rule Rx String Textdiff

@@ -1,0 +1,1 @@
+lib/patchitpy/report.mli: Engine Patcher Rule

@@ -1,0 +1,1 @@
+lib/patchitpy/rule.ml: Option Owasp Rx

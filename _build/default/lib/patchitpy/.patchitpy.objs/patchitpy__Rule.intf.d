@@ -1,0 +1,1 @@
+lib/patchitpy/rule.mli: Owasp Rx

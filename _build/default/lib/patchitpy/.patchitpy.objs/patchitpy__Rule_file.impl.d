@@ -1,0 +1,1 @@
+lib/patchitpy/rule_file.ml: Float Fun Jsonin List Option Printf Result Rule Rx

@@ -1,0 +1,1 @@
+lib/patchitpy/rule_file.mli: Rule

@@ -1,0 +1,36 @@
+let all =
+  Catalog_injection.rules @ Catalog_crypto.rules @ Catalog_misconfig.rules
+  @ Catalog_access.rules @ Catalog_integrity.rules @ Catalog_disclosure.rules
+
+let () =
+  (* Catalog sanity: ids unique.  Violations are programming errors. *)
+  let seen = Hashtbl.create 128 in
+  List.iter
+    (fun (r : Rule.t) ->
+      if Hashtbl.mem seen r.Rule.id then
+        invalid_arg (Printf.sprintf "duplicate rule id %s" r.Rule.id);
+      Hashtbl.replace seen r.Rule.id ())
+    all
+
+let count = List.length all
+
+let find id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) all
+
+let by_owasp cat = List.filter (fun r -> Rule.owasp r = Some cat) all
+
+let by_cwe cwe = List.filter (fun (r : Rule.t) -> r.Rule.cwe = cwe) all
+
+let covered_cwes =
+  List.sort_uniq compare (List.map (fun (r : Rule.t) -> r.Rule.cwe) all)
+
+let fixable_count = List.length (List.filter Rule.fixable all)
+
+let javascript = Catalog_js.rules
+
+let () =
+  (* id namespaces must not collide *)
+  List.iter
+    (fun (r : Rule.t) ->
+      if find r.Rule.id <> None then
+        invalid_arg (Printf.sprintf "JS rule id %s collides" r.Rule.id))
+    javascript

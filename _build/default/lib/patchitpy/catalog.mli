@@ -1,0 +1,29 @@
+(** The assembled rule set.
+
+    The paper's tool executes 85 detection rules, each carrying its
+    remediation; this module concatenates the per-category catalogs and
+    offers lookups.  The catalog is validated at load time: ids must be
+    unique and patterns compiled (compilation happens in {!Rule.make}). *)
+
+val all : Rule.t list
+(** All rules, in id order.  Length is 85, as in the paper (§II-A). *)
+
+val count : int
+
+val find : string -> Rule.t option
+(** Lookup by rule id, e.g. ["PIT-045"]. *)
+
+val by_owasp : Owasp.category -> Rule.t list
+
+val by_cwe : int -> Rule.t list
+
+val covered_cwes : int list
+(** Distinct CWEs the rules detect, ascending. *)
+
+val fixable_count : int
+(** Number of rules that carry an automatic fix. *)
+
+val javascript : Rule.t list
+(** The JavaScript rule pack — the paper's "support other programming
+    languages" future work.  Not part of {!all} (the Python tool runs
+    exactly 85 rules); pass it to [Engine.scan ~rules]. *)

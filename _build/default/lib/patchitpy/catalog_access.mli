@@ -1,0 +1,3 @@
+(** Rule catalog: see {!Catalog} for the assembled rule set. *)
+
+val rules : Rule.t list

@@ -1,0 +1,186 @@
+(* Injection rules (OWASP A03): OS command, code, SQL, XSS, LDAP, XPath,
+   template and header injection.  PIT-001 .. PIT-020. *)
+
+let r = Rule.make
+
+(* Rewrites every "{ident}" interpolation in the matched f-string so the
+   value is escaped before rendering (CWE-79). *)
+let escape_interpolations m =
+  let interp = Rx.compile {|\{\s*([A-Za-z_][A-Za-z0-9_.()\[\]'"]*)\s*\}|} in
+  Rx.replace_f interp
+    ~f:(fun im ->
+      match Rx.group im 1 with
+      | Some inner when not (String.length inner > 6
+                             && String.sub inner 0 7 = "escape(") ->
+        "{escape(" ^ inner ^ ")}"
+      | Some _ | None -> Rx.matched im)
+    (Rx.matched m)
+
+(* Turns `.execute("... %s ..." % args)` into a parameterized query:
+   placeholders become '?', args become a tuple second argument. *)
+let parameterize_percent m =
+  let query = Option.value (Rx.group m 1) ~default:"" in
+  let args = String.trim (Option.value (Rx.group m 2) ~default:"") in
+  let qmarks =
+    Rx.replace (Rx.compile {|'?%s'?|}) ~template:"?" query
+  in
+  let args_tuple =
+    if String.length args > 0 && args.[0] = '(' then args else "(" ^ args ^ ",)"
+  in
+  Printf.sprintf ".execute(%s, %s)" qmarks args_tuple
+
+(* Turns `.execute(f"... {x} ...")` into `.execute("... ? ...", (x,))`. *)
+let parameterize_fstring m =
+  let body = Option.value (Rx.group m 1) ~default:"" in
+  let interp = Rx.compile {|\{\s*([^}]+?)\s*\}|} in
+  let args = ref [] in
+  let qmarks =
+    Rx.replace_f interp
+      ~f:(fun im ->
+        (match Rx.group im 1 with
+        | Some inner -> args := inner :: !args
+        | None -> ());
+        "?")
+      body
+  in
+  (* A quoted placeholder like '...{x}...' keeps its quotes: drop them. *)
+  let qmarks = Rx.replace (Rx.compile {|'\?'|}) ~template:"?" qmarks in
+  let tuple =
+    match List.rev !args with
+    | [] -> "()"
+    | [ a ] -> Printf.sprintf "(%s,)" a
+    | more -> "(" ^ String.concat ", " more ^ ")"
+  in
+  Printf.sprintf ".execute(\"%s\", %s)" qmarks tuple
+
+let rules =
+  [
+    r ~id:"PIT-001" ~title:"os.system() enables shell command injection"
+      ~cwe:78 ~severity:Rule.High
+      ~pattern:{|\bos\.system\(([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "subprocess.run(shlex.split($1))")
+      ~imports:[ "import subprocess"; "import shlex" ]
+      ~note:
+        "Run the command without a shell: subprocess.run(shlex.split(cmd))."
+      ();
+    r ~id:"PIT-002" ~title:"os.popen() enables shell command injection"
+      ~cwe:78 ~severity:Rule.High
+      ~pattern:{|\bos\.popen\(([^)\n]*)\)|}
+      ~fix:
+        (Rule.Replace_template
+           "subprocess.run(shlex.split($1), capture_output=True, text=True).stdout")
+      ~imports:[ "import subprocess"; "import shlex" ]
+      ~note:"Capture output through subprocess.run without a shell." ();
+    r ~id:"PIT-003" ~title:"subprocess invoked with shell=True"
+      ~cwe:78 ~severity:Rule.High
+      ~pattern:
+        {|\bsubprocess\.(call|run|Popen|check_output|check_call)\(([^)\n]*)shell\s*=\s*True([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "subprocess.$1($2shell=False$3)")
+      ~note:"Pass an argument list and shell=False." ();
+    r ~id:"PIT-004" ~title:"os.exec*/os.spawn* family with dynamic arguments"
+      ~cwe:78 ~severity:Rule.Medium
+      ~pattern:{|\bos\.(?:execl|execle|execlp|execv|execve|execvp|spawnl|spawnv)\(|}
+      ~note:
+        "Validate the executable path and arguments; prefer subprocess with a \
+         fixed argv." ();
+    r ~id:"PIT-005" ~title:"eval() on dynamic input is code injection"
+      ~cwe:95 ~severity:Rule.Critical
+      ~pattern:{|\beval\(([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "ast.literal_eval($1)")
+      ~imports:[ "import ast" ]
+      ~note:"ast.literal_eval only evaluates literal structures." ();
+    r ~id:"PIT-006" ~title:"exec() on dynamic input is code injection"
+      ~cwe:95 ~severity:Rule.Critical
+      ~pattern:{|\bexec\(|}
+      ~note:
+        "No drop-in safe replacement exists; redesign to avoid executing \
+         dynamically assembled code." ();
+    r ~id:"PIT-007" ~title:"SQL built with %-formatting"
+      ~cwe:89 ~severity:Rule.Critical
+      ~pattern:{|\.execute\(\s*(f?"[^"\n]*%s[^"\n]*")\s*%\s*([^)\n]+)\)|}
+      ~fix:(Rule.Rewrite parameterize_percent)
+      ~note:"Use parameterized queries: execute(sql, params)." ();
+    r ~id:"PIT-008" ~title:"SQL built with an f-string"
+      ~cwe:89 ~severity:Rule.Critical
+      ~pattern:{|\.execute\(\s*f"([^"\n]*\{[^"\n]+\}[^"\n]*)"\s*\)|}
+      ~fix:(Rule.Rewrite parameterize_fstring)
+      ~note:"Use parameterized queries: execute(sql, params)." ();
+    r ~id:"PIT-009" ~title:"SQL built with string concatenation"
+      ~cwe:89 ~severity:Rule.Critical
+      ~pattern:{|\.execute\(\s*"([^"\n]*)"\s*\+\s*([A-Za-z_][\w.\[\]'"()]*)\s*\)|}
+      ~fix:(Rule.Rewrite (fun m ->
+          let query = Option.value (Rx.group m 1) ~default:"" in
+          let arg = Option.value (Rx.group m 2) ~default:"" in
+          (* Drop a trailing opening quote left in the literal ("... = '"). *)
+          let query = Rx.replace (Rx.compile {|'\s*$|}) ~template:"" query in
+          Printf.sprintf ".execute(\"%s?\", (%s,))" query arg))
+      ~note:"Use parameterized queries: execute(sql, params)." ();
+    r ~id:"PIT-010" ~title:"SQL built with str.format()"
+      ~cwe:89 ~severity:Rule.Critical
+      ~pattern:{|\.execute\(\s*"([^"\n]*)\{\}([^"\n]*)"\s*\.format\(([^)\n]+)\)\s*\)|}
+      ~fix:(Rule.Replace_template {|.execute("$1?$2", ($3,))|})
+      ~note:"Use parameterized queries: execute(sql, params)." ();
+    r ~id:"PIT-011" ~title:"Unescaped interpolation returned as HTML"
+      ~cwe:79 ~severity:Rule.High
+      ~pattern:{|return\s+f"[^"\n]*\{[^}"\n]+\}[^"\n]*"|}
+      ~suppress:{|escape\(|}
+      ~fix:(Rule.Rewrite escape_interpolations)
+      ~imports:[ "from markupsafe import escape" ]
+      ~note:"Escape user-controlled values before rendering them as HTML." ();
+    r ~id:"PIT-012" ~title:"Unescaped interpolation in make_response()"
+      ~cwe:79 ~severity:Rule.High
+      ~pattern:{|make_response\(\s*f"[^"\n]*\{[^}"\n]+\}[^"\n]*"|}
+      ~suppress:{|escape\(|}
+      ~fix:(Rule.Rewrite escape_interpolations)
+      ~imports:[ "from markupsafe import escape" ]
+      ~note:"Escape user-controlled values before rendering them as HTML." ();
+    r ~id:"PIT-013" ~title:"HTML assembled by concatenating user input"
+      ~cwe:79 ~severity:Rule.High
+      ~pattern:{|return\s+("<[^"\n]*")\s*\+\s*([A-Za-z_][\w.\[\]'"()]*)|}
+      ~suppress:{|escape\(|}
+      ~fix:(Rule.Replace_template "return $1 + escape($2)")
+      ~imports:[ "from markupsafe import escape" ]
+      ~note:"Escape user-controlled values before rendering them as HTML." ();
+    r ~id:"PIT-014" ~title:"render_template_string with dynamic template"
+      ~cwe:79 ~severity:Rule.High
+      ~pattern:{|render_template_string\(\s*(?:f"|[^)\n]*\+|[^)\n]*%\s)|}
+      ~note:
+        "Never build templates from user input; render static templates and \
+         pass values as context." ();
+    r ~id:"PIT-015" ~title:"Jinja2 environment with autoescape disabled"
+      ~cwe:94 ~severity:Rule.High
+      ~pattern:{|Environment\(([^)\n]*)autoescape\s*=\s*False([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "Environment($1autoescape=True$2)")
+      ~note:"Enable autoescape to neutralize markup in template values." ();
+    r ~id:"PIT-016" ~title:"Jinja2 environment without autoescape"
+      ~cwe:94 ~severity:Rule.Medium
+      ~pattern:{|jinja2\.Environment\(([^)\n]*)\)|}
+      ~suppress:{|autoescape\s*=|}
+      ~fix:(Rule.Rewrite (fun m ->
+          match Rx.group m 1 with
+          | Some "" | None -> "jinja2.Environment(autoescape=True)"
+          | Some args -> Printf.sprintf "jinja2.Environment(%s, autoescape=True)" args))
+      ~note:"Autoescape defaults to off in Jinja2; turn it on explicitly." ();
+    r ~id:"PIT-017" ~title:"LDAP filter assembled from dynamic values"
+      ~cwe:90 ~severity:Rule.High
+      ~pattern:{|\.search(?:_s)?\([^)\n]*(?:f"[^"\n]*\{|%\s*\(|%s)|}
+      ~note:
+        "Escape filter values with ldap.filter.escape_filter_chars before \
+         building search filters." ();
+    r ~id:"PIT-018" ~title:"XPath query assembled from dynamic values"
+      ~cwe:643 ~severity:Rule.High
+      ~pattern:{|\.xpath\(\s*(?:f"[^"\n]*\{|"[^"\n]*"\s*(?:%|\+))|}
+      ~note:"Use parameterized XPath variables instead of string building." ();
+    r ~id:"PIT-019" ~title:"Template() constructed from user input (SSTI)"
+      ~cwe:1336 ~severity:Rule.High
+      ~pattern:{|\bTemplate\(\s*(?:f"[^"\n]*\{|[^)\n]*request\.)|}
+      ~note:"Treat template source as code: never derive it from requests." ();
+    r ~id:"PIT-020" ~title:"HTTP header set from raw request data"
+      ~cwe:113 ~severity:Rule.Medium
+      ~pattern:{|\.headers\[([^\]\n]+)\]\s*=\s*(request\.[^\n#]+?)\s*$|}
+      ~suppress:{|\.replace\(|}
+      ~fix:
+        (Rule.Replace_template
+           {|.headers[$1] = $2.replace("\r", "").replace("\n", "")|})
+      ~note:"Strip CR/LF from values placed into response headers." ();
+  ]

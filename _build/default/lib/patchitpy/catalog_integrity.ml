@@ -1,0 +1,51 @@
+(* Software/data-integrity rules (OWASP A08): unsafe deserialization and
+   untrusted code inclusion.  PIT-070 .. PIT-076. *)
+
+let r = Rule.make
+
+let rules =
+  [
+    r ~id:"PIT-070" ~title:"pickle.loads on untrusted bytes executes code"
+      ~cwe:502 ~severity:Rule.Critical
+      ~pattern:{|pickle\.loads\(([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "json.loads($1)")
+      ~imports:[ "import json" ]
+      ~note:
+        "Deserialize untrusted data with a data-only format such as JSON." ();
+    r ~id:"PIT-071" ~title:"pickle.load on untrusted files executes code"
+      ~cwe:502 ~severity:Rule.Critical
+      ~pattern:{|pickle\.load\(([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "json.load($1)")
+      ~imports:[ "import json" ]
+      ~note:
+        "Deserialize untrusted data with a data-only format such as JSON." ();
+    r ~id:"PIT-072" ~title:"marshal deserialization of untrusted data"
+      ~cwe:502 ~severity:Rule.High
+      ~pattern:{|marshal\.loads\(([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "json.loads($1)")
+      ~imports:[ "import json" ]
+      ~note:"marshal is not safe against malicious input; use JSON." ();
+    r ~id:"PIT-073" ~title:"jsonpickle.decode reconstructs arbitrary objects"
+      ~cwe:502 ~severity:Rule.High
+      ~pattern:{|jsonpickle\.decode\(([^)\n]*)\)|}
+      ~fix:(Rule.Replace_template "json.loads($1)")
+      ~imports:[ "import json" ]
+      ~note:"Use plain json for untrusted payloads." ();
+    r ~id:"PIT-074" ~title:"torch.load without weights_only"
+      ~cwe:502 ~severity:Rule.High
+      ~pattern:{|torch\.load\(([^)\n]*)\)|}
+      ~suppress:{|weights_only\s*=\s*True|}
+      ~fix:(Rule.Rewrite (fun m ->
+          match Rx.group m 1 with
+          | Some "" | None -> "torch.load(weights_only=True)"
+          | Some args -> Printf.sprintf "torch.load(%s, weights_only=True)" args))
+      ~note:"torch.load unpickles; restrict it to tensor data." ();
+    r ~id:"PIT-075" ~title:"Downloaded content executed directly"
+      ~cwe:494 ~severity:Rule.Critical
+      ~pattern:{|exec\(\s*(?:urllib|requests)\.|}
+      ~note:"Never execute downloaded code without integrity verification." ();
+    r ~id:"PIT-076" ~title:"Module imported from request data"
+      ~cwe:829 ~severity:Rule.High
+      ~pattern:{|(?:__import__|importlib\.import_module)\(\s*request\.|}
+      ~note:"Import targets must come from a fixed allowlist." ();
+  ]

@@ -1,0 +1,3 @@
+(** JavaScript rule pack: see {!Catalog.javascript}. *)
+
+val rules : Rule.t list

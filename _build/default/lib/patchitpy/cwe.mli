@@ -1,0 +1,15 @@
+(** A registry of the Common Weakness Enumeration entries this project
+    covers (detection rules + corpus scenarios). *)
+
+val name : int -> string
+(** [name 79] is ["Improper Neutralization of Input During Web Page
+    Generation ('Cross-site Scripting')"].  Unknown ids render as
+    ["Unknown CWE"]. *)
+
+val label : int -> string
+(** ["CWE-079"]-style zero-padded label. *)
+
+val known : int list
+(** Every CWE id in the registry, ascending. *)
+
+val is_known : int -> bool

@@ -1,0 +1,76 @@
+type t = {
+  std_v1 : string;
+  std_v2 : string;
+  std_s1 : string;
+  std_s2 : string;
+  lcs_vulnerable : string list;
+  lcs_safe : string list;
+  additions : string list;
+  pattern_sketch : string;
+}
+
+let regex_escape token =
+  let buf = Buffer.create (String.length token * 2) in
+  String.iter
+    (fun c ->
+      (match c with
+      | '.' | '\\' | '(' | ')' | '[' | ']' | '*' | '+' | '?' | '|' | '^' | '$'
+      | '{' | '}' ->
+        Buffer.add_char buf '\\'
+      | _ -> ());
+      Buffer.add_char buf c)
+    token;
+  Buffer.contents buf
+
+let generalize tok =
+  (* var# placeholders generalize to any identifier. *)
+  if String.length tok > 3 && String.sub tok 0 3 = "var"
+     && String.for_all (fun c -> c >= '0' && c <= '9')
+          (String.sub tok 3 (String.length tok - 3))
+  then {|[A-Za-z_][A-Za-z0-9_]*|}
+  else regex_escape tok
+
+(* A detection-regex sketch built from the contiguous common runs of the
+   two token sequences: tokens inside a run are separated by optional
+   whitespace, runs by a permissive lazy gap (the divergent parts of the
+   pair).  This is what turning an LCS into a usable detection rule looks
+   like — the shipped catalog's patterns are curated versions of these. *)
+let sketch toks_a toks_b =
+  let blocks = Textdiff.matching_blocks (Textdiff.create toks_a toks_b) in
+  let render_block (b : Textdiff.block) =
+    Array.sub toks_a b.Textdiff.a_start b.Textdiff.size
+    |> Array.to_list |> List.map generalize |> String.concat {|\s*|}
+  in
+  blocks
+  |> List.filter (fun (b : Textdiff.block) -> b.Textdiff.size > 0)
+  |> List.map render_block
+  |> String.concat {|(?:.|\n)*?|}
+
+let derive ~vulnerable:(v1, v2) ~safe:(s1, s2) =
+  let std s = fst (Standardize.standardize_exn s) in
+  let std_v1 = std v1 and std_v2 = std v2 in
+  let std_s1 = std s1 and std_s2 = std s2 in
+  let toks s = Textdiff.words s in
+  let lcs_v = Textdiff.lcs (toks std_v1) (toks std_v2) in
+  let lcs_s = Textdiff.lcs (toks std_s1) (toks std_s2) in
+  let additions =
+    Textdiff.added_segments ~a:lcs_v ~b:lcs_s
+    |> List.map (fun seg -> String.concat " " (Array.to_list seg))
+  in
+  {
+    std_v1;
+    std_v2;
+    std_s1;
+    std_s2;
+    lcs_vulnerable = Array.to_list lcs_v;
+    lcs_safe = Array.to_list lcs_s;
+    additions;
+    pattern_sketch = sketch (toks std_v1) (toks std_v2);
+  }
+
+let sketch_matches_both t ~vulnerable:(v1, v2) =
+  match Rx.compile_opt t.pattern_sketch with
+  | Error _ -> false
+  | Ok rx ->
+    let std s = fst (Standardize.standardize_exn s) in
+    Rx.matches rx (std v1) && Rx.matches rx (std v2)

@@ -1,0 +1,35 @@
+(** The offline rule-derivation pipeline of §II-A.
+
+    Given a pair of vulnerable samples and their hand-written safe
+    alternatives, the pipeline:
+
+    + standardizes all four snippets ({!Standardize});
+    + extracts the common implementation pattern of each pair with LCS
+      over word tokens (the bold text in the paper's Table I);
+    + diffs the vulnerable pattern against the safe pattern with
+      [SequenceMatcher] opcodes to isolate what the safe version adds
+      (the blue text in Table I);
+    + sketches a detection regex from the vulnerable pattern.
+
+    The shipped catalog was authored from exactly this kind of output. *)
+
+type t = {
+  std_v1 : string;
+  std_v2 : string;
+  std_s1 : string;
+  std_s2 : string;
+  lcs_vulnerable : string list;  (** token sequence LCS(v1, v2) *)
+  lcs_safe : string list;  (** token sequence LCS(s1, s2) *)
+  additions : string list;
+      (** token segments present in the safe pattern but not the
+          vulnerable one, joined per segment *)
+  pattern_sketch : string;  (** an {!Rx}-compatible regex for the
+          vulnerable pattern *)
+}
+
+val derive : vulnerable:string * string -> safe:string * string -> t
+(** @raise Failure when any snippet fails to tokenize. *)
+
+val sketch_matches_both : t -> vulnerable:string * string -> bool
+(** Sanity check: the sketched pattern matches both standardized
+    vulnerable inputs it was derived from. *)

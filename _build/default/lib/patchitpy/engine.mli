@@ -1,0 +1,36 @@
+(** Phase 1: vulnerability detection (static pattern matching).
+
+    Runs every catalog rule over the raw source text.  Because detection
+    is lexical, it works on incomplete fragments that AST-based tools
+    reject — the property the paper leans on for AI-generated code. *)
+
+type finding = {
+  rule : Rule.t;
+  line : int;  (** 1-based line of the match start *)
+  column : int;  (** 0-based column *)
+  offset : int;  (** byte offset of the match start *)
+  stop : int;  (** byte offset one past the match end *)
+  snippet : string;  (** the matched text, single-line-trimmed *)
+  m : Rx.m;  (** the underlying match, used by the patcher *)
+}
+
+val scan : ?rules:Rule.t list -> string -> finding list
+(** All findings, sorted by offset then rule id.  A rule's [suppress]
+    pattern is evaluated over the matched lines plus one line of context
+    on each side; a hit drops the finding (the code is already using the
+    safe variant).  A rule that exhausts its backtracking budget on a
+    pathological input is skipped; the rest of the catalog still runs. *)
+
+val is_vulnerable : ?rules:Rule.t list -> string -> bool
+
+val scan_selection :
+  ?rules:Rule.t list -> string -> first_line:int -> last_line:int -> finding list
+(** Scans only the selected line range (1-based, inclusive) — the VS Code
+    extension's scan-the-selection command.  Finding positions refer to
+    the whole file. *)
+
+val distinct_cwes : finding list -> int list
+(** Ascending CWE ids among the findings. *)
+
+val line_of_offset : string -> int -> int
+(** 1-based line containing the byte offset. *)

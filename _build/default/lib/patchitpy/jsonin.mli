@@ -1,0 +1,26 @@
+(** A small JSON parser (RFC 8259), the input side of {!Jsonout}.
+
+    Self-contained like every other substrate here; it backs the custom
+    rule files ({!Rule_file}) that let users extend the catalog the way
+    Semgrep users write registry rules. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** Parses one JSON document.  Errors carry the byte offset. *)
+
+(** {1 Accessors} *)
+
+val member : string -> value -> value option
+(** Object field lookup; [None] on missing fields or non-objects. *)
+
+val to_string : value -> string option
+val to_number : value -> float option
+val to_list : value -> value list option
+val to_bool : value -> bool option

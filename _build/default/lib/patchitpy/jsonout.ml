@@ -1,0 +1,182 @@
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape_string s ^ "\""
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let finding_json (f : Engine.finding) =
+  let r = f.Engine.rule in
+  obj
+    [
+      ("rule", str r.Rule.id);
+      ("title", str r.Rule.title);
+      ("cwe", string_of_int r.Rule.cwe);
+      ("cweLabel", str (Cwe.label r.Rule.cwe));
+      ( "owasp",
+        match Rule.owasp r with
+        | Some c -> str (Owasp.short c)
+        | None -> "null" );
+      ("severity", str (Rule.severity_to_string r.Rule.severity));
+      ("line", string_of_int f.Engine.line);
+      ("column", string_of_int f.Engine.column);
+      ("snippet", str f.Engine.snippet);
+      ("fixable", if Rule.fixable r then "true" else "false");
+      ("advice", str r.Rule.note);
+    ]
+
+let findings_to_json ~file findings =
+  obj
+    [
+      ("file", str file);
+      ("findings", arr (List.map finding_json findings));
+      ( "summary",
+        obj
+          [
+            ("total", string_of_int (List.length findings));
+            ( "fixable",
+              string_of_int
+                (List.length
+                   (List.filter
+                      (fun (f : Engine.finding) -> Rule.fixable f.Engine.rule)
+                      findings)) );
+            ( "cwes",
+              arr
+                (List.map string_of_int (Engine.distinct_cwes findings)) );
+          ] );
+    ]
+
+let patch_to_json ~file (r : Patcher.result) =
+  obj
+    [
+      ("file", str file);
+      ("changed", if Patcher.changed r then "true" else "false");
+      ("patched", str r.Patcher.patched);
+      ( "edits",
+        arr
+          (List.map
+             (fun (a : Patcher.application) ->
+               obj
+                 [
+                   ("rule", str a.Patcher.rule.Rule.id);
+                   ("line", string_of_int a.Patcher.line);
+                   ("before", str a.Patcher.before);
+                   ("after", str a.Patcher.after);
+                 ])
+             r.Patcher.applications) );
+      ("importsAdded", arr (List.map str r.Patcher.imports_added));
+      ("remaining", arr (List.map finding_json r.Patcher.remaining));
+    ]
+
+(* --- SARIF 2.1.0 ---------------------------------------------------------- *)
+
+let sarif_level (severity : Rule.severity) =
+  match severity with
+  | Rule.Low -> "note"
+  | Rule.Medium -> "warning"
+  | Rule.High | Rule.Critical -> "error"
+
+let sarif_rule (r : Rule.t) =
+  obj
+    [
+      ("id", str r.Rule.id);
+      ("name", str r.Rule.title);
+      ("shortDescription", obj [ ("text", str r.Rule.title) ]);
+      ("fullDescription", obj [ ("text", str r.Rule.note) ]);
+      ( "properties",
+        obj
+          [
+            ("cwe", str (Cwe.label r.Rule.cwe));
+            ( "owasp",
+              match Rule.owasp r with
+              | Some c -> str (Owasp.name c)
+              | None -> "null" );
+            ("fixable", if Rule.fixable r then "true" else "false");
+          ] );
+      ("defaultConfiguration", obj [ ("level", str (sarif_level r.Rule.severity)) ]);
+    ]
+
+let sarif_result file (f : Engine.finding) =
+  obj
+    [
+      ("ruleId", str f.Engine.rule.Rule.id);
+      ("level", str (sarif_level f.Engine.rule.Rule.severity));
+      ( "message",
+        obj
+          [
+            ( "text",
+              str
+                (Printf.sprintf "%s (%s)" f.Engine.rule.Rule.title
+                   (Cwe.label f.Engine.rule.Rule.cwe)) );
+          ] );
+      ( "locations",
+        arr
+          [
+            obj
+              [
+                ( "physicalLocation",
+                  obj
+                    [
+                      ( "artifactLocation",
+                        obj [ ("uri", str file) ] );
+                      ( "region",
+                        obj
+                          [
+                            ("startLine", string_of_int f.Engine.line);
+                            ("startColumn", string_of_int (f.Engine.column + 1));
+                            ("snippet", obj [ ("text", str f.Engine.snippet) ]);
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let to_sarif ?(rules = Catalog.all) scans =
+  let results =
+    List.concat_map
+      (fun (file, findings) -> List.map (sarif_result file) findings)
+      scans
+  in
+  obj
+    [
+      ("version", str "2.1.0");
+      ( "$schema",
+        str "https://json.schemastore.org/sarif-2.1.0.json" );
+      ( "runs",
+        arr
+          [
+            obj
+              [
+                ( "tool",
+                  obj
+                    [
+                      ( "driver",
+                        obj
+                          [
+                            ("name", str "PatchitPy");
+                            ("version", str "1.0.0");
+                            ("informationUri",
+                             str "https://github.com/dessertlab/PatchitPy");
+                            ("rules", arr (List.map sarif_rule rules));
+                          ] );
+                    ] );
+                ("results", arr results);
+              ];
+          ] );
+    ]

@@ -1,0 +1,25 @@
+(** Machine-readable output for IDE integration.
+
+    The paper's VS Code extension consumes the analyzer's output to draw
+    pop-ups and apply TextEdits; this module renders findings and patch
+    results as JSON so any editor plugin can do the same.  The emitter is
+    self-contained (no JSON library in the sealed environment) and
+    escapes per RFC 8259. *)
+
+val escape_string : string -> string
+(** JSON string escaping, without the surrounding quotes. *)
+
+val findings_to_json : file:string -> Engine.finding list -> string
+(** A JSON document: [{"file": ..., "findings": [...], "summary": ...}].
+    Each finding carries rule id, CWE, OWASP category, severity,
+    line/column, the matched snippet, and whether a fix is available. *)
+
+val patch_to_json : file:string -> Patcher.result -> string
+(** A JSON document with the rewritten source, the per-application edits
+    (line, before, after, rule), imports added, and remaining findings. *)
+
+val to_sarif : ?rules:Rule.t list -> (string * Engine.finding list) list -> string
+(** SARIF 2.1.0 output for a set of scanned files — the interchange
+    format CI systems and code-hosting platforms ingest from static
+    analyzers.  [rules] (default the Python catalog) populates the tool
+    driver's rule metadata; results reference rules by id. *)

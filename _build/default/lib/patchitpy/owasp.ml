@@ -1,0 +1,80 @@
+type category =
+  | A01_broken_access_control
+  | A02_cryptographic_failures
+  | A03_injection
+  | A04_insecure_design
+  | A05_security_misconfiguration
+  | A06_vulnerable_components
+  | A07_identification_authentication
+  | A08_software_data_integrity
+  | A09_logging_monitoring_failures
+  | A10_ssrf
+
+let all =
+  [
+    A01_broken_access_control;
+    A02_cryptographic_failures;
+    A03_injection;
+    A04_insecure_design;
+    A05_security_misconfiguration;
+    A06_vulnerable_components;
+    A07_identification_authentication;
+    A08_software_data_integrity;
+    A09_logging_monitoring_failures;
+    A10_ssrf;
+  ]
+
+let name = function
+  | A01_broken_access_control -> "A01:2021 Broken Access Control"
+  | A02_cryptographic_failures -> "A02:2021 Cryptographic Failures"
+  | A03_injection -> "A03:2021 Injection"
+  | A04_insecure_design -> "A04:2021 Insecure Design"
+  | A05_security_misconfiguration -> "A05:2021 Security Misconfiguration"
+  | A06_vulnerable_components -> "A06:2021 Vulnerable and Outdated Components"
+  | A07_identification_authentication ->
+    "A07:2021 Identification and Authentication Failures"
+  | A08_software_data_integrity -> "A08:2021 Software and Data Integrity Failures"
+  | A09_logging_monitoring_failures ->
+    "A09:2021 Security Logging and Monitoring Failures"
+  | A10_ssrf -> "A10:2021 Server-Side Request Forgery"
+
+let short = function
+  | A01_broken_access_control -> "A01"
+  | A02_cryptographic_failures -> "A02"
+  | A03_injection -> "A03"
+  | A04_insecure_design -> "A04"
+  | A05_security_misconfiguration -> "A05"
+  | A06_vulnerable_components -> "A06"
+  | A07_identification_authentication -> "A07"
+  | A08_software_data_integrity -> "A08"
+  | A09_logging_monitoring_failures -> "A09"
+  | A10_ssrf -> "A10"
+
+(* CWE -> OWASP Top 10:2021 per MITRE view 1344, restricted to the CWEs
+   this project's rules and corpus cover. *)
+let of_cwe = function
+  | 22 | 23 | 35 | 59 | 276 | 284 | 285 | 352 | 377 | 378 | 379 | 434 | 601
+  | 639 | 668 | 706 | 732 | 862 | 863 | 915 ->
+    Some A01_broken_access_control
+  | 259 | 261 | 295 | 310 | 319 | 321 | 326 | 327 | 328 | 330 | 331 | 335
+  | 338 | 340 | 347 | 759 | 760 | 798 | 916 ->
+    Some A02_cryptographic_failures
+  | 20 | 74 | 75 | 77 | 78 | 79 | 80 | 83 | 87 | 88 | 89 | 90 | 91 | 93 | 94
+  | 95 | 96 | 97 | 98 | 99 | 113 | 116 | 643 | 644 | 652 | 917 | 1336 ->
+    Some A03_injection
+  | 209 | 256 | 257 | 266 | 269 | 280 | 311 | 312 | 313 | 316 | 400 | 419
+  | 430 | 451 | 472 | 703 | 501 | 522 | 525 | 539 | 579 | 598 | 602 | 642
+  | 646 | 650 | 653 | 656 | 657 | 799 | 807 | 840 | 841 | 927 | 1021 | 1173 ->
+    Some A04_insecure_design
+  | 2 | 11 | 13 | 15 | 16 | 215 | 605 | 260 | 315 | 489 | 520 | 526 | 537 | 541 | 547
+  | 611 | 614 | 756 | 776 | 942 | 1004 | 1032 | 1174 ->
+    Some A05_security_misconfiguration
+  | 937 | 1035 | 1104 -> Some A06_vulnerable_components
+  | 255 | 287 | 288 | 290 | 294 | 297 | 300 | 302 | 304 | 306 | 307 | 346
+  | 384 | 521 | 613 | 620 | 640 | 940 | 1216 ->
+    Some A07_identification_authentication
+  | 345 | 353 | 426 | 494 | 502 | 565 | 784 | 829 | 830 | 913 ->
+    Some A08_software_data_integrity
+  | 117 | 223 | 532 | 778 -> Some A09_logging_monitoring_failures
+  | 918 -> Some A10_ssrf
+  | _ -> None

@@ -1,0 +1,30 @@
+(** OWASP Top 10:2021 categories.
+
+    The paper organizes its vulnerable-sample collection and the derived
+    rules by OWASP Top 10:2021 category, mapped from CWE labels
+    (MITRE view 1344). *)
+
+type category =
+  | A01_broken_access_control
+  | A02_cryptographic_failures
+  | A03_injection
+  | A04_insecure_design
+  | A05_security_misconfiguration
+  | A06_vulnerable_components
+  | A07_identification_authentication
+  | A08_software_data_integrity
+  | A09_logging_monitoring_failures
+  | A10_ssrf
+
+val all : category list
+(** The ten categories, in order. *)
+
+val name : category -> string
+(** Human-readable title, e.g. ["A03:2021 Injection"]. *)
+
+val short : category -> string
+(** Short tag, e.g. ["A03"]. *)
+
+val of_cwe : int -> category option
+(** The Top-10 category a CWE maps to under view 1344 (for the CWEs this
+    project covers); [None] for unmapped CWEs. *)

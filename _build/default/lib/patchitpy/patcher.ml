@@ -1,0 +1,185 @@
+type application = { rule : Rule.t; line : int; before : string; after : string }
+
+type result = {
+  original : string;
+  patched : string;
+  applications : application list;
+  imports_added : string list;
+  remaining : Engine.finding list;
+}
+
+let render_fix (rule : Rule.t) (m : Rx.m) =
+  match rule.Rule.fix with
+  | Rule.No_fix -> None
+  | Rule.Replace_template template -> Some (Rx.expand_template m template)
+  | Rule.Rewrite f -> Some (f m)
+
+(* Applies one round of fixes: every fixable, non-overlapping finding is
+   replaced, working right-to-left so offsets stay valid. *)
+let apply_round source findings =
+  let fixable =
+    List.filter (fun (f : Engine.finding) -> Rule.fixable f.Engine.rule) findings
+  in
+  (* Keep the first of any overlapping pair (scan order = offset order). *)
+  let non_overlapping =
+    List.rev
+      (List.fold_left
+         (fun acc (f : Engine.finding) ->
+           match acc with
+           | prev :: _ when f.Engine.offset < prev.Engine.stop -> acc
+           | _ -> f :: acc)
+         [] fixable)
+  in
+  let applied = ref [] in
+  let patched =
+    List.fold_left
+      (fun src (f : Engine.finding) ->
+        match render_fix f.Engine.rule f.Engine.m with
+        | None -> src
+        | Some replacement ->
+          let before = String.sub src f.Engine.offset (f.Engine.stop - f.Engine.offset) in
+          if replacement = before then src
+          else begin
+            applied :=
+              { rule = f.Engine.rule; line = f.Engine.line; before;
+                after = replacement }
+              :: !applied;
+            String.sub src 0 f.Engine.offset
+            ^ replacement
+            ^ String.sub src f.Engine.stop (String.length src - f.Engine.stop)
+          end)
+      source
+      (List.rev non_overlapping (* right-to-left *))
+  in
+  (patched, List.rev !applied)
+
+let import_line_rx = Rx.compile {|^(?:import\s|from\s)|}
+
+let insert_imports source imports =
+  let lines = String.split_on_char '\n' source in
+  let existing line = List.exists (fun l -> String.trim l = line) lines in
+  let to_add = List.filter (fun imp -> not (existing imp)) imports in
+  let to_add = List.sort_uniq compare to_add in
+  if to_add = [] then (source, [])
+  else begin
+    (* Insertion point: after shebang, module docstring and the leading
+       import block. *)
+    let arr = Array.of_list lines in
+    let n = Array.length arr in
+    let i = ref 0 in
+    let peek j = if j < n then Some arr.(j) else None in
+    (match peek !i with
+    | Some l when String.length l >= 2 && String.sub l 0 2 = "#!" -> incr i
+    | Some _ | None -> ());
+    (* docstring: a line starting with triple quotes; skip to its end *)
+    (match peek !i with
+    | Some l ->
+      let t = String.trim l in
+      let quote =
+        if String.length t >= 3 && String.sub t 0 3 = "\"\"\"" then Some "\"\"\""
+        else if String.length t >= 3 && String.sub t 0 3 = "'''" then Some "'''"
+        else None
+      in
+      (match quote with
+      | None -> ()
+      | Some q ->
+        let count_q s =
+          let rec go from acc =
+            match
+              if from + 3 <= String.length s then
+                Some (String.sub s from 3 = q)
+              else None
+            with
+            | None -> acc
+            | Some true -> go (from + 3) (acc + 1)
+            | Some false -> go (from + 1) acc
+          in
+          go 0 0
+        in
+        if count_q t >= 2 then incr i (* one-line docstring *)
+        else begin
+          let rec fwd j =
+            if j >= n then i := n
+            else if count_q arr.(j) >= 1 then i := j + 1
+            else fwd (j + 1)
+          in
+          fwd (!i + 1)
+        end)
+    | None -> ());
+    (* comment/blank prologue and import block *)
+    let rec advance () =
+      match peek !i with
+      | Some l ->
+        let t = String.trim l in
+        if t = "" || (String.length t > 0 && t.[0] = '#')
+           || Rx.matches import_line_rx t
+        then begin
+          incr i;
+          advance ()
+        end
+      | None -> ()
+    in
+    advance ();
+    let before = Array.to_list (Array.sub arr 0 !i) in
+    let after = Array.to_list (Array.sub arr !i (n - !i)) in
+    let patched = String.concat "\n" (before @ to_add @ after) in
+    (patched, to_add)
+  end
+
+(* After rewriting, imports whose module the code no longer references
+   are stale (e.g. "import pickle" after pickle.loads became json.loads);
+   they are dropped so the patch leaves clean code behind. *)
+let remove_stale_imports source =
+  let lines = String.split_on_char '\n' source in
+  let binding_of line =
+    let t = String.trim line in
+    match Rx.exec (Rx.compile {|^import\s+([A-Za-z_][\w.]*)\s*$|}) t with
+    | Some m ->
+      let full = Option.value (Rx.group m 1) ~default:"" in
+      let root =
+        match String.index_opt full '.' with
+        | Some i -> String.sub full 0 i
+        | None -> full
+      in
+      Some root
+    | None -> None
+  in
+  let used name =
+    let rx = Rx.compile ("\\b" ^ name ^ "\\b") in
+    List.exists
+      (fun line -> binding_of line = None && Rx.matches rx line)
+      lines
+  in
+  lines
+  |> List.filter (fun line ->
+         match binding_of line with
+         | Some name -> used name
+         | None -> true)
+  |> String.concat "\n"
+
+let default_rounds = 4
+
+let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
+  let rec run src acc_apps n =
+    if n = 0 then (src, acc_apps)
+    else begin
+      let findings = Engine.scan ?rules src in
+      let patched, apps = apply_round src findings in
+      if apps = [] then (src, acc_apps) else run patched (acc_apps @ apps) (n - 1)
+    end
+  in
+  let patched, applications = run source [] rounds in
+  let needed_imports =
+    List.concat_map (fun a -> a.rule.Rule.imports) applications
+  in
+  let patched, imports_added =
+    if applications = [] || not manage_imports then (patched, [])
+    else begin
+      let patched = remove_stale_imports patched in
+      insert_imports patched needed_imports
+    end
+  in
+  let remaining = Engine.scan ?rules patched in
+  { original = source; patched; applications; imports_added; remaining }
+
+let changed r = r.patched <> r.original

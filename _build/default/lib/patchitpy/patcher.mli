@@ -1,0 +1,34 @@
+(** Phase 2: automated remediation.
+
+    Applies each triggered rule's safe alternative in place, then inserts
+    any imports the patches require at the top of the file — the
+    behaviour the VS Code extension binds to its "patch" action (the
+    paper uses the TextEdit/Position APIs for the same two steps). *)
+
+type application = { rule : Rule.t; line : int; before : string; after : string }
+
+type result = {
+  original : string;
+  patched : string;  (** the rewritten source *)
+  applications : application list;  (** in application order *)
+  imports_added : string list;
+  remaining : Engine.finding list;
+      (** findings still present after patching: detection-only rules and
+          fixes whose replacement did not eliminate the pattern *)
+}
+
+val patch :
+  ?rules:Rule.t list -> ?rounds:int -> ?manage_imports:bool -> string -> result
+(** Detects and patches until no fixable finding remains (bounded number
+    of [rounds], default 4, since a fix can expose or displace another
+    pattern).  [manage_imports] (default [true]) controls the
+    insert-required/drop-stale import pass; disabling it exists for the
+    ablation study. *)
+
+val insert_imports : string -> string list -> string * string list
+(** [insert_imports src imports] adds the import lines that are not
+    already present, after the shebang/docstring/import prologue.
+    Returns the new source and the imports actually added. *)
+
+val changed : result -> bool
+(** Whether patching modified the source at all. *)

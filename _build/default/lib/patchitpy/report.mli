@@ -1,0 +1,18 @@
+(** Text rendering of findings and patches (the CLI's output; the VS Code
+    extension shows the same content in pop-ups). *)
+
+val render_findings : string -> Engine.finding list -> string
+(** Human-readable finding list for one file's source. *)
+
+val render_patch : Patcher.result -> string
+(** Applied fixes, added imports, and a unified-style diff. *)
+
+val render_rule : Rule.t -> string
+(** One rule's documentation block (used by [patchitpy rules]). *)
+
+val summary_line : Engine.finding list -> string
+(** e.g. ["3 findings (2 fixable) across 2 CWEs"]. *)
+
+val catalog_markdown : ?title:string -> Rule.t list -> string
+(** Markdown documentation of a rule catalog, grouped by OWASP category —
+    the generated docs/RULES.md. *)

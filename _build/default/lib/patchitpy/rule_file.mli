@@ -1,0 +1,32 @@
+(** User-defined rule files.
+
+    The built-in catalog ships the paper's 85 rules; teams extend it with
+    their own patterns the way Semgrep users write registry rules — but
+    with PatchitPy's remediation model attached.  A rule file is a JSON
+    array of objects:
+
+    {v
+    [
+      {
+        "id": "ACME-001",
+        "title": "internal http client must set a deadline",
+        "cwe": 400,
+        "severity": "MEDIUM",
+        "pattern": "acme_http\\.fetch\\(([^)\\n]*)\\)",
+        "suppress": "deadline\\s*=",
+        "fix": "acme_http.fetch($1, deadline=DEFAULT_DEADLINE)",
+        "imports": ["from acme.net import DEFAULT_DEADLINE"],
+        "note": "unbounded fetches hang workers"
+      }
+    ]
+    v}
+
+    [suppress], [fix] and [imports] are optional; a rule without [fix]
+    is detection-only.  Severities are [LOW | MEDIUM | HIGH | CRITICAL]. *)
+
+val load : string -> (Rule.t list, string) result
+(** Parses rules from JSON text.  The error message names the offending
+    rule and field. *)
+
+val load_file : string -> (Rule.t list, string) result
+(** {!load} applied to a file's contents. *)

@@ -1,0 +1,1259 @@
+type arg =
+  | Pos_arg of expr
+  | Kw_arg of string * expr
+  | Star_arg of expr
+  | Star_star_arg of expr
+
+and comp_clause = { target : expr; iter : expr; ifs : expr list }
+
+and expr =
+  | Name of string
+  | Int_e of string
+  | Float_e of string
+  | Str_e of { prefix : string; body : string }
+  | Bool_e of bool
+  | None_e
+  | Ellipsis_e
+  | Tuple_e of expr list
+  | List_e of expr list
+  | Set_e of expr list
+  | Dict_e of (expr option * expr) list
+  | Attr of expr * string
+  | Subscript of expr * expr
+  | Slice_e of expr option * expr option * expr option
+  | Call of expr * arg list
+  | Unary of string * expr
+  | Binop of string * expr * expr
+  | Boolop of string * expr list
+  | Compare of expr * (string * expr) list
+  | Cond_e of expr * expr * expr
+  | Lambda of param list * expr
+  | Await_e of expr
+  | Yield_e of expr option
+  | Yield_from of expr
+  | Starred of expr
+  | Walrus of string * expr
+  | List_comp of expr * comp_clause list
+  | Set_comp of expr * comp_clause list
+  | Gen_comp of expr * comp_clause list
+  | Dict_comp of (expr * expr) * comp_clause list
+
+and param = {
+  p_name : string;
+  p_annot : expr option;
+  p_default : expr option;
+  p_kind : param_kind;
+}
+
+and param_kind = P_normal | P_star | P_star_star
+
+type stmt = { line : int; desc : stmt_desc }
+
+and stmt_desc =
+  | Expr_stmt of expr
+  | Assign of expr list * expr
+  | Aug_assign of expr * string * expr
+  | Ann_assign of expr * expr * expr option
+  | Return of expr option
+  | Pass
+  | Break
+  | Continue
+  | Del of expr list
+  | Import of (string * string option) list
+  | From_import of string * (string * string option) list
+  | Global of string list
+  | Nonlocal of string list
+  | Assert of expr * expr option
+  | Raise of expr option * expr option
+  | If of (expr * block) list * block option
+  | While of expr * block * block option
+  | For of { target : expr; iter : expr; body : block; orelse : block option;
+             is_async : bool }
+  | With of { items : (expr * expr option) list; body : block; is_async : bool }
+  | Try of { body : block; handlers : handler list; orelse : block option;
+             finally : block option }
+  | Match of { subject : expr; cases : (expr * expr option * block) list }
+  | Func_def of func
+  | Class_def of { name : string; bases : arg list; decorators : expr list;
+                   body : block }
+
+and func = {
+  name : string;
+  params : param list;
+  body : block;
+  decorators : expr list;
+  returns : expr option;
+  is_async : bool;
+}
+
+and handler = { exn_type : expr option; bind : string option; h_body : block }
+
+and block = stmt list
+
+type module_ = { body : block }
+
+type parse_error = { message : string; line : int; col : int }
+
+exception Parse_err of parse_error
+
+(* ===================== parser ======================================== *)
+
+type ts = { toks : Pylex.token array; mutable i : int }
+
+let make_ts source =
+  match Pylex.tokenize source with
+  | Error { Pylex.message; position } ->
+    raise (Parse_err { message; line = position.Pylex.line; col = position.Pylex.col })
+  | Ok tokens ->
+    (* Comments and non-logical newlines are trivia for parsing. *)
+    let keep t =
+      match t.Pylex.kind with
+      | Pylex.Comment _ | Pylex.Nl -> false
+      | _ -> true
+    in
+    { toks = Array.of_list (List.filter keep tokens); i = 0 }
+
+let cur ts = ts.toks.(min ts.i (Array.length ts.toks - 1))
+
+let kind ts = (cur ts).Pylex.kind
+
+let line ts = (cur ts).Pylex.start.Pylex.line
+
+let err ts message =
+  let p = (cur ts).Pylex.start in
+  raise (Parse_err { message; line = p.Pylex.line; col = p.Pylex.col })
+
+let advance ts = if ts.i < Array.length ts.toks - 1 then ts.i <- ts.i + 1
+
+let peek_kind_at ts n =
+  if ts.i + n < Array.length ts.toks then Some ts.toks.(ts.i + n).Pylex.kind
+  else None
+
+let is_op ts s = match kind ts with Pylex.Op o -> o = s | _ -> false
+
+let is_kw ts s = match kind ts with Pylex.Keyword k -> k = s | _ -> false
+
+let accept_op ts s =
+  if is_op ts s then begin
+    advance ts;
+    true
+  end
+  else false
+
+let accept_kw ts s =
+  if is_kw ts s then begin
+    advance ts;
+    true
+  end
+  else false
+
+let expect_op ts s =
+  if not (accept_op ts s) then
+    err ts (Printf.sprintf "expected '%s', found %s" s (Pylex.string_of_kind (kind ts)))
+
+let expect_kw ts s =
+  if not (accept_kw ts s) then
+    err ts (Printf.sprintf "expected keyword '%s', found %s" s
+              (Pylex.string_of_kind (kind ts)))
+
+let expect_name ts =
+  match kind ts with
+  | Pylex.Name n ->
+    advance ts;
+    n
+  | _ -> err ts (Printf.sprintf "expected a name, found %s" (Pylex.string_of_kind (kind ts)))
+
+let expect_newline ts =
+  match kind ts with
+  | Pylex.Newline -> advance ts
+  | Pylex.Eof -> ()
+  | _ -> err ts (Printf.sprintf "expected end of statement, found %s"
+                   (Pylex.string_of_kind (kind ts)))
+
+let aug_ops =
+  [ "+="; "-="; "*="; "/="; "//="; "%="; "**="; ">>="; "<<="; "&="; "|="; "^=";
+    "@=" ]
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_test ts =
+  if is_kw ts "lambda" then parse_lambda ts
+  else begin
+    let body = parse_or_test ts in
+    if is_kw ts "if" then begin
+      advance ts;
+      let test = parse_or_test ts in
+      expect_kw ts "else";
+      let orelse = parse_test ts in
+      Cond_e (body, test, orelse)
+    end
+    else body
+  end
+
+and parse_namedexpr ts =
+  (* NAME := test — only valid where a named expression may appear. *)
+  match (kind ts, peek_kind_at ts 1) with
+  | Pylex.Name n, Some (Pylex.Op ":=") ->
+    advance ts;
+    advance ts;
+    Walrus (n, parse_test ts)
+  | _ -> parse_test ts
+
+and parse_lambda ts =
+  expect_kw ts "lambda";
+  let params = if is_op ts ":" then [] else parse_params ts ~annotated:false in
+  expect_op ts ":";
+  Lambda (params, parse_test ts)
+
+and parse_or_test ts =
+  let first = parse_and_test ts in
+  if is_kw ts "or" then begin
+    let rec loop acc =
+      if accept_kw ts "or" then loop (parse_and_test ts :: acc) else List.rev acc
+    in
+    Boolop ("or", loop [ first ])
+  end
+  else first
+
+and parse_and_test ts =
+  let first = parse_not_test ts in
+  if is_kw ts "and" then begin
+    let rec loop acc =
+      if accept_kw ts "and" then loop (parse_not_test ts :: acc) else List.rev acc
+    in
+    Boolop ("and", loop [ first ])
+  end
+  else first
+
+and parse_not_test ts =
+  if accept_kw ts "not" then Unary ("not", parse_not_test ts)
+  else parse_comparison ts
+
+and parse_comparison ts =
+  let first = parse_bitor ts in
+  let comp_op () =
+    match kind ts with
+    | Pylex.Op (("==" | "!=" | "<" | "<=" | ">" | ">=") as o) ->
+      advance ts;
+      Some o
+    | Pylex.Keyword "in" ->
+      advance ts;
+      Some "in"
+    | Pylex.Keyword "not" ->
+      advance ts;
+      expect_kw ts "in";
+      Some "not in"
+    | Pylex.Keyword "is" ->
+      advance ts;
+      if accept_kw ts "not" then Some "is not" else Some "is"
+    | _ -> None
+  in
+  let rec loop acc =
+    match comp_op () with
+    | Some op -> loop ((op, parse_bitor ts) :: acc)
+    | None -> List.rev acc
+  in
+  match loop [] with [] -> first | cmps -> Compare (first, cmps)
+
+and parse_binop_level ts ops next =
+  let rec loop lhs =
+    match kind ts with
+    | Pylex.Op o when List.mem o ops ->
+      advance ts;
+      loop (Binop (o, lhs, next ts))
+    | _ -> lhs
+  in
+  loop (next ts)
+
+and parse_bitor ts = parse_binop_level ts [ "|" ] parse_bitxor
+and parse_bitxor ts = parse_binop_level ts [ "^" ] parse_bitand
+and parse_bitand ts = parse_binop_level ts [ "&" ] parse_shift
+and parse_shift ts = parse_binop_level ts [ "<<"; ">>" ] parse_arith
+and parse_arith ts = parse_binop_level ts [ "+"; "-" ] parse_term
+and parse_term ts = parse_binop_level ts [ "*"; "/"; "//"; "%"; "@" ] parse_factor
+
+and parse_factor ts =
+  match kind ts with
+  | Pylex.Op (("+" | "-" | "~") as o) ->
+    advance ts;
+    Unary (o, parse_factor ts)
+  | _ -> parse_power ts
+
+and parse_power ts =
+  let base = parse_await_primary ts in
+  if accept_op ts "**" then Binop ("**", base, parse_factor ts) else base
+
+and parse_await_primary ts =
+  if accept_kw ts "await" then Await_e (parse_primary ts) else parse_primary ts
+
+and parse_primary ts =
+  let rec trailers e =
+    if is_op ts "(" then begin
+      advance ts;
+      let args = parse_args ts in
+      expect_op ts ")";
+      trailers (Call (e, args))
+    end
+    else if is_op ts "[" then begin
+      advance ts;
+      let sub = parse_subscript ts in
+      expect_op ts "]";
+      trailers (Subscript (e, sub))
+    end
+    else if is_op ts "." then begin
+      advance ts;
+      let n = expect_name ts in
+      trailers (Attr (e, n))
+    end
+    else e
+  in
+  trailers (parse_atom ts)
+
+and parse_subscript ts =
+  let one () =
+    let lo = if is_op ts ":" then None else Some (parse_test ts) in
+    if accept_op ts ":" then begin
+      let hi =
+        if is_op ts ":" || is_op ts "]" || is_op ts "," then None
+        else Some (parse_test ts)
+      in
+      let step =
+        if accept_op ts ":" then
+          if is_op ts "]" || is_op ts "," then None else Some (parse_test ts)
+        else None
+      in
+      Slice_e (lo, hi, step)
+    end
+    else
+      match lo with
+      | Some e -> e
+      | None -> err ts "empty subscript"
+  in
+  let first = one () in
+  if is_op ts "," then begin
+    let rec loop acc =
+      if accept_op ts "," then
+        if is_op ts "]" then List.rev acc else loop (one () :: acc)
+      else List.rev acc
+    in
+    Tuple_e (loop [ first ])
+  end
+  else first
+
+and parse_args ts =
+  let parse_one () =
+    if accept_op ts "*" then Star_arg (parse_test ts)
+    else if accept_op ts "**" then Star_star_arg (parse_test ts)
+    else
+      match (kind ts, peek_kind_at ts 1) with
+      | Pylex.Name n, Some (Pylex.Op "=") ->
+        advance ts;
+        advance ts;
+        Kw_arg (n, parse_test ts)
+      | _ -> (
+        let e = parse_namedexpr ts in
+        (* generator argument: f(x for x in xs) *)
+        if is_kw ts "for" then Pos_arg (Gen_comp (e, parse_comp_clauses ts))
+        else Pos_arg e)
+  in
+  let rec loop acc =
+    if is_op ts ")" then List.rev acc
+    else begin
+      let a = parse_one () in
+      if accept_op ts "," then loop (a :: acc) else List.rev (a :: acc)
+    end
+  in
+  loop []
+
+and parse_comp_clauses ts =
+  let rec clauses acc =
+    if accept_kw ts "async" then begin
+      expect_kw ts "for";
+      clause acc
+    end
+    else if accept_kw ts "for" then clause acc
+    else List.rev acc
+  and clause acc =
+    let target = parse_target_list ts in
+    expect_kw ts "in";
+    let iter = parse_or_test ts in
+    let rec ifs acc_ifs =
+      if accept_kw ts "if" then ifs (parse_or_test ts :: acc_ifs)
+      else List.rev acc_ifs
+    in
+    clauses ({ target; iter; ifs = ifs [] } :: acc)
+  in
+  clauses []
+
+and parse_target_list ts =
+  (* Targets of for/comprehension: names, tuples, attrs, subscripts. *)
+  let one () =
+    if accept_op ts "*" then Starred (parse_primary ts)
+    else if accept_op ts "(" then begin
+      let t = parse_target_list ts in
+      expect_op ts ")";
+      t
+    end
+    else if accept_op ts "[" then begin
+      let rec loop acc =
+        if is_op ts "]" then List.rev acc
+        else begin
+          let t = parse_primary ts in
+          if accept_op ts "," then loop (t :: acc) else List.rev (t :: acc)
+        end
+      in
+      let ts' = loop [] in
+      expect_op ts "]";
+      List_e ts'
+    end
+    else parse_primary ts
+  in
+  let first = one () in
+  if is_op ts "," then begin
+    let rec loop acc =
+      if accept_op ts "," then
+        if is_kw ts "in" || is_op ts "=" then List.rev acc
+        else loop (one () :: acc)
+      else List.rev acc
+    in
+    Tuple_e (loop [ first ])
+  end
+  else first
+
+and parse_atom ts =
+  match kind ts with
+  | Pylex.Name n ->
+    advance ts;
+    Name n
+  | Pylex.Keyword "True" ->
+    advance ts;
+    Bool_e true
+  | Pylex.Keyword "False" ->
+    advance ts;
+    Bool_e false
+  | Pylex.Keyword "None" ->
+    advance ts;
+    None_e
+  | Pylex.Keyword "yield" ->
+    advance ts;
+    if accept_kw ts "from" then Yield_from (parse_test ts)
+    else if is_op ts ")" || is_op ts "]" || is_op ts "}" || is_op ts ","
+            || (match kind ts with Pylex.Newline | Pylex.Eof -> true | _ -> false)
+    then Yield_e None
+    else Yield_e (Some (parse_testlist ts))
+  | Pylex.Int_lit s | Pylex.Imag_lit s ->
+    advance ts;
+    Int_e s
+  | Pylex.Float_lit s ->
+    advance ts;
+    Float_e s
+  | Pylex.Str _ ->
+    (* Adjacent string literals concatenate. *)
+    let rec gather prefix bodies =
+      match kind ts with
+      | Pylex.Str { Pylex.prefix = p; body; _ } ->
+        advance ts;
+        gather (if prefix = "" then p else prefix) (body :: bodies)
+      | _ -> Str_e { prefix; body = String.concat "" (List.rev bodies) }
+    in
+    gather "" []
+  | Pylex.Op "..." ->
+    advance ts;
+    Ellipsis_e
+  | Pylex.Op "(" ->
+    advance ts;
+    if accept_op ts ")" then Tuple_e []
+    else begin
+      let first = parse_star_or_test ts in
+      if is_kw ts "for" || is_kw ts "async" then begin
+        let comp = Gen_comp (first, parse_comp_clauses ts) in
+        expect_op ts ")";
+        comp
+      end
+      else if is_op ts "," then begin
+        let rec loop acc =
+          if accept_op ts "," then
+            if is_op ts ")" then List.rev acc
+            else loop (parse_star_or_test ts :: acc)
+          else List.rev acc
+        in
+        let items = loop [ first ] in
+        expect_op ts ")";
+        Tuple_e items
+      end
+      else begin
+        expect_op ts ")";
+        first
+      end
+    end
+  | Pylex.Op "[" ->
+    advance ts;
+    if accept_op ts "]" then List_e []
+    else begin
+      let first = parse_star_or_test ts in
+      if is_kw ts "for" || is_kw ts "async" then begin
+        let comp = List_comp (first, parse_comp_clauses ts) in
+        expect_op ts "]";
+        comp
+      end
+      else begin
+        let rec loop acc =
+          if accept_op ts "," then
+            if is_op ts "]" then List.rev acc
+            else loop (parse_star_or_test ts :: acc)
+          else List.rev acc
+        in
+        let items = loop [ first ] in
+        expect_op ts "]";
+        List_e items
+      end
+    end
+  | Pylex.Op "{" ->
+    advance ts;
+    parse_braced ts
+  | k -> err ts (Printf.sprintf "unexpected token %s" (Pylex.string_of_kind k))
+
+and parse_star_or_test ts =
+  if accept_op ts "*" then Starred (parse_or_test ts) else parse_namedexpr ts
+
+and parse_braced ts =
+  (* Cursor just past '{': dict, set, or comprehension. *)
+  if accept_op ts "}" then Dict_e []
+  else if accept_op ts "**" then begin
+    let spread = (None, parse_or_test ts) in
+    parse_dict_rest ts [ spread ]
+  end
+  else begin
+    let first = parse_star_or_test ts in
+    if accept_op ts ":" then begin
+      let value = parse_test ts in
+      if is_kw ts "for" || is_kw ts "async" then begin
+        let comp = Dict_comp ((first, value), parse_comp_clauses ts) in
+        expect_op ts "}";
+        comp
+      end
+      else parse_dict_rest ts [ (Some first, value) ]
+    end
+    else if is_kw ts "for" || is_kw ts "async" then begin
+      let comp = Set_comp (first, parse_comp_clauses ts) in
+      expect_op ts "}";
+      comp
+    end
+    else begin
+      (* set literal *)
+      let rec loop acc =
+        if accept_op ts "," then
+          if is_op ts "}" then List.rev acc
+          else loop (parse_star_or_test ts :: acc)
+        else List.rev acc
+      in
+      let items = loop [ first ] in
+      expect_op ts "}";
+      Set_e items
+    end
+  end
+
+and parse_dict_rest ts acc =
+  let rec loop acc =
+    if accept_op ts "," then
+      if is_op ts "}" then List.rev acc
+      else if accept_op ts "**" then loop ((None, parse_or_test ts) :: acc)
+      else begin
+        let k = parse_test ts in
+        expect_op ts ":";
+        let v = parse_test ts in
+        loop ((Some k, v) :: acc)
+      end
+    else List.rev acc
+  in
+  let items = loop acc in
+  expect_op ts "}";
+  Dict_e items
+
+and parse_testlist ts =
+  let first = parse_star_or_test ts in
+  if is_op ts "," then begin
+    let stop () =
+      match kind ts with
+      | Pylex.Newline | Pylex.Eof -> true
+      | Pylex.Op ("=" | ")" | "]" | "}" | ":" | ";") -> true
+      | Pylex.Op o -> List.mem o aug_ops
+      | _ -> false
+    in
+    let rec loop acc =
+      if accept_op ts "," then
+        if stop () then List.rev acc else loop (parse_star_or_test ts :: acc)
+      else List.rev acc
+    in
+    Tuple_e (loop [ first ])
+  end
+  else first
+
+and parse_params ts ~annotated =
+  (* Parameter list for def (annotated) or lambda (not annotated); the
+     cursor is on the first parameter and stops before ')' or ':'. *)
+  let parse_one () =
+    if accept_op ts "*" then
+      if is_op ts "," then
+        (* bare '*' separator: representation-free, skip *)
+        None
+      else begin
+        let n = expect_name ts in
+        let annot =
+          if annotated && accept_op ts ":" then Some (parse_test ts) else None
+        in
+        Some { p_name = n; p_annot = annot; p_default = None; p_kind = P_star }
+      end
+    else if accept_op ts "**" then begin
+      let n = expect_name ts in
+      let annot =
+        if annotated && accept_op ts ":" then Some (parse_test ts) else None
+      in
+      Some { p_name = n; p_annot = annot; p_default = None; p_kind = P_star_star }
+    end
+    else if accept_op ts "/" then None (* positional-only marker *)
+    else begin
+      let n = expect_name ts in
+      let annot =
+        if annotated && accept_op ts ":" then Some (parse_test ts) else None
+      in
+      let default = if accept_op ts "=" then Some (parse_test ts) else None in
+      Some { p_name = n; p_annot = annot; p_default = default; p_kind = P_normal }
+    end
+  in
+  let rec loop acc =
+    if is_op ts ")" || is_op ts ":" then List.rev acc
+    else begin
+      let p = parse_one () in
+      let acc = match p with Some p -> p :: acc | None -> acc in
+      if accept_op ts "," then loop acc else List.rev acc
+    end
+  in
+  loop []
+
+(* --- statements ------------------------------------------------------- *)
+
+let rec parse_block ts =
+  (* Cursor just past ':'. *)
+  match kind ts with
+  | Pylex.Newline ->
+    advance ts;
+    (match kind ts with
+    | Pylex.Indent ->
+      advance ts;
+      let rec loop acc =
+        match kind ts with
+        | Pylex.Dedent ->
+          advance ts;
+          List.rev acc
+        | Pylex.Eof -> List.rev acc
+        | _ -> loop (List.rev_append (parse_stmt ts) acc)
+      in
+      loop []
+    | _ -> err ts "expected an indented block")
+  | _ -> parse_simple_stmt_line ts
+
+and parse_stmt ts : stmt list =
+  match kind ts with
+  | Pylex.Keyword "if" -> [ parse_if ts ]
+  | Pylex.Keyword "while" -> [ parse_while ts ]
+  | Pylex.Keyword "for" -> [ parse_for ts ~is_async:false ]
+  | Pylex.Keyword "with" -> [ parse_with ts ~is_async:false ]
+  | Pylex.Keyword "try" -> [ parse_try ts ]
+  | Pylex.Keyword "def" -> [ parse_def ts ~decorators:[] ~is_async:false ]
+  | Pylex.Keyword "class" -> [ parse_class ts ~decorators:[] ]
+  | Pylex.Keyword "async" -> (
+    advance ts;
+    match kind ts with
+    | Pylex.Keyword "def" -> [ parse_def ts ~decorators:[] ~is_async:true ]
+    | Pylex.Keyword "for" -> [ parse_for ts ~is_async:true ]
+    | Pylex.Keyword "with" -> [ parse_with ts ~is_async:true ]
+    | _ -> err ts "expected def/for/with after async")
+  | Pylex.Op "@" -> [ parse_decorated ts ]
+  | Pylex.Name "match" when match_stmt_ahead ts -> [ parse_match ts ]
+  | _ -> parse_simple_stmt_line ts
+
+(* 'match' is a soft keyword: it opens a match statement only when the
+   logical line ends with ':' (calls and assignments to a variable named
+   match never do). *)
+and match_stmt_ahead ts =
+  let n = Array.length ts.toks in
+  let rec last_before_newline i prev =
+    if i >= n then prev
+    else
+      match ts.toks.(i).Pylex.kind with
+      | Pylex.Newline | Pylex.Eof -> prev
+      | k -> last_before_newline (i + 1) (Some k)
+  in
+  match last_before_newline (ts.i + 1) None with
+  | Some (Pylex.Op ":") -> true
+  | Some _ | None -> false
+
+and parse_match ts =
+  let ln = line ts in
+  ignore (expect_name ts);
+  (* 'match' *)
+  let subject = parse_testlist ts in
+  expect_op ts ":";
+  expect_newline ts;
+  (match kind ts with
+  | Pylex.Indent -> advance ts
+  | _ -> err ts "expected an indented case block");
+  let parse_case () =
+    (match kind ts with
+    | Pylex.Name "case" -> advance ts
+    | _ -> err ts "expected 'case'");
+    (* case patterns: bitor level (handles literals, names, calls and
+       or-patterns) with tuple commas; 'if' begins the guard *)
+    let one () = parse_bitor ts in
+    let first = one () in
+    let pattern =
+      if is_op ts "," then begin
+        let rec loop acc =
+          if accept_op ts "," then
+            if is_op ts ":" || is_kw ts "if" then List.rev acc
+            else loop (one () :: acc)
+          else List.rev acc
+        in
+        Tuple_e (loop [ first ])
+      end
+      else first
+    in
+    let guard = if accept_kw ts "if" then Some (parse_test ts) else None in
+    expect_op ts ":";
+    let body = parse_block ts in
+    (pattern, guard, body)
+  in
+  let rec cases acc =
+    match kind ts with
+    | Pylex.Dedent ->
+      advance ts;
+      List.rev acc
+    | Pylex.Eof -> List.rev acc
+    | _ -> cases (parse_case () :: acc)
+  in
+  let cases = cases [] in
+  if cases = [] then err ts "match statement needs at least one case";
+  { line = ln; desc = Match { subject; cases } }
+
+and parse_decorated ts =
+  let rec decorators acc =
+    if accept_op ts "@" then begin
+      let d = parse_namedexpr ts in
+      expect_newline ts;
+      decorators (d :: acc)
+    end
+    else List.rev acc
+  in
+  let decorators = decorators [] in
+  match kind ts with
+  | Pylex.Keyword "def" -> parse_def ts ~decorators ~is_async:false
+  | Pylex.Keyword "class" -> parse_class ts ~decorators
+  | Pylex.Keyword "async" ->
+    advance ts;
+    parse_def ts ~decorators ~is_async:true
+  | _ -> err ts "expected def or class after decorators"
+
+and parse_def ts ~decorators ~is_async =
+  let ln = line ts in
+  expect_kw ts "def";
+  let name = expect_name ts in
+  expect_op ts "(";
+  let params = parse_params ts ~annotated:true in
+  expect_op ts ")";
+  let returns = if accept_op ts "->" then Some (parse_test ts) else None in
+  expect_op ts ":";
+  let body = parse_block ts in
+  { line = ln;
+    desc = Func_def { name; params; body; decorators; returns; is_async } }
+
+and parse_class ts ~decorators =
+  let ln = line ts in
+  expect_kw ts "class";
+  let name = expect_name ts in
+  let bases =
+    if accept_op ts "(" then begin
+      let args = parse_args ts in
+      expect_op ts ")";
+      args
+    end
+    else []
+  in
+  expect_op ts ":";
+  let body = parse_block ts in
+  { line = ln; desc = Class_def { name; bases; decorators; body } }
+
+and parse_if ts =
+  let ln = line ts in
+  expect_kw ts "if";
+  let rec branches acc =
+    let test = parse_namedexpr ts in
+    expect_op ts ":";
+    let body = parse_block ts in
+    let acc = (test, body) :: acc in
+    if accept_kw ts "elif" then branches acc
+    else if accept_kw ts "else" then begin
+      expect_op ts ":";
+      (List.rev acc, Some (parse_block ts))
+    end
+    else (List.rev acc, None)
+  in
+  let branches, orelse = branches [] in
+  { line = ln; desc = If (branches, orelse) }
+
+and parse_while ts =
+  let ln = line ts in
+  expect_kw ts "while";
+  let test = parse_namedexpr ts in
+  expect_op ts ":";
+  let body = parse_block ts in
+  let orelse =
+    if accept_kw ts "else" then begin
+      expect_op ts ":";
+      Some (parse_block ts)
+    end
+    else None
+  in
+  { line = ln; desc = While (test, body, orelse) }
+
+and parse_for ts ~is_async =
+  let ln = line ts in
+  expect_kw ts "for";
+  let target = parse_target_list ts in
+  expect_kw ts "in";
+  let iter = parse_testlist ts in
+  expect_op ts ":";
+  let body = parse_block ts in
+  let orelse =
+    if accept_kw ts "else" then begin
+      expect_op ts ":";
+      Some (parse_block ts)
+    end
+    else None
+  in
+  { line = ln; desc = For { target; iter; body; orelse; is_async } }
+
+and parse_with ts ~is_async =
+  let ln = line ts in
+  expect_kw ts "with";
+  let item () =
+    let e = parse_test ts in
+    let alias = if accept_kw ts "as" then Some (parse_primary ts) else None in
+    (e, alias)
+  in
+  let rec items acc =
+    let i = item () in
+    if accept_op ts "," then items (i :: acc) else List.rev (i :: acc)
+  in
+  let items = items [] in
+  expect_op ts ":";
+  let body = parse_block ts in
+  { line = ln; desc = With { items; body; is_async } }
+
+and parse_try ts =
+  let ln = line ts in
+  expect_kw ts "try";
+  expect_op ts ":";
+  let body = parse_block ts in
+  let rec handlers acc =
+    if accept_kw ts "except" then begin
+      let exn_type =
+        if is_op ts ":" then None
+        else begin
+          ignore (accept_op ts "*");
+          Some (parse_test ts)
+        end
+      in
+      let bind = if accept_kw ts "as" then Some (expect_name ts) else None in
+      expect_op ts ":";
+      let h_body = parse_block ts in
+      handlers ({ exn_type; bind; h_body } :: acc)
+    end
+    else List.rev acc
+  in
+  let handlers = handlers [] in
+  let orelse =
+    if accept_kw ts "else" then begin
+      expect_op ts ":";
+      Some (parse_block ts)
+    end
+    else None
+  in
+  let finally =
+    if accept_kw ts "finally" then begin
+      expect_op ts ":";
+      Some (parse_block ts)
+    end
+    else None
+  in
+  if handlers = [] && finally = None then
+    err ts "try statement needs except or finally";
+  { line = ln; desc = Try { body; handlers; orelse; finally } }
+
+and parse_simple_stmt_line ts =
+  (* One physical line of ';'-separated simple statements. *)
+  let rec loop acc =
+    let s = parse_simple_stmt ts in
+    if accept_op ts ";" then
+      match kind ts with
+      | Pylex.Newline ->
+        advance ts;
+        List.rev (s :: acc)
+      | Pylex.Eof -> List.rev (s :: acc)
+      | _ -> loop (s :: acc)
+    else begin
+      expect_newline ts;
+      List.rev (s :: acc)
+    end
+  in
+  loop []
+
+and parse_simple_stmt ts =
+  let ln = line ts in
+  let mk desc = { line = ln; desc } in
+  match kind ts with
+  | Pylex.Keyword "return" ->
+    advance ts;
+    let v =
+      match kind ts with
+      | Pylex.Newline | Pylex.Eof | Pylex.Op ";" -> None
+      | _ -> Some (parse_testlist ts)
+    in
+    mk (Return v)
+  | Pylex.Keyword "pass" ->
+    advance ts;
+    mk Pass
+  | Pylex.Keyword "break" ->
+    advance ts;
+    mk Break
+  | Pylex.Keyword "continue" ->
+    advance ts;
+    mk Continue
+  | Pylex.Keyword "del" ->
+    advance ts;
+    let rec targets acc =
+      let t = parse_primary ts in
+      if accept_op ts "," then targets (t :: acc) else List.rev (t :: acc)
+    in
+    mk (Del (targets []))
+  | Pylex.Keyword "import" ->
+    advance ts;
+    let rec entries acc =
+      let name = parse_dotted ts in
+      let alias = if accept_kw ts "as" then Some (expect_name ts) else None in
+      let acc = (name, alias) :: acc in
+      if accept_op ts "," then entries acc else List.rev acc
+    in
+    mk (Import (entries []))
+  | Pylex.Keyword "from" ->
+    advance ts;
+    let dots =
+      let rec count n =
+        if accept_op ts "." then count (n + 1)
+        else if accept_op ts "..." then count (n + 3)
+        else n
+      in
+      count 0
+    in
+    let base = if is_kw ts "import" then "" else parse_dotted ts in
+    let modname = String.make dots '.' ^ base in
+    expect_kw ts "import";
+    let entries =
+      if accept_op ts "*" then [ ("*", None) ]
+      else begin
+        let parenthesized = accept_op ts "(" in
+        let rec entries acc =
+          let n = expect_name ts in
+          let alias = if accept_kw ts "as" then Some (expect_name ts) else None in
+          let acc = (n, alias) :: acc in
+          if accept_op ts "," then
+            if parenthesized && is_op ts ")" then List.rev acc else entries acc
+          else List.rev acc
+        in
+        let es = entries [] in
+        if parenthesized then expect_op ts ")";
+        es
+      end
+    in
+    mk (From_import (modname, entries))
+  | Pylex.Keyword "global" ->
+    advance ts;
+    let rec names acc =
+      let n = expect_name ts in
+      if accept_op ts "," then names (n :: acc) else List.rev (n :: acc)
+    in
+    mk (Global (names []))
+  | Pylex.Keyword "nonlocal" ->
+    advance ts;
+    let rec names acc =
+      let n = expect_name ts in
+      if accept_op ts "," then names (n :: acc) else List.rev (n :: acc)
+    in
+    mk (Nonlocal (names []))
+  | Pylex.Keyword "assert" ->
+    advance ts;
+    let test = parse_test ts in
+    let msg = if accept_op ts "," then Some (parse_test ts) else None in
+    mk (Assert (test, msg))
+  | Pylex.Keyword "raise" ->
+    advance ts;
+    let e =
+      match kind ts with
+      | Pylex.Newline | Pylex.Eof | Pylex.Op ";" -> None
+      | _ -> Some (parse_test ts)
+    in
+    let cause = if accept_kw ts "from" then Some (parse_test ts) else None in
+    mk (Raise (e, cause))
+  | _ -> parse_expr_or_assign ts ln
+
+and parse_dotted ts =
+  let rec loop acc =
+    let n = expect_name ts in
+    let acc = n :: acc in
+    if is_op ts "."
+       && (match peek_kind_at ts 1 with Some (Pylex.Name _) -> true | _ -> false)
+    then begin
+      advance ts;
+      loop acc
+    end
+    else String.concat "." (List.rev acc)
+  in
+  loop []
+
+and parse_expr_or_assign ts ln =
+  let mk desc = { line = ln; desc } in
+  let first = parse_testlist ts in
+  match kind ts with
+  | Pylex.Op "=" ->
+    let rec chain targets =
+      advance ts;
+      let next = parse_testlist ts in
+      if is_op ts "=" then chain (next :: targets)
+      else mk (Assign (List.rev targets, next))
+    in
+    chain [ first ]
+  | Pylex.Op o when List.mem o aug_ops ->
+    advance ts;
+    let value = parse_testlist ts in
+    mk (Aug_assign (first, String.sub o 0 (String.length o - 1), value))
+  | Pylex.Op ":" ->
+    advance ts;
+    let annot = parse_test ts in
+    let value = if accept_op ts "=" then Some (parse_testlist ts) else None in
+    mk (Ann_assign (first, annot, value))
+  | _ -> mk (Expr_stmt first)
+
+let parse source =
+  match
+    let ts = make_ts source in
+    let rec loop acc =
+      match kind ts with
+      | Pylex.Eof -> List.rev acc
+      | Pylex.Newline ->
+        advance ts;
+        loop acc
+      | _ -> loop (List.rev_append (parse_stmt ts) acc)
+    in
+    { body = loop [] }
+  with
+  | m -> Ok m
+  | exception Parse_err e -> Error e
+
+let parse_exn source =
+  match parse source with
+  | Ok m -> m
+  | Error { message; line; col } ->
+    failwith (Printf.sprintf "parse error at line %d, col %d: %s" line col message)
+
+let parses source = match parse source with Ok _ -> true | Error _ -> false
+
+(* ===================== traversal ====================================== *)
+
+let rec iter_stmts f block = List.iter (iter_stmt f) block
+
+and iter_stmt f stmt =
+  f stmt;
+  match stmt.desc with
+  | Expr_stmt _ | Assign _ | Aug_assign _ | Ann_assign _ | Return _ | Pass
+  | Break | Continue | Del _ | Import _ | From_import _ | Global _
+  | Nonlocal _ | Assert _ | Raise _ -> ()
+  | If (branches, orelse) ->
+    List.iter (fun (_, b) -> iter_stmts f b) branches;
+    Option.iter (iter_stmts f) orelse
+  | While (_, body, orelse) ->
+    iter_stmts f body;
+    Option.iter (iter_stmts f) orelse
+  | For { body; orelse; _ } ->
+    iter_stmts f body;
+    Option.iter (iter_stmts f) orelse
+  | With { body; _ } -> iter_stmts f body
+  | Try { body; handlers; orelse; finally } ->
+    iter_stmts f body;
+    List.iter (fun h -> iter_stmts f h.h_body) handlers;
+    Option.iter (iter_stmts f) orelse;
+    Option.iter (iter_stmts f) finally
+  | Match { cases; _ } ->
+    List.iter (fun (_, _, body) -> iter_stmts f body) cases
+  | Func_def { body; _ } -> iter_stmts f body
+  | Class_def { body; _ } -> iter_stmts f body
+
+let rec iter_expr f e =
+  f e;
+  let it = iter_expr f in
+  let it_opt = Option.iter it in
+  let it_args =
+    List.iter (function
+      | Pos_arg e | Kw_arg (_, e) | Star_arg e | Star_star_arg e -> it e)
+  in
+  let it_clauses =
+    List.iter (fun { target; iter; ifs } ->
+        it target;
+        it iter;
+        List.iter it ifs)
+  in
+  match e with
+  | Name _ | Int_e _ | Float_e _ | Str_e _ | Bool_e _ | None_e | Ellipsis_e -> ()
+  | Tuple_e es | List_e es | Set_e es -> List.iter it es
+  | Dict_e kvs ->
+    List.iter
+      (fun (k, v) ->
+        it_opt k;
+        it v)
+      kvs
+  | Attr (e, _) | Unary (_, e) | Await_e e | Yield_from e | Starred e
+  | Walrus (_, e) -> it e
+  | Subscript (a, b) | Binop (_, a, b) ->
+    it a;
+    it b
+  | Slice_e (a, b, c) ->
+    it_opt a;
+    it_opt b;
+    it_opt c
+  | Call (callee, args) ->
+    it callee;
+    it_args args
+  | Boolop (_, es) -> List.iter it es
+  | Compare (first, cmps) ->
+    it first;
+    List.iter (fun (_, e) -> it e) cmps
+  | Cond_e (a, b, c) ->
+    it a;
+    it b;
+    it c
+  | Lambda (params, body) ->
+    List.iter (fun p -> Option.iter it p.p_default) params;
+    it body
+  | Yield_e e -> it_opt e
+  | List_comp (e, cs) | Set_comp (e, cs) | Gen_comp (e, cs) ->
+    it e;
+    it_clauses cs
+  | Dict_comp ((k, v), cs) ->
+    it k;
+    it v;
+    it_clauses cs
+
+let exprs_of_stmt stmt =
+  match stmt.desc with
+  | Expr_stmt e -> [ e ]
+  | Assign (targets, v) -> targets @ [ v ]
+  | Aug_assign (t, _, v) -> [ t; v ]
+  | Ann_assign (t, a, v) -> t :: a :: Option.to_list v
+  | Return v -> Option.to_list v
+  | Pass | Break | Continue | Import _ | From_import _ | Global _ | Nonlocal _
+    -> []
+  | Del es -> es
+  | Assert (t, m) -> t :: Option.to_list m
+  | Raise (e, c) -> Option.to_list e @ Option.to_list c
+  | If (branches, _) -> List.map fst branches
+  | While (t, _, _) -> [ t ]
+  | For { target; iter; _ } -> [ target; iter ]
+  | With { items; _ } ->
+    List.concat_map (fun (e, alias) -> e :: Option.to_list alias) items
+  | Try { handlers; _ } ->
+    List.filter_map (fun h -> h.exn_type) handlers
+  | Match { subject; cases } ->
+    subject
+    :: List.concat_map
+         (fun (pattern, guard, _) -> pattern :: Option.to_list guard)
+         cases
+  | Func_def { decorators; params; returns; _ } ->
+    decorators
+    @ List.filter_map (fun p -> p.p_default) params
+    @ Option.to_list returns
+  | Class_def { bases; decorators; _ } ->
+    decorators
+    @ List.map
+        (function Pos_arg e | Kw_arg (_, e) | Star_arg e | Star_star_arg e -> e)
+        bases
+
+let stmt_exprs = exprs_of_stmt
+
+let iter_exprs f block =
+  iter_stmts (fun s -> List.iter (iter_expr f) (exprs_of_stmt s)) block
+
+let functions_of m =
+  let acc = ref [] in
+  iter_stmts
+    (fun s -> match s.desc with Func_def f -> acc := f :: !acc | _ -> ())
+    m.body;
+  List.rev !acc
+
+let rec dotted_name = function
+  | Name n -> Some n
+  | Attr (base, field) -> (
+    match dotted_name base with
+    | Some prefix -> Some (prefix ^ "." ^ field)
+    | None -> None)
+  | _ -> None
+
+let call_name = function Call (callee, _) -> dotted_name callee | _ -> None
+
+let find_calls block =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      List.iter
+        (iter_expr (fun e ->
+             match e with
+             | Call (callee, args) -> (
+               match dotted_name callee with
+               | Some name -> acc := (name, args, s.line) :: !acc
+               | None -> ())
+             | _ -> ()))
+        (exprs_of_stmt s))
+    block;
+  List.rev !acc
+
+let kwarg args name =
+  List.find_map
+    (function Kw_arg (n, e) when n = name -> Some e | _ -> None)
+    args
+
+let string_value = function
+  | Str_e { prefix; body } when prefix = "" || prefix = "u" -> Some body
+  | _ -> None
+
+let imported_modules m =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let add name =
+    let root =
+      match String.index_opt name '.' with
+      | Some i -> String.sub name 0 i
+      | None -> name
+    in
+    if root <> "" && not (Hashtbl.mem seen root) then begin
+      Hashtbl.replace seen root ();
+      order := root :: !order
+    end
+  in
+  iter_stmts
+    (fun s ->
+      match s.desc with
+      | Import entries -> List.iter (fun (n, _) -> add n) entries
+      | From_import (modname, _) ->
+        (* Relative imports (leading dot) name no external module. *)
+        if modname <> "" && modname.[0] <> '.' then add modname
+      | _ -> ())
+    m.body;
+  List.rev !order

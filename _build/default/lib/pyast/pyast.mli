@@ -1,0 +1,171 @@
+(** Abstract syntax trees for a substantial subset of Python.
+
+    Stands in for CPython's [ast] module.  The {!Bandit_sim} and
+    {!Codeql_sim} baselines and the cyclomatic-complexity metric are built
+    on these trees.  The subset covers what appears in (AI-generated)
+    application code: modules, function/class definitions with decorators,
+    the full statement repertoire (assignments, control flow, [try],
+    [with], imports, [assert], [raise], ...) and expressions with correct
+    precedence, including comprehensions, lambdas, conditional
+    expressions, starred args and keyword arguments. *)
+
+(** {1 Types} *)
+
+type arg =
+  | Pos_arg of expr
+  | Kw_arg of string * expr
+  | Star_arg of expr
+  | Star_star_arg of expr
+
+and comp_clause = { target : expr; iter : expr; ifs : expr list }
+
+and expr =
+  | Name of string
+  | Int_e of string
+  | Float_e of string
+  | Str_e of { prefix : string; body : string }
+  | Bool_e of bool
+  | None_e
+  | Ellipsis_e
+  | Tuple_e of expr list
+  | List_e of expr list
+  | Set_e of expr list
+  | Dict_e of (expr option * expr) list
+      (** [None] key means a [**spread] entry. *)
+  | Attr of expr * string
+  | Subscript of expr * expr
+  | Slice_e of expr option * expr option * expr option
+  | Call of expr * arg list
+  | Unary of string * expr
+  | Binop of string * expr * expr
+  | Boolop of string * expr list  (** ["and"] / ["or"], flattened *)
+  | Compare of expr * (string * expr) list
+  | Cond_e of expr * expr * expr  (** [body if test else orelse] *)
+  | Lambda of param list * expr
+  | Await_e of expr
+  | Yield_e of expr option
+  | Yield_from of expr
+  | Starred of expr
+  | Walrus of string * expr
+  | List_comp of expr * comp_clause list
+  | Set_comp of expr * comp_clause list
+  | Gen_comp of expr * comp_clause list
+  | Dict_comp of (expr * expr) * comp_clause list
+
+and param = {
+  p_name : string;
+  p_annot : expr option;
+  p_default : expr option;
+  p_kind : param_kind;
+}
+
+and param_kind = P_normal | P_star | P_star_star
+
+type stmt = { line : int; desc : stmt_desc }
+
+and stmt_desc =
+  | Expr_stmt of expr
+  | Assign of expr list * expr  (** chained targets *)
+  | Aug_assign of expr * string * expr
+  | Ann_assign of expr * expr * expr option
+  | Return of expr option
+  | Pass
+  | Break
+  | Continue
+  | Del of expr list
+  | Import of (string * string option) list
+  | From_import of string * (string * string option) list
+      (** importing ["*"] is represented as [("*", None)] *)
+  | Global of string list
+  | Nonlocal of string list
+  | Assert of expr * expr option
+  | Raise of expr option * expr option
+  | If of (expr * block) list * block option
+  | While of expr * block * block option
+  | For of { target : expr; iter : expr; body : block; orelse : block option;
+             is_async : bool }
+  | With of { items : (expr * expr option) list; body : block; is_async : bool }
+  | Try of { body : block; handlers : handler list; orelse : block option;
+             finally : block option }
+  | Match of { subject : expr; cases : (expr * expr option * block) list }
+      (** [match]/[case] (3.10+).  Case patterns reuse the expression
+          grammar ([1 | 2] is [Binop "|"], [Point(x=0)] a [Call], [_] a
+          [Name]); the middle component is the optional [if] guard. *)
+  | Func_def of func
+  | Class_def of { name : string; bases : arg list; decorators : expr list;
+                   body : block }
+
+and func = {
+  name : string;
+  params : param list;
+  body : block;
+  decorators : expr list;
+  returns : expr option;
+  is_async : bool;
+}
+
+and handler = { exn_type : expr option; bind : string option; h_body : block }
+
+and block = stmt list
+
+type module_ = { body : block }
+
+type parse_error = { message : string; line : int; col : int }
+
+(** {1 Parsing} *)
+
+val parse : string -> (module_, parse_error) result
+(** Parses a Python module from source text. *)
+
+val parse_exn : string -> module_
+(** Like {!parse}.  @raise Failure with a located message. *)
+
+val parses : string -> bool
+(** [parses src] is [true] iff [src] is syntactically valid for this
+    parser.  Used by the patch validator ("the patched file must still
+    parse"). *)
+
+(** {1 Traversal} *)
+
+val iter_stmts : (stmt -> unit) -> block -> unit
+(** Pre-order visit of every statement, descending into nested blocks
+    (function bodies included). *)
+
+val iter_exprs : (expr -> unit) -> block -> unit
+(** Visit of every expression in the block, descending into nested
+    statements and sub-expressions. *)
+
+val iter_expr : (expr -> unit) -> expr -> unit
+(** Pre-order visit of one expression tree. *)
+
+val stmt_exprs : stmt -> expr list
+(** The expression roots carried directly by one statement (not
+    descending into nested blocks). *)
+
+val functions_of : module_ -> func list
+(** Every function defined in the module, at any nesting depth
+    (methods included). *)
+
+(** {1 Helpers used by the analyzers} *)
+
+val dotted_name : expr -> string option
+(** [dotted_name e] renders [Name]/[Attr] chains as ["a.b.c"]; [None] for
+    other shapes (so [foo.bar(x).baz] has no dotted name). *)
+
+val call_name : expr -> string option
+(** For a [Call] expression, the dotted name of its callee. *)
+
+val find_calls : block -> (string * arg list * int) list
+(** All calls with a resolvable dotted callee name anywhere in the block:
+    [(name, args, line)]. *)
+
+val kwarg : arg list -> string -> expr option
+(** Looks up a keyword argument by name. *)
+
+val string_value : expr -> string option
+(** The text of a plain string literal expression (not an f-string). *)
+
+val imported_modules : module_ -> string list
+(** Top-level modules made available by import statements ("os" for
+    [import os.path], "flask" for [from flask import x], ...),
+    without duplicates, in first-appearance order. *)

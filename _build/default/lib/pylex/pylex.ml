@@ -1,0 +1,451 @@
+type pos = { line : int; col : int; offset : int }
+
+type string_info = { prefix : string; quote : string; body : string }
+
+type kind =
+  | Name of string
+  | Keyword of string
+  | Int_lit of string
+  | Float_lit of string
+  | Imag_lit of string
+  | Str of string_info
+  | Op of string
+  | Comment of string
+  | Newline
+  | Nl
+  | Indent
+  | Dedent
+  | Eof
+
+type token = { kind : kind; start : pos; stop : pos }
+
+type error = { message : string; position : pos }
+
+exception Lex_error of error
+
+let keywords =
+  [
+    "False"; "None"; "True"; "and"; "as"; "assert"; "async"; "await"; "break";
+    "class"; "continue"; "def"; "del"; "elif"; "else"; "except"; "finally";
+    "for"; "from"; "global"; "if"; "import"; "in"; "is"; "lambda"; "nonlocal";
+    "not"; "or"; "pass"; "raise"; "return"; "try"; "while"; "with"; "yield";
+  ]
+
+let keyword_set = Hashtbl.create 64
+
+let () = List.iter (fun k -> Hashtbl.replace keyword_set k ()) keywords
+
+let is_keyword s = Hashtbl.mem keyword_set s
+
+(* Multi-character operators, longest first so that scanning can take the
+   first prefix match. *)
+let operators =
+  [
+    "**="; "//="; ">>="; "<<="; "...";
+    "!="; ">="; "<="; "=="; "->"; "+="; "-="; "*="; "/="; "%="; "&="; "|=";
+    "^="; ">>"; "<<"; "**"; "//"; ":="; "@=";
+    "+"; "-"; "*"; "/"; "%"; "@"; "<"; ">"; "&"; "|"; "^"; "~"; "=";
+    "("; ")"; "["; "]"; "{"; "}"; ","; ":"; "."; ";";
+  ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 128
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+  mutable depth : int;  (* open-bracket nesting *)
+  mutable indents : int list;
+  mutable out : token list;  (* accumulated tokens, reversed *)
+}
+
+let here st = { line = st.line; col = st.col; offset = st.offset }
+
+let fail st message = raise (Lex_error { message; position = here st })
+
+let len st = String.length st.src
+
+let peek st = if st.offset < len st then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < len st then Some st.src.[st.offset + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 0
+  | Some '\t' -> st.col <- st.col + (8 - (st.col mod 8))
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let emit st start kind = st.out <- { kind; start; stop = here st } :: st.out
+
+let starts_with st s =
+  let n = String.length s in
+  st.offset + n <= len st && String.sub st.src st.offset n = s
+
+let skip_n st n =
+  for _ = 1 to n do
+    advance st
+  done
+
+(* --- strings ---------------------------------------------------------- *)
+
+let string_prefix_at st =
+  (* Returns the length of a valid string prefix (r/b/f/u combination)
+     immediately followed by a quote, or 0. *)
+  let valid c =
+    match Char.lowercase_ascii c with 'r' | 'b' | 'f' | 'u' -> true | _ -> false
+  in
+  let rec scan i =
+    if i >= 3 then 0
+    else
+      match
+        if st.offset + i < len st then Some st.src.[st.offset + i] else None
+      with
+      | Some ('\'' | '"') -> i
+      | Some c when valid c && i < 2 -> scan (i + 1)
+      | Some _ | None -> 0
+  in
+  scan 0
+
+let lex_string st =
+  let start = here st in
+  let plen = string_prefix_at st in
+  let prefix =
+    String.lowercase_ascii (String.sub st.src st.offset plen)
+  in
+  skip_n st plen;
+  let qc =
+    match peek st with
+    | Some (('\'' | '"') as c) -> c
+    | Some _ | None -> fail st "expected quote"
+  in
+  let triple = starts_with st (String.make 3 qc) in
+  let quote = if triple then String.make 3 qc else String.make 1 qc in
+  skip_n st (String.length quote);
+  let body_start = st.offset in
+  let rec scan () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '\\' ->
+      advance st;
+      (match peek st with None -> fail st "unterminated string literal" | Some _ -> advance st);
+      scan ()
+    | Some '\n' when not triple -> fail st "newline in single-quoted string"
+    | Some _ when starts_with st quote ->
+      let body = String.sub st.src body_start (st.offset - body_start) in
+      skip_n st (String.length quote);
+      (prefix, quote, body)
+    | Some _ ->
+      advance st;
+      scan ()
+  in
+  let prefix, quote, body = scan () in
+  emit st start (Str { prefix; quote; body })
+
+(* --- numbers ---------------------------------------------------------- *)
+
+let lex_number st =
+  let start = here st in
+  let digits pred =
+    let rec loop () =
+      match peek st with
+      | Some c when pred c || c = '_' ->
+        advance st;
+        loop ()
+      | Some _ | None -> ()
+    in
+    loop ()
+  in
+  let is_hex c = is_digit c || (Char.lowercase_ascii c >= 'a' && Char.lowercase_ascii c <= 'f') in
+  let radix_literal () =
+    match (peek st, peek2 st) with
+    | Some '0', Some ('x' | 'X') ->
+      skip_n st 2;
+      digits is_hex;
+      true
+    | Some '0', Some ('o' | 'O') ->
+      skip_n st 2;
+      digits (fun c -> c >= '0' && c <= '7');
+      true
+    | Some '0', Some ('b' | 'B') ->
+      skip_n st 2;
+      digits (fun c -> c = '0' || c = '1');
+      true
+    | (Some _ | None), _ -> false
+  in
+  if radix_literal () then
+    let text = String.sub st.src start.offset (st.offset - start.offset) in
+    emit st start (Int_lit text)
+  else begin
+    let is_float = ref false in
+    digits is_digit;
+    (match peek st with
+    | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false)
+                    || start.offset < st.offset ->
+      is_float := true;
+      advance st;
+      digits is_digit
+    | Some _ | None -> ());
+    (match (peek st, peek2 st) with
+    | Some ('e' | 'E'), Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      digits is_digit
+    | Some ('e' | 'E'), Some ('+' | '-') ->
+      is_float := true;
+      skip_n st 2;
+      digits is_digit
+    | (Some _ | None), _ -> ());
+    let imag =
+      match peek st with
+      | Some ('j' | 'J') ->
+        advance st;
+        true
+      | Some _ | None -> false
+    in
+    let text = String.sub st.src start.offset (st.offset - start.offset) in
+    if imag then emit st start (Imag_lit text)
+    else if !is_float then emit st start (Float_lit text)
+    else emit st start (Int_lit text)
+  end
+
+(* --- main loop -------------------------------------------------------- *)
+
+let last_code_kind st =
+  let rec find = function
+    | { kind = (Comment _ | Nl); _ } :: rest -> find rest
+    | { kind; _ } :: _ -> Some kind
+    | [] -> None
+  in
+  find st.out
+
+(* Measures the indentation at the cursor (assumed at a physical line
+   start) and positions the cursor on the first non-blank char. *)
+let measure_indent st =
+  let rec loop width =
+    match peek st with
+    | Some ' ' ->
+      advance st;
+      loop (width + 1)
+    | Some '\t' ->
+      let width' = width + (8 - (width mod 8)) in
+      advance st;
+      loop width'
+    | Some '\012' ->
+      advance st;
+      loop width
+    | Some _ | None -> width
+  in
+  loop 0
+
+let handle_indentation st width =
+  let start = here st in
+  match st.indents with
+  | [] -> assert false
+  | current :: _ when width > current ->
+    st.indents <- width :: st.indents;
+    emit st start Indent
+  | current :: _ when width = current -> ()
+  | _ ->
+    let rec pop () =
+      match st.indents with
+      | current :: rest when width < current ->
+        st.indents <- rest;
+        emit st start Dedent;
+        pop ()
+      | current :: _ ->
+        if width <> current then fail st "unindent does not match any outer level"
+      | [] -> fail st "inconsistent indentation"
+    in
+    pop ()
+
+let lex_comment st =
+  let start = here st in
+  advance st;
+  (* '#' *)
+  let text_start = st.offset in
+  let rec loop () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      loop ()
+  in
+  loop ();
+  emit st start (Comment (String.sub st.src text_start (st.offset - text_start)))
+
+let lex_operator st =
+  let start = here st in
+  match List.find_opt (starts_with st) operators with
+  | None -> fail st (Printf.sprintf "stray character %C" st.src.[st.offset])
+  | Some op ->
+    (match op with
+    | "(" | "[" | "{" -> st.depth <- st.depth + 1
+    | ")" | "]" | "}" -> st.depth <- max 0 (st.depth - 1)
+    | _ -> ());
+    skip_n st (String.length op);
+    emit st start (Op op)
+
+let tokenize source =
+  let st =
+    { src = source; offset = 0; line = 1; col = 0; depth = 0; indents = [ 0 ];
+      out = [] }
+  in
+  let line_has_code = ref false in
+  let rec at_line_start () =
+    if st.offset >= len st then finish ()
+    else begin
+      let width = measure_indent st in
+      match peek st with
+      | None -> finish ()
+      | Some '\n' ->
+        (* blank line: no indent handling *)
+        let start = here st in
+        advance st;
+        emit st start Nl;
+        at_line_start ()
+      | Some '#' ->
+        lex_comment st;
+        (match peek st with
+        | Some '\n' ->
+          let start = here st in
+          advance st;
+          emit st start Nl
+        | Some _ | None -> ());
+        at_line_start ()
+      | Some _ ->
+        handle_indentation st width;
+        line_has_code := false;
+        in_line ()
+    end
+  and in_line () =
+    match peek st with
+    | None ->
+      if !line_has_code then begin
+        let start = here st in
+        emit st start Newline
+      end;
+      finish ()
+    | Some '\n' ->
+      let start = here st in
+      advance st;
+      if st.depth > 0 then begin
+        emit st start Nl;
+        in_line ()
+      end
+      else begin
+        if !line_has_code then emit st start Newline else emit st start Nl;
+        at_line_start ()
+      end
+    | Some (' ' | '\t' | '\012') ->
+      advance st;
+      in_line ()
+    | Some '\\' when peek2 st = Some '\n' ->
+      skip_n st 2;
+      in_line ()
+    | Some '#' ->
+      lex_comment st;
+      in_line ()
+    | Some c when is_ident_start c && string_prefix_at st > 0 ->
+      line_has_code := true;
+      lex_string st;
+      in_line ()
+    | Some ('\'' | '"') ->
+      line_has_code := true;
+      lex_string st;
+      in_line ()
+    | Some c when is_ident_start c ->
+      line_has_code := true;
+      let start = here st in
+      let first = st.offset in
+      let rec loop () =
+        match peek st with
+        | Some c when is_ident_char c ->
+          advance st;
+          loop ()
+        | Some _ | None -> ()
+      in
+      loop ();
+      let text = String.sub st.src first (st.offset - first) in
+      emit st start (if is_keyword text then Keyword text else Name text);
+      in_line ()
+    | Some c when is_digit c ->
+      line_has_code := true;
+      lex_number st;
+      in_line ()
+    | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+      line_has_code := true;
+      lex_number st;
+      in_line ()
+    | Some '\r' ->
+      advance st;
+      in_line ()
+    | Some _ ->
+      line_has_code := true;
+      lex_operator st;
+      in_line ()
+  and finish () =
+    (match last_code_kind st with
+    | Some (Newline | Indent | Dedent) | None -> ()
+    | Some _ ->
+      let start = here st in
+      emit st start Newline);
+    let start = here st in
+    List.iter
+      (fun level -> if level > 0 then emit st start Dedent)
+      st.indents;
+    emit st start Eof
+  in
+  match at_line_start () with
+  | () -> Ok (List.rev st.out)
+  | exception Lex_error e -> Error e
+
+let tokenize_exn source =
+  match tokenize source with
+  | Ok tokens -> tokens
+  | Error { message; position } ->
+    failwith
+      (Printf.sprintf "lex error at line %d, col %d: %s" position.line
+         position.col message)
+
+let string_of_kind = function
+  | Name s -> Printf.sprintf "NAME(%s)" s
+  | Keyword s -> Printf.sprintf "KW(%s)" s
+  | Int_lit s -> Printf.sprintf "INT(%s)" s
+  | Float_lit s -> Printf.sprintf "FLOAT(%s)" s
+  | Imag_lit s -> Printf.sprintf "IMAG(%s)" s
+  | Str { prefix; quote; body } -> Printf.sprintf "STR(%s%s%s%s)" prefix quote body quote
+  | Op s -> Printf.sprintf "OP(%s)" s
+  | Comment s -> Printf.sprintf "COMMENT(%s)" s
+  | Newline -> "NEWLINE"
+  | Nl -> "NL"
+  | Indent -> "INDENT"
+  | Dedent -> "DEDENT"
+  | Eof -> "EOF"
+
+let code_tokens tokens =
+  List.filter
+    (fun t ->
+      match t.kind with
+      | Comment _ | Nl | Indent | Dedent | Newline | Eof -> false
+      | Name _ | Keyword _ | Int_lit _ | Float_lit _ | Imag_lit _ | Str _ | Op _
+        -> true)
+    tokens
+
+let significant_line_count source =
+  let lines = String.split_on_char '\n' source in
+  let is_code line =
+    let trimmed = String.trim line in
+    trimmed <> "" && trimmed.[0] <> '#'
+  in
+  List.length (List.filter is_code lines)

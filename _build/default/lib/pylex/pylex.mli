@@ -1,0 +1,71 @@
+(** A tokenizer for Python source code.
+
+    Stands in for CPython's [tokenize] module: it produces the token
+    stream consumed by the {!Pyast} parser, the {!Standardize} named-entity
+    tagger and the lint checks of {!Metrics}.  It implements the parts of
+    the real lexical grammar that matter for analyzing (possibly
+    incomplete) AI-generated code:
+
+    - identifiers and keywords;
+    - integer and float literals (decimal, hex, octal, binary, exponents,
+      underscores);
+    - all string flavours: ['…'], ["…"], triple-quoted, and any
+      combination of [r]/[b]/[f]/[u] prefixes (f-string interiors are kept
+      verbatim, not recursively tokenized);
+    - operators and delimiters with longest-match;
+    - comments;
+    - logical newlines vs. non-logical ones ([NEWLINE] vs [NL]), implicit
+      line joining inside brackets and explicit [\\] joining;
+    - [INDENT]/[DEDENT] from an indentation stack (tabs expand to the
+      next multiple of 8, as in CPython).
+
+    The tokenizer is lossless enough to reconstruct code positions: every
+    token carries start/stop positions (line, column, byte offset). *)
+
+type pos = { line : int;  (** 1-based *) col : int;  (** 0-based *) offset : int }
+
+type string_info = {
+  prefix : string;  (** lowercased prefix letters, e.g. ["rb"] or [""] *)
+  quote : string;  (** the quote run: ["'"], ["\""], ["'''"] or ["\"\"\""] *)
+  body : string;  (** the raw text between the quotes, unescaped *)
+}
+
+type kind =
+  | Name of string
+  | Keyword of string
+  | Int_lit of string
+  | Float_lit of string
+  | Imag_lit of string
+  | Str of string_info
+  | Op of string  (** operator or delimiter, e.g. ["+="], ["("], ["->"] *)
+  | Comment of string  (** text without the leading [#] *)
+  | Newline  (** logical end of statement *)
+  | Nl  (** non-logical newline: blank line or comment-only line *)
+  | Indent
+  | Dedent
+  | Eof
+
+type token = { kind : kind; start : pos; stop : pos }
+
+type error = { message : string; position : pos }
+
+val tokenize : string -> (token list, error) result
+(** Tokenizes a whole module.  The resulting list always ends with
+    balanced [Dedent]s followed by a single [Eof].  Fails on unterminated
+    strings, stray characters and inconsistent dedents. *)
+
+val tokenize_exn : string -> token list
+(** Like {!tokenize}.  @raise Failure on lexical errors. *)
+
+val is_keyword : string -> bool
+(** Whether the identifier is one of Python's keywords. *)
+
+val string_of_kind : kind -> string
+(** Debug rendering of a token kind, e.g. [Name "x"] ↦ ["NAME(x)"]. *)
+
+val code_tokens : token list -> token list
+(** Drops layout and comment trivia ([Comment], [Nl], [Indent], [Dedent],
+    [Newline], [Eof]), keeping only tokens that carry program text. *)
+
+val significant_line_count : string -> int
+(** Number of lines that contain code (not blank, not comment-only). *)

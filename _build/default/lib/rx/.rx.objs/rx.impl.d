@@ -1,0 +1,1 @@
+lib/rx/rx.ml: Array Buffer Char Hashtbl List Option Printf Rx_ast Rx_match Rx_parser Rx_pike String

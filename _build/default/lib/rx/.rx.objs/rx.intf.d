@@ -1,0 +1,1 @@
+lib/rx/rx.mli:

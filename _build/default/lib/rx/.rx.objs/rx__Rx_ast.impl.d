@@ -1,0 +1,1 @@
+lib/rx/rx_ast.ml: List

@@ -1,0 +1,1 @@
+lib/rx/rx_match.ml: Array List Rx_ast String

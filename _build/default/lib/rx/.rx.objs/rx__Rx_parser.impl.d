@@ -1,0 +1,1 @@
+lib/rx/rx_parser.ml: Char List Printf Rx_ast String

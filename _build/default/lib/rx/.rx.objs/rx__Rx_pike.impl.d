@@ -1,0 +1,1 @@
+lib/rx/rx_pike.ml: Array List Rx_ast String

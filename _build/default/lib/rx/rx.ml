@@ -1,0 +1,238 @@
+exception Parse_error of string * int
+exception Budget_exceeded of string
+
+type t = { source : string; node : Rx_ast.node; ngroups : int }
+
+let compile source =
+  match Rx_parser.parse source with
+  | node, ngroups -> { source; node; ngroups }
+  | exception Rx_parser.Error (msg, pos) -> raise (Parse_error (msg, pos))
+
+let compile_opt source =
+  match compile source with
+  | t -> Ok t
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let pattern t = t.source
+let group_count t = t.ngroups
+
+(* Derives the "required literal" prefilter: a set of strings such that
+   any match must contain at least one of them.
+   - a literal char run in a Seq is mandatory;
+   - for Alt, every branch must contribute (the union is returned);
+   - Rep with min = 0 and optional branches contribute nothing. *)
+let required_literals t =
+  (* Longest mandatory literal of a node, or None when the node can match
+     without any fixed literal.  [None] propagates up conservatively. *)
+  let rec literals node : string list option =
+    match node with
+    | Rx_ast.Char c -> Some [ String.make 1 c ]
+    | Rx_ast.Seq nodes ->
+      (* choose the child with the best (longest shortest-member) set;
+         also merge adjacent Char runs for longer literals *)
+      let runs = char_runs nodes in
+      let from_runs =
+        match runs with
+        | [] -> None
+        | _ ->
+          let best =
+            List.fold_left
+              (fun acc r -> if String.length r > String.length acc then r else acc)
+              "" runs
+          in
+          if best = "" then None else Some [ best ]
+      in
+      let from_children =
+        List.filter_map literals nodes
+        |> List.fold_left
+             (fun acc set ->
+               match acc with
+               | None -> Some set
+               | Some best ->
+                 if shortest set > shortest best then Some set else acc)
+             None
+      in
+      (match (from_runs, from_children) with
+      | Some r, Some c -> if shortest r >= shortest c then Some r else Some c
+      | (Some _ as r), None -> r
+      | None, c -> c)
+    | Rx_ast.Alt branches ->
+      let sets = List.map literals branches in
+      if List.for_all Option.is_some sets then
+        Some (List.concat_map Option.get sets)
+      else None
+    | Rx_ast.Group (_, inner) -> literals inner
+    | Rx_ast.Rep (inner, min, _, _) -> if min >= 1 then literals inner else None
+    | Rx_ast.Empty | Rx_ast.Any | Rx_ast.Class _ | Rx_ast.Bol | Rx_ast.Eol
+    | Rx_ast.Eos | Rx_ast.Wordb | Rx_ast.Nwordb | Rx_ast.Backref _ -> None
+  and char_runs nodes =
+    let buf = Buffer.create 8 in
+    let out = ref [] in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        out := Buffer.contents buf :: !out;
+        Buffer.clear buf
+      end
+    in
+    List.iter
+      (fun n ->
+        match n with
+        | Rx_ast.Char c -> Buffer.add_char buf c
+        | _ -> flush ())
+      nodes;
+    flush ();
+    !out
+  and shortest = function
+    | [] -> 0
+    | set -> List.fold_left (fun acc s -> min acc (String.length s)) max_int set
+  in
+  match literals t.node with
+  | Some set when List.for_all (fun s -> String.length s >= 2) set -> set
+  | Some _ | None -> []
+
+type m = { subject : string; res : Rx_match.result; ngroups : int }
+
+let m_start m = m.res.Rx_match.m_start
+let m_stop m = m.res.Rx_match.m_stop
+
+let matched m = String.sub m.subject (m_start m) (m_stop m - m_start m)
+
+let group_span m i =
+  if i = 0 then Some (m_start m, m_stop m)
+  else if i < 0 || i > m.ngroups then
+    invalid_arg (Printf.sprintf "Rx.group: no group %d" i)
+  else m.res.Rx_match.m_groups.(i)
+
+let group m i =
+  match group_span m i with
+  | None -> None
+  | Some (a, b) -> Some (String.sub m.subject a (b - a))
+
+let wrap_budget f =
+  try f () with Rx_match.Budget_exceeded msg -> raise (Budget_exceeded msg)
+
+let exec ?(pos = 0) t subject =
+  wrap_budget (fun () ->
+      match Rx_match.search t.node t.ngroups subject pos with
+      | None -> None
+      | Some res -> Some { subject; res; ngroups = t.ngroups })
+
+let matches t subject = exec t subject <> None
+
+exception Unsupported_linear of string
+
+(* The Pike program is compiled on first use and cached on the pattern. *)
+let pike_cache : (string, Rx_pike.inst array) Hashtbl.t = Hashtbl.create 64
+
+let matches_linear t subject =
+  let prog =
+    match Hashtbl.find_opt pike_cache t.source with
+    | Some prog -> prog
+    | None -> (
+      match Rx_pike.compile t.node with
+      | prog ->
+        Hashtbl.replace pike_cache t.source prog;
+        prog
+      | exception Rx_pike.Unsupported what -> raise (Unsupported_linear what))
+  in
+  Rx_pike.search prog subject
+
+let matches_whole t subject =
+  wrap_budget (fun () -> Rx_match.match_whole t.node t.ngroups subject)
+
+let find_all t subject =
+  let len = String.length subject in
+  let rec loop pos acc =
+    if pos > len then List.rev acc
+    else
+      match exec ~pos t subject with
+      | None -> List.rev acc
+      | Some m ->
+        let next = if m_stop m = m_start m then m_stop m + 1 else m_stop m in
+        loop next (m :: acc)
+  in
+  loop 0 []
+
+let expand_template m template =
+  let buf = Buffer.create (String.length template + 16) in
+  let len = String.length template in
+  let add_group i =
+    match group m i with
+    | Some s -> Buffer.add_string buf s
+    | None -> ()
+  in
+  let rec loop i =
+    if i >= len then ()
+    else if template.[i] = '$' && i + 1 < len then
+      match template.[i + 1] with
+      | '$' ->
+        Buffer.add_char buf '$';
+        loop (i + 2)
+      | '{' ->
+        let close =
+          match String.index_from_opt template (i + 2) '}' with
+          | Some j -> j
+          | None -> invalid_arg "Rx.expand_template: unterminated ${"
+        in
+        let n = int_of_string (String.sub template (i + 2) (close - i - 2)) in
+        add_group n;
+        loop (close + 1)
+      | c when c >= '0' && c <= '9' ->
+        add_group (Char.code c - Char.code '0');
+        loop (i + 2)
+      | c ->
+        Buffer.add_char buf '$';
+        Buffer.add_char buf c;
+        loop (i + 2)
+    else begin
+      Buffer.add_char buf template.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let replace_f ?(count = max_int) t ~f subject =
+  let len = String.length subject in
+  let buf = Buffer.create len in
+  let rec loop pos remaining =
+    if remaining = 0 || pos > len then
+      Buffer.add_string buf (String.sub subject pos (len - pos))
+    else
+      match exec ~pos t subject with
+      | None -> Buffer.add_string buf (String.sub subject pos (len - pos))
+      | Some m ->
+        Buffer.add_string buf (String.sub subject pos (m_start m - pos));
+        Buffer.add_string buf (f m);
+        if m_stop m = m_start m then begin
+          (* Empty match: emit the next char to guarantee progress. *)
+          if m_stop m < len then Buffer.add_char buf subject.[m_stop m];
+          loop (m_stop m + 1) (remaining - 1)
+        end
+        else loop (m_stop m) (remaining - 1)
+  in
+  loop 0 count;
+  Buffer.contents buf
+
+let replace ?count t ~template subject =
+  replace_f ?count t ~f:(fun m -> expand_template m template) subject
+
+let split t subject =
+  let len = String.length subject in
+  let final field_start acc =
+    List.rev (String.sub subject field_start (len - field_start) :: acc)
+  in
+  (* [field_start] is where the current field began; empty matches are
+     skipped (they separate nothing), as Python's [re.split] does. *)
+  let rec loop field_start pos acc =
+    if pos > len then final field_start acc
+    else
+      match exec ~pos t subject with
+      | None -> final field_start acc
+      | Some m when m_stop m = m_start m -> loop field_start (pos + 1) acc
+      | Some m ->
+        let field = String.sub subject field_start (m_start m - field_start) in
+        loop (m_stop m) (m_stop m) (field :: acc)
+  in
+  loop 0 0 []

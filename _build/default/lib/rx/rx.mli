@@ -1,0 +1,118 @@
+(** A small regular-expression engine.
+
+    This is the pattern-matching substrate of the PatchitPy reproduction:
+    detection rules, the Semgrep baseline and the standardizer are all
+    expressed with it.  The dialect is a practical subset of Python's
+    [re] syntax:
+
+    - literals, [.] (any char except newline), escapes
+      [\n \t \r \f \v \0 \xHH] and identity escapes ([\.], [\\], ...);
+    - classes [[abc]], [[^abc]], ranges [[a-z0-9]], and the shorthand
+      sets [\d \D \w \W \s \S] (also inside classes);
+    - anchors [^] and [$] with {e multiline} semantics (they match at
+      every line boundary — rules are line-oriented), and word boundaries
+      [\b] / [\B];
+    - alternation [|], capturing groups [( )], non-capturing [(?: )],
+      back-references [\1]..[\9];
+    - quantifiers [* + ?] and [{m} {m,} {m,n}], each with a lazy variant
+      ([*?] etc.).  A [{] that does not parse as a quantifier is a literal
+      brace, which keeps patterns over Python dict syntax readable.
+
+    Matching is backtracking with a step budget; exceeding the budget
+    raises {!Budget_exceeded} (it indicates a pathological rule, never a
+    pathological subject in this codebase). *)
+
+type t
+(** A compiled pattern. *)
+
+exception Parse_error of string * int
+(** [Parse_error (msg, offset)]: the pattern is malformed at [offset]. *)
+
+exception Budget_exceeded of string
+(** The backtracking step budget was exhausted. *)
+
+val compile : string -> t
+(** [compile pattern] parses and compiles [pattern].
+    @raise Parse_error on malformed patterns. *)
+
+val compile_opt : string -> (t, string) result
+(** Like {!compile} but returning an error message instead of raising. *)
+
+val pattern : t -> string
+(** The source text the pattern was compiled from. *)
+
+val required_literals : t -> string list
+(** A prefilter: when non-empty, every match of the pattern contains at
+    least one of these literal substrings, so a subject containing none
+    of them cannot match.  Scanners use this to skip the full matcher on
+    most (rule, file) pairs.  An empty list means no useful literal
+    could be derived. *)
+
+val group_count : t -> int
+(** Number of capturing groups in the pattern. *)
+
+(** {1 Matching} *)
+
+type m
+(** A successful match. *)
+
+val m_start : m -> int
+(** Offset of the first matched character. *)
+
+val m_stop : m -> int
+(** Offset one past the last matched character. *)
+
+val matched : m -> string
+(** The full matched substring (group 0). *)
+
+val group : m -> int -> string option
+(** [group m i] is the text captured by group [i] (1-based), or [None] if
+    the group did not participate in the match.  [group m 0] is
+    [Some (matched m)].
+    @raise Invalid_argument if [i] exceeds the pattern's group count. *)
+
+val group_span : m -> int -> (int * int) option
+(** Offsets of group [i] in the subject, if it participated. *)
+
+val exec : ?pos:int -> t -> string -> m option
+(** [exec t s] finds the leftmost match of [t] in [s] at or after [pos]
+    (default 0). *)
+
+val matches : t -> string -> bool
+(** [matches t s] is [true] iff [t] matches somewhere in [s]. *)
+
+exception Unsupported_linear of string
+
+val matches_linear : t -> string -> bool
+(** Like {!matches} but executed on a Thompson-NFA Pike VM: time is
+    O(pattern size x subject length) regardless of the pattern, so it is
+    immune to catastrophic backtracking and suits scanning untrusted
+    input.  @raise Unsupported_linear on patterns using back-references
+    or counted repetitions beyond the expansion bound (the backtracking
+    {!matches} handles those). *)
+
+val matches_whole : t -> string -> bool
+(** [matches_whole t s] is [true] iff [t] matches all of [s]. *)
+
+val find_all : t -> string -> m list
+(** All non-overlapping matches, left to right.  Empty matches advance the
+    scan by one character, as Python's [re.finditer] does. *)
+
+(** {1 Rewriting} *)
+
+val replace : ?count:int -> t -> template:string -> string -> string
+(** [replace t ~template s] rewrites every match of [t] in [s] (or the
+    first [count] matches) with [template] expanded: [$0]..[$9] and
+    [${nn}] insert the corresponding captured group (empty if unset) and
+    [$$] inserts a literal dollar. *)
+
+val replace_f : ?count:int -> t -> f:(m -> string) -> string -> string
+(** Like {!replace} with a computed replacement per match. *)
+
+val split : t -> string -> string list
+(** Splits the subject on every match of [t].  Adjacent matches yield
+    empty fields; an unmatched subject yields a single field. *)
+
+val expand_template : m -> string -> string
+(** [expand_template m template] performs the [$n] expansion of
+    {!replace} against a single match. *)

@@ -1,0 +1,124 @@
+(* Backtracking matcher over the Rx_ast tree.
+
+   The matcher is written in continuation-passing style: [run node pos k]
+   attempts to match [node] starting at offset [pos] and calls [k pos']
+   for every way the node can match; [k] returns [true] to accept.  Group
+   spans are recorded in a mutable array and restored on backtrack.  A step
+   budget guards against catastrophic backtracking — the rule patterns in
+   this project are small, so hitting the budget indicates a buggy rule and
+   raises [Budget_exceeded]. *)
+
+exception Budget_exceeded of string
+
+type result = { m_start : int; m_stop : int; m_groups : (int * int) option array }
+
+let default_budget = 2_000_000
+
+let at_word_boundary subject pos =
+  let len = String.length subject in
+  let before = pos > 0 && Rx_ast.is_word_char subject.[pos - 1] in
+  let after = pos < len && Rx_ast.is_word_char subject.[pos] in
+  before <> after
+
+(* Attempts a match of [node] anchored at [start].  Returns the end offset
+   of the leftmost match found under the usual greedy/lazy preferences. *)
+let match_at ?(budget = default_budget) node ngroups subject start =
+  let len = String.length subject in
+  let groups = Array.make (ngroups + 1) None in
+  let steps = ref 0 in
+  let tick () =
+    incr steps;
+    if !steps > budget then raise (Budget_exceeded "regex step budget exceeded")
+  in
+  let rec run node pos k =
+    tick ();
+    match node with
+    | Rx_ast.Empty -> k pos
+    | Rx_ast.Char c -> pos < len && subject.[pos] = c && k (pos + 1)
+    | Rx_ast.Any -> pos < len && subject.[pos] <> '\n' && k (pos + 1)
+    | Rx_ast.Class cls -> pos < len && Rx_ast.class_matches cls subject.[pos] && k (pos + 1)
+    | Rx_ast.Seq nodes ->
+      let rec seq nodes pos k =
+        match nodes with
+        | [] -> k pos
+        | n :: rest -> run n pos (fun pos' -> seq rest pos' k)
+      in
+      seq nodes pos k
+    | Rx_ast.Alt branches ->
+      List.exists (fun branch -> run branch pos k) branches
+    | Rx_ast.Group (idx, inner) ->
+      let saved = groups.(idx) in
+      let ok =
+        run inner pos (fun pos' ->
+            groups.(idx) <- Some (pos, pos');
+            k pos')
+      in
+      if not ok then groups.(idx) <- saved;
+      ok
+    | Rx_ast.Rep (inner, min, max, greed) -> rep inner min max greed pos k
+    | Rx_ast.Bol -> (pos = 0 || subject.[pos - 1] = '\n') && k pos
+    | Rx_ast.Eol -> (pos = len || subject.[pos] = '\n') && k pos
+    | Rx_ast.Eos -> pos = len && k pos
+    | Rx_ast.Wordb -> at_word_boundary subject pos && k pos
+    | Rx_ast.Nwordb -> (not (at_word_boundary subject pos)) && k pos
+    | Rx_ast.Backref idx -> (
+      match groups.(idx) with
+      | None -> k pos (* unset group matches the empty string, as in Python *)
+      | Some (gs, ge) ->
+        let glen = ge - gs in
+        pos + glen <= len
+        && String.sub subject pos glen = String.sub subject gs glen
+        && k (pos + glen))
+  and rep inner min max greed pos k =
+    let within count = match max with None -> true | Some m -> count < m in
+    (* [go count pos] has already matched [count] copies ending at [pos]. *)
+    let rec go count pos k =
+      tick ();
+      match greed with
+      | Rx_ast.Greedy ->
+        (within count
+        && run inner pos (fun pos' ->
+               (* Zero-width progress guard: stop expanding when the body
+                  matched the empty string, which would loop forever. *)
+               if pos' = pos then count + 1 >= min && k pos'
+               else go (count + 1) pos' k))
+        || (count >= min && k pos)
+      | Rx_ast.Lazy ->
+        (count >= min && k pos)
+        || within count
+           && run inner pos (fun pos' ->
+                  if pos' = pos then false else go (count + 1) pos' k)
+    in
+    go 0 pos k
+  in
+  let stop = ref (-1) in
+  let accepted =
+    run node start (fun pos ->
+        stop := pos;
+        true)
+  in
+  if accepted then Some { m_start = start; m_stop = !stop; m_groups = Array.copy groups }
+  else None
+
+(* Anchored full match: accepts only when the whole subject is consumed
+   (Python's fullmatch) — the matcher backtracks into other alternatives
+   if the preferred one stops short. *)
+let match_whole ?(budget = default_budget) node ngroups subject =
+  let len = String.length subject in
+  match
+    match_at ~budget (Rx_ast.Seq [ node; Rx_ast.Eos ]) ngroups subject 0
+  with
+  | Some r -> r.m_stop = len
+  | None -> false
+
+(* Leftmost search: tries every start offset from [pos]. *)
+let search ?budget node ngroups subject pos =
+  let len = String.length subject in
+  let rec loop start =
+    if start > len then None
+    else
+      match match_at ?budget node ngroups subject start with
+      | Some _ as r -> r
+      | None -> loop (start + 1)
+  in
+  if pos < 0 then invalid_arg "Rx: negative position" else loop pos

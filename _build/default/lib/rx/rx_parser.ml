@@ -1,0 +1,301 @@
+(* Recursive-descent parser for the regex dialect documented in rx.mli.
+   Grammar (standard precedence):
+     alt    ::= seq ('|' seq)*
+     seq    ::= rep*
+     rep    ::= atom quantifier?
+     atom   ::= char | '.' | class | group | anchor | escape
+*)
+
+exception Error of string * int
+
+type state = { src : string; mutable pos : int; mutable ngroups : int }
+
+let error st msg = raise (Error (msg, st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let eat st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let digit_val c = Char.code c - Char.code '0'
+
+(* Parses a possibly-empty integer at the cursor. *)
+let parse_int st =
+  let start = st.pos in
+  let rec loop acc =
+    match peek st with
+    | Some c when c >= '0' && c <= '9' ->
+      advance st;
+      loop ((acc * 10) + digit_val c)
+    | Some _ | None -> if st.pos = start then None else Some acc
+  in
+  loop 0
+
+let escape_char st c =
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | 'f' -> '\012'
+  | 'v' -> '\011'
+  | '0' -> '\000'
+  | 'a' -> '\007'
+  | 'x' ->
+    let hex () =
+      match peek st with
+      | Some c
+        when (c >= '0' && c <= '9')
+             || (c >= 'a' && c <= 'f')
+             || (c >= 'A' && c <= 'F') ->
+        advance st;
+        if c <= '9' then digit_val c
+        else if c >= 'a' then Char.code c - Char.code 'a' + 10
+        else Char.code c - Char.code 'A' + 10
+      | Some _ | None -> error st "expected hex digit after \\x"
+    in
+    let hi = hex () in
+    let lo = hex () in
+    Char.chr ((hi * 16) + lo)
+  | c -> c (* any other escaped char stands for itself: \. \\ \[ \( etc. *)
+
+let class_escape c =
+  match c with
+  | 'd' -> Some Rx_ast.Digit
+  | 'D' -> Some Rx_ast.Nondigit
+  | 'w' -> Some Rx_ast.Word
+  | 'W' -> Some Rx_ast.Nonword
+  | 's' -> Some Rx_ast.Space
+  | 'S' -> Some Rx_ast.Nonspace
+  | _ -> None
+
+(* Parses the body of a [...] class; the opening '[' is already consumed. *)
+let parse_class st =
+  let negated =
+    match peek st with
+    | Some '^' ->
+      advance st;
+      true
+    | Some _ | None -> false
+  in
+  let items = ref [] in
+  let push i = items := i :: !items in
+  (* A ']' directly after '[' or '[^' is a literal. *)
+  (match peek st with
+  | Some ']' ->
+    advance st;
+    push (Rx_ast.Cchar ']')
+  | Some _ | None -> ());
+  let read_class_char () =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> error st "dangling backslash in class"
+      | Some c -> (
+        advance st;
+        match class_escape c with
+        | Some kind -> `Set kind
+        | None -> `Char (escape_char st c)))
+    | Some c ->
+      advance st;
+      `Char c
+  in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated character class"
+    | Some ']' -> advance st
+    | Some _ -> (
+      match read_class_char () with
+      | `Set kind ->
+        push (Rx_ast.Cset kind);
+        loop ()
+      | `Char c -> (
+        (* Range if followed by '-' and a char other than ']'. *)
+        match peek st with
+        | Some '-' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] <> ']'
+          -> (
+          advance st;
+          match read_class_char () with
+          | `Set _ -> error st "invalid range endpoint"
+          | `Char hi ->
+            if hi < c then error st "invalid range (hi < lo)";
+            push (Rx_ast.Crange (c, hi));
+            loop ())
+        | Some _ | None ->
+          push (Rx_ast.Cchar c);
+          loop ()))
+  in
+  loop ();
+  { Rx_ast.negated; items = List.rev !items }
+
+let rec parse_alt st =
+  let first = parse_seq st in
+  let rec loop acc =
+    match peek st with
+    | Some '|' ->
+      advance st;
+      loop (parse_seq st :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  match loop [ first ] with [ single ] -> single | branches -> Rx_ast.Alt branches
+
+and parse_seq st =
+  let rec loop acc =
+    match peek st with
+    | None | Some '|' | Some ')' -> (
+      match List.rev acc with [] -> Rx_ast.Empty | [ n ] -> n | ns -> Rx_ast.Seq ns)
+    | Some _ -> loop (parse_rep st :: acc)
+  in
+  loop []
+
+and parse_rep st =
+  let atom = parse_atom st in
+  let quantified min max =
+    advance st;
+    let greed =
+      match peek st with
+      | Some '?' ->
+        advance st;
+        Rx_ast.Lazy
+      | Some _ | None -> Rx_ast.Greedy
+    in
+    Rx_ast.Rep (atom, min, max, greed)
+  in
+  match peek st with
+  | Some '*' -> quantified 0 None
+  | Some '+' -> quantified 1 None
+  | Some '?' -> quantified 0 (Some 1)
+  | Some '{' -> (
+    (* '{' only acts as a quantifier when it parses as {m}, {m,}, {m,n};
+       otherwise it is a literal (convenient for matching Python dicts). *)
+    let saved = st.pos in
+    advance st;
+    match parse_int st with
+    | None ->
+      st.pos <- saved;
+      atom
+    | Some min -> (
+      match peek st with
+      | Some '}' ->
+        advance st;
+        let greed =
+          match peek st with
+          | Some '?' ->
+            advance st;
+            Rx_ast.Lazy
+          | Some _ | None -> Rx_ast.Greedy
+        in
+        Rx_ast.Rep (atom, min, Some min, greed)
+      | Some ',' -> (
+        advance st;
+        let max = parse_int st in
+        match peek st with
+        | Some '}' ->
+          advance st;
+          (match max with
+          | Some m when m < min -> error st "invalid quantifier {m,n} with n < m"
+          | Some _ | None -> ());
+          let greed =
+            match peek st with
+            | Some '?' ->
+              advance st;
+              Rx_ast.Lazy
+            | Some _ | None -> Rx_ast.Greedy
+          in
+          Rx_ast.Rep (atom, min, max, greed)
+        | Some _ | None ->
+          st.pos <- saved;
+          atom)
+      | Some _ | None ->
+        st.pos <- saved;
+        atom))
+  | Some _ | None -> atom
+
+and parse_atom st =
+  match peek st with
+  | None -> error st "expected atom"
+  | Some '(' -> (
+    advance st;
+    match peek st with
+    | Some '?' -> (
+      advance st;
+      match peek st with
+      | Some ':' ->
+        advance st;
+        let inner = parse_alt st in
+        eat st ')';
+        inner
+      | Some _ | None -> error st "unsupported group flag (only (?:...) )")
+    | Some _ | None ->
+      st.ngroups <- st.ngroups + 1;
+      let idx = st.ngroups in
+      let inner = parse_alt st in
+      eat st ')';
+      Rx_ast.Group (idx, inner))
+  | Some '[' ->
+    advance st;
+    Rx_ast.Class (parse_class st)
+  | Some '.' ->
+    advance st;
+    Rx_ast.Any
+  | Some '^' ->
+    advance st;
+    Rx_ast.Bol
+  | Some '$' ->
+    advance st;
+    Rx_ast.Eol
+  | Some '\\' -> (
+    advance st;
+    match peek st with
+    | None -> error st "dangling backslash"
+    | Some 'b' ->
+      advance st;
+      Rx_ast.Wordb
+    | Some 'B' ->
+      advance st;
+      Rx_ast.Nwordb
+    | Some c when c >= '1' && c <= '9' ->
+      advance st;
+      Rx_ast.Backref (digit_val c)
+    | Some c -> (
+      advance st;
+      match class_escape c with
+      | Some kind -> Rx_ast.Class { negated = false; items = [ Cset kind ] }
+      | None -> Rx_ast.Char (escape_char st c)))
+  | Some (('*' | '+' | '?') as c) ->
+    error st (Printf.sprintf "quantifier '%c' with nothing to repeat" c)
+  | Some ')' -> error st "unmatched ')'"
+  | Some c ->
+    advance st;
+    Rx_ast.Char c
+
+(* Back-references must name an existing capturing group (as in Python,
+   where \9 without nine groups is an "invalid group reference"). *)
+let rec check_backrefs ngroups node =
+  match node with
+  | Rx_ast.Backref i ->
+    if i > ngroups then
+      raise (Error (Printf.sprintf "invalid group reference \\%d" i, 0))
+  | Rx_ast.Seq nodes | Rx_ast.Alt nodes ->
+    List.iter (check_backrefs ngroups) nodes
+  | Rx_ast.Group (_, inner) | Rx_ast.Rep (inner, _, _, _) ->
+    check_backrefs ngroups inner
+  | Rx_ast.Empty | Rx_ast.Char _ | Rx_ast.Any | Rx_ast.Class _ | Rx_ast.Bol
+  | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb | Rx_ast.Nwordb -> ()
+
+(* Entry point: parses a whole pattern, returning the AST and the number of
+   capturing groups. *)
+let parse pattern =
+  let st = { src = pattern; pos = 0; ngroups = 0 } in
+  let node = parse_alt st in
+  (match peek st with
+  | Some ')' -> error st "unmatched ')'"
+  | Some _ -> error st "trailing garbage"
+  | None -> ());
+  check_backrefs st.ngroups node;
+  (node, st.ngroups)

@@ -1,0 +1,159 @@
+(* A Pike-VM matcher over a Thompson-NFA compilation of the regex AST.
+
+   Unlike the backtracking matcher, execution is O(|program| * |subject|)
+   regardless of the pattern — no catastrophic blow-up — at the price of
+   two features the rule engine's patcher needs (capture groups and
+   back-references).  It therefore backs the boolean [matches_linear]
+   fast path used when scanning untrusted inputs. *)
+
+exception Unsupported of string
+
+type inst =
+  | I_char of char
+  | I_any
+  | I_class of Rx_ast.cls
+  | I_match
+  | I_jmp of int
+  | I_split of int * int  (* preferred branch first *)
+  | I_bol
+  | I_eol
+  | I_eos
+  | I_wordb
+  | I_nwordb
+
+(* Counted repetitions are expanded by copying; beyond this bound the
+   program would bloat, so the caller falls back to backtracking. *)
+let max_counted_expansion = 64
+
+let compile node =
+  let prog = ref [] in
+  let len = ref 0 in
+  let emit inst =
+    prog := inst :: !prog;
+    incr len;
+    !len - 1
+  in
+  let patch idx inst = prog := List.mapi (fun i x -> if !len - 1 - i = idx then inst else x) !prog in
+  let rec go node =
+    match node with
+    | Rx_ast.Empty -> ()
+    | Rx_ast.Char c -> ignore (emit (I_char c))
+    | Rx_ast.Any -> ignore (emit I_any)
+    | Rx_ast.Class cls -> ignore (emit (I_class cls))
+    | Rx_ast.Seq nodes -> List.iter go nodes
+    | Rx_ast.Alt branches -> alt branches
+    | Rx_ast.Group (_, inner) -> go inner (* captures are not tracked *)
+    | Rx_ast.Rep (inner, min, max, greed) -> rep inner min max greed
+    | Rx_ast.Bol -> ignore (emit I_bol)
+    | Rx_ast.Eol -> ignore (emit I_eol)
+    | Rx_ast.Eos -> ignore (emit I_eos)
+    | Rx_ast.Wordb -> ignore (emit I_wordb)
+    | Rx_ast.Nwordb -> ignore (emit I_nwordb)
+    | Rx_ast.Backref _ -> raise (Unsupported "back-reference")
+  and alt = function
+    | [] -> ()
+    | [ only ] -> go only
+    | first :: rest ->
+      let split = emit (I_jmp 0) (* placeholder *) in
+      go first;
+      let jmp = emit (I_jmp 0) (* placeholder *) in
+      let rest_start = !len in
+      alt rest;
+      patch split (I_split (split + 1, rest_start));
+      patch jmp (I_jmp !len)
+  and rep inner min max greed =
+    (match max with
+    | Some m when m > max_counted_expansion ->
+      raise (Unsupported "large counted repetition")
+    | Some _ | None -> ());
+    if min > max_counted_expansion then
+      raise (Unsupported "large counted repetition");
+    (* mandatory copies *)
+    for _ = 1 to min do
+      go inner
+    done;
+    match max with
+    | None ->
+      (* star: L: split(body, out); body; jmp L *)
+      let split = emit (I_jmp 0) in
+      go inner;
+      ignore (emit (I_jmp split));
+      let out = !len in
+      let body = split + 1 in
+      patch split
+        (match greed with
+        | Rx_ast.Greedy -> I_split (body, out)
+        | Rx_ast.Lazy -> I_split (out, body))
+    | Some m ->
+      (* (max - min) optional copies *)
+      let exits = ref [] in
+      for _ = 1 to m - min do
+        let split = emit (I_jmp 0) in
+        exits := split :: !exits;
+        go inner
+      done;
+      let out = !len in
+      List.iter
+        (fun split ->
+          patch split
+            (match greed with
+            | Rx_ast.Greedy -> I_split (split + 1, out)
+            | Rx_ast.Lazy -> I_split (out, split + 1)))
+        !exits
+  in
+  go node;
+  ignore (emit I_match);
+  Array.of_list (List.rev !prog)
+
+let at_word_boundary subject pos =
+  let len = String.length subject in
+  let before = pos > 0 && Rx_ast.is_word_char subject.[pos - 1] in
+  let after = pos < len && Rx_ast.is_word_char subject.[pos] in
+  before <> after
+
+(* Unanchored boolean search. *)
+let search prog subject =
+  let n = Array.length prog in
+  let len = String.length subject in
+  let current = Array.make n false in
+  let next = Array.make n false in
+  let matched = ref false in
+  (* Adds pc and transitively every pc reachable through zero-width
+     instructions at position [pos]. *)
+  let rec add set pos pc =
+    if pc < n && not set.(pc) then begin
+      set.(pc) <- true;
+      match prog.(pc) with
+      | I_jmp t -> add set pos t
+      | I_split (a, b) ->
+        add set pos a;
+        add set pos b
+      | I_bol -> if pos = 0 || subject.[pos - 1] = '\n' then add set pos (pc + 1)
+      | I_eol -> if pos = len || subject.[pos] = '\n' then add set pos (pc + 1)
+      | I_eos -> if pos = len then add set pos (pc + 1)
+      | I_wordb -> if at_word_boundary subject pos then add set pos (pc + 1)
+      | I_nwordb -> if not (at_word_boundary subject pos) then add set pos (pc + 1)
+      | I_match -> matched := true
+      | I_char _ | I_any | I_class _ -> ()
+    end
+  in
+  let pos = ref 0 in
+  add current !pos 0;
+  while (not !matched) && !pos < len do
+    let c = subject.[!pos] in
+    Array.fill next 0 n false;
+    for pc = 0 to n - 1 do
+      if current.(pc) then
+        match prog.(pc) with
+        | I_char c' -> if c = c' then add next (!pos + 1) (pc + 1)
+        | I_any -> if c <> '\n' then add next (!pos + 1) (pc + 1)
+        | I_class cls -> if Rx_ast.class_matches cls c then add next (!pos + 1) (pc + 1)
+        | I_match | I_jmp _ | I_split _ | I_bol | I_eol | I_eos | I_wordb
+        | I_nwordb -> ()
+    done;
+    incr pos;
+    (* unanchored: a new attempt can begin at every offset *)
+    add next !pos 0;
+    Array.blit next 0 current 0 n
+  done;
+  !matched

@@ -1,0 +1,43 @@
+(** Code standardization for rule derivation (§II-A of the paper).
+
+    Before extracting common implementation patterns with LCS, PatchitPy
+    {e standardizes} each snippet: a named-entity tagger collects the
+    "standardizable" tokens — the input and output parameters of function
+    calls — and rewrites each distinct one to [var0], [var1], ... in order
+    of first appearance.  Everything that documents {e behaviour} is
+    preserved:
+
+    - keywords, operators, call/attribute structure;
+    - configuration parameters, recognized by the ["="] symbol
+      ([debug=True] stays [debug=True]) and keyword literals
+      ([True]/[False]/[None]) and numbers;
+    - constructor calls (capitalized callees such as [Flask(...)]) and
+      decorator lines ([@app.route("/x")]), which configure frameworks
+      rather than process data;
+    - dunder names ([__name__], [__main__]) wherever they appear.
+
+    What {e is} standardized:
+
+    - targets of assignments whose right-hand side calls a plain
+      (lowercase) function or method — the call's {e output} parameter;
+    - positional arguments of such calls that are simple names or string
+      literals — the call's {e input} parameters;
+    - every further occurrence of a token once it is mapped, including
+      interpolations inside f-strings ([f"<p>{name}</p>"] becomes
+      [f"<p>{var0}</p>"] once [name] ↦ [var0]). *)
+
+type mapping = (string * string) list
+(** Assoc list from original token text to its [var#] replacement, in
+    order of first appearance.  String-literal keys include their
+    quotes. *)
+
+val standardize : string -> (string * mapping, string) result
+(** [standardize code] returns the standardized code and the tagger's
+    dictionary, or an error message when [code] cannot be tokenized. *)
+
+val standardize_exn : string -> string * mapping
+(** Like {!standardize}.  @raise Failure on lexical errors. *)
+
+val standardized_equal : string -> string -> bool
+(** Whether two snippets are identical after standardization — the
+    equivalence the rule-derivation pipeline pairs samples by. *)

@@ -1,0 +1,299 @@
+type block = { a_start : int; b_start : int; size : int }
+
+type opcode = { tag : tag; a_lo : int; a_hi : int; b_lo : int; b_hi : int }
+
+and tag = Equal | Replace | Delete | Insert
+
+type t = {
+  a : string array;
+  b : string array;
+  b2j : (string, int list) Hashtbl.t;  (* element -> positions in b, ascending *)
+}
+
+let create ?(autojunk = true) a b =
+  let b2j = Hashtbl.create (Array.length b) in
+  Array.iteri
+    (fun j x ->
+      let prev = try Hashtbl.find b2j x with Not_found -> [] in
+      Hashtbl.replace b2j x (j :: prev))
+    b;
+  (* positions were accumulated in reverse *)
+  Hashtbl.iter (fun _ _ -> ()) b2j;
+  let keys = Hashtbl.fold (fun k v acc -> (k, v) :: acc) b2j [] in
+  List.iter (fun (k, v) -> Hashtbl.replace b2j k (List.rev v)) keys;
+  let n = Array.length b in
+  if autojunk && n >= 200 then begin
+    let ntest = (n / 100) + 1 in
+    List.iter
+      (fun (k, v) -> if List.length v > ntest then Hashtbl.remove b2j k)
+      keys
+  end;
+  { a; b; b2j }
+
+let find_longest_match t ~a_lo ~a_hi ~b_lo ~b_hi =
+  (* difflib's algorithm: j2len maps a position j in b to the length of
+     the longest match ending at (i, j); scanning i left to right keeps
+     the earliest-in-a preference, and taking strict improvements keeps
+     the earliest-in-b preference. *)
+  let best_i = ref a_lo and best_j = ref b_lo and best_size = ref 0 in
+  let j2len = Hashtbl.create 16 in
+  for i = a_lo to a_hi - 1 do
+    let newj2len = Hashtbl.create 16 in
+    let positions = try Hashtbl.find t.b2j t.a.(i) with Not_found -> [] in
+    List.iter
+      (fun j ->
+        if j >= b_lo && j < b_hi then begin
+          let k = 1 + (try Hashtbl.find j2len (j - 1) with Not_found -> 0) in
+          Hashtbl.replace newj2len j k;
+          if k > !best_size then begin
+            best_i := i - k + 1;
+            best_j := j - k + 1;
+            best_size := k
+          end
+        end)
+      positions;
+    Hashtbl.reset j2len;
+    Hashtbl.iter (fun j k -> Hashtbl.replace j2len j k) newj2len
+  done;
+  { a_start = !best_i; b_start = !best_j; size = !best_size }
+
+let matching_blocks t =
+  let la = Array.length t.a and lb = Array.length t.b in
+  (* Recursive split around the longest match, as in difflib (their
+     explicit queue is just a traversal order; ours is DFS, and the
+     result is sorted afterwards either way). *)
+  let blocks = ref [] in
+  let rec go a_lo a_hi b_lo b_hi =
+    let m = find_longest_match t ~a_lo ~a_hi ~b_lo ~b_hi in
+    if m.size > 0 then begin
+      blocks := m :: !blocks;
+      if a_lo < m.a_start && b_lo < m.b_start then
+        go a_lo m.a_start b_lo m.b_start;
+      if m.a_start + m.size < a_hi && m.b_start + m.size < b_hi then
+        go (m.a_start + m.size) a_hi (m.b_start + m.size) b_hi
+    end
+  in
+  go 0 la 0 lb;
+  let sorted =
+    List.sort
+      (fun x y ->
+        match compare x.a_start y.a_start with
+        | 0 -> compare x.b_start y.b_start
+        | c -> c)
+      !blocks
+  in
+  (* Merge adjacent blocks. *)
+  let merged =
+    List.fold_left
+      (fun acc blk ->
+        match acc with
+        | prev :: rest
+          when prev.a_start + prev.size = blk.a_start
+               && prev.b_start + prev.size = blk.b_start ->
+          { prev with size = prev.size + blk.size } :: rest
+        | _ -> blk :: acc)
+      [] sorted
+    |> List.rev
+  in
+  merged @ [ { a_start = la; b_start = lb; size = 0 } ]
+
+let opcodes t =
+  let rec build i j blocks acc =
+    match blocks with
+    | [] -> List.rev acc
+    | { a_start; b_start; size } :: rest ->
+      let acc =
+        if i < a_start && j < b_start then
+          { tag = Replace; a_lo = i; a_hi = a_start; b_lo = j; b_hi = b_start }
+          :: acc
+        else if i < a_start then
+          { tag = Delete; a_lo = i; a_hi = a_start; b_lo = j; b_hi = j } :: acc
+        else if j < b_start then
+          { tag = Insert; a_lo = i; a_hi = i; b_lo = j; b_hi = b_start } :: acc
+        else acc
+      in
+      let acc =
+        if size > 0 then
+          { tag = Equal; a_lo = a_start; a_hi = a_start + size; b_lo = b_start;
+            b_hi = b_start + size }
+          :: acc
+        else acc
+      in
+      build (a_start + size) (b_start + size) rest acc
+  in
+  build 0 0 (matching_blocks t) []
+
+let ratio t =
+  let matches =
+    List.fold_left (fun acc b -> acc + b.size) 0 (matching_blocks t)
+  in
+  let total = Array.length t.a + Array.length t.b in
+  if total = 0 then 1.0 else 2.0 *. float_of_int matches /. float_of_int total
+
+(* --- LCS --------------------------------------------------------------- *)
+
+let lcs a b =
+  let n = Array.length a and m = Array.length b in
+  (* dp.(i).(j) = LCS length of a[i..] and b[j..] *)
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      dp.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + dp.(i + 1).(j + 1)
+         else max dp.(i + 1).(j) dp.(i).(j + 1))
+    done
+  done;
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    if a.(!i) = b.(!j) then begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+    else if dp.(!i + 1).(!j) >= dp.(!i).(!j + 1) then incr i
+    else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let lines_of text = Array.of_list (String.split_on_char '\n' text)
+
+let lcs_lines a b = Array.to_list (lcs (lines_of a) (lines_of b))
+
+let added_segments ~a ~b =
+  let t = create a b in
+  List.filter_map
+    (fun op ->
+      match op.tag with
+      | Insert | Replace -> Some (Array.sub b op.b_lo (op.b_hi - op.b_lo))
+      | Equal | Delete -> None)
+    (opcodes t)
+
+let render_diff ~a ~b =
+  let la = lines_of a and lb = lines_of b in
+  let t = create la lb in
+  let buf = Buffer.create 256 in
+  let emit prefix line =
+    Buffer.add_char buf prefix;
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun op ->
+      match op.tag with
+      | Equal ->
+        for i = op.a_lo to op.a_hi - 1 do
+          emit ' ' la.(i)
+        done
+      | Delete ->
+        for i = op.a_lo to op.a_hi - 1 do
+          emit '-' la.(i)
+        done
+      | Insert ->
+        for j = op.b_lo to op.b_hi - 1 do
+          emit '+' lb.(j)
+        done
+      | Replace ->
+        for i = op.a_lo to op.a_hi - 1 do
+          emit '-' la.(i)
+        done;
+        for j = op.b_lo to op.b_hi - 1 do
+          emit '+' lb.(j)
+        done)
+    (opcodes t);
+  Buffer.contents buf
+
+(* Groups opcodes into hunks whose equal runs are trimmed to [context]
+   lines, as difflib's grouped opcodes do. *)
+let unified ?(context = 3) a b =
+  let la = lines_of a and lb = lines_of b in
+  let ops = opcodes (create la lb) in
+  if List.for_all (fun op -> op.tag = Equal) ops then ""
+  else begin
+    (* trim equal runs to [context] lines, as difflib's grouped opcodes
+       do: the leading run keeps only its tail, the trailing run only its
+       head, interior runs split when longer than 2*context *)
+    let count = List.length ops in
+    let trimmed =
+      List.concat
+        (List.mapi
+           (fun i op ->
+             let size = op.a_hi - op.a_lo in
+             match op.tag with
+             | Equal when i = 0 && size > context ->
+               [ { op with a_lo = op.a_hi - context; b_lo = op.b_hi - context } ]
+             | Equal when i = count - 1 && size > context ->
+               [ { op with a_hi = op.a_lo + context; b_hi = op.b_lo + context } ]
+             | Equal when i > 0 && i < count - 1 && size > 2 * context ->
+               [
+                 { op with a_hi = op.a_lo + context; b_hi = op.b_lo + context };
+                 { op with a_lo = op.a_hi - context; b_lo = op.b_hi - context };
+               ]
+             | _ -> [ op ])
+           ops)
+    in
+    (* group into hunks: accumulate, split where consecutive ops are not
+       contiguous (the trim above created the only gaps) *)
+    let rec split_gaps current acc = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | op :: rest -> (
+        match current with
+        | prev :: _ when op.a_lo > prev.a_hi ->
+          split_gaps [ op ] (List.rev current :: acc) rest
+        | _ -> split_gaps (op :: current) acc rest)
+    in
+    let hunks =
+      split_gaps [] [] trimmed
+      |> List.filter (fun hunk -> List.exists (fun op -> op.tag <> Equal) hunk)
+    in
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun hunk ->
+        let first = List.hd hunk and last = List.nth hunk (List.length hunk - 1) in
+        Buffer.add_string buf
+          (Printf.sprintf "@@ -%d,%d +%d,%d @@
+" (first.a_lo + 1)
+             (last.a_hi - first.a_lo) (first.b_lo + 1) (last.b_hi - first.b_lo));
+        List.iter
+          (fun op ->
+            let emit prefix line =
+              Buffer.add_char buf prefix;
+              Buffer.add_string buf line;
+              Buffer.add_char buf '\n'
+            in
+            match op.tag with
+            | Equal -> for i = op.a_lo to op.a_hi - 1 do emit ' ' la.(i) done
+            | Delete -> for i = op.a_lo to op.a_hi - 1 do emit '-' la.(i) done
+            | Insert -> for j = op.b_lo to op.b_hi - 1 do emit '+' lb.(j) done
+            | Replace ->
+              for i = op.a_lo to op.a_hi - 1 do emit '-' la.(i) done;
+              for j = op.b_lo to op.b_hi - 1 do emit '+' lb.(j) done)
+          hunk)
+      hunks;
+    Buffer.contents buf
+  end
+
+let words text =
+  let out = ref [] in
+  let n = String.length text in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word text.[!i] do
+        incr i
+      done;
+      out := String.sub text start (!i - start) :: !out
+    end
+    else begin
+      out := String.make 1 c :: !out;
+      incr i
+    end
+  done;
+  Array.of_list (List.rev !out)

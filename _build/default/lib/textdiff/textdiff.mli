@@ -1,0 +1,78 @@
+(** Sequence comparison utilities.
+
+    A faithful port of the parts of Python's [difflib] that PatchitPy's
+    rule-derivation pipeline uses ([SequenceMatcher] semantics, including
+    the popularity heuristic), plus a classic longest-common-subsequence
+    implementation — the paper extracts common implementation patterns
+    from pairs of standardized samples with LCS, then diffs the vulnerable
+    and safe patterns with [SequenceMatcher] (§II-A). *)
+
+(** {1 SequenceMatcher} *)
+
+type block = { a_start : int; b_start : int; size : int }
+(** A maximal run of equal elements: [a.(a_start+k) = b.(b_start+k)] for
+    [0 <= k < size]. *)
+
+type opcode = {
+  tag : tag;
+  a_lo : int;
+  a_hi : int;
+  b_lo : int;
+  b_hi : int;
+}
+
+and tag = Equal | Replace | Delete | Insert
+
+type t
+(** A matcher comparing two sequences of strings (typically token
+    sequences or lines). *)
+
+val create : ?autojunk:bool -> string array -> string array -> t
+(** [create a b] prepares a matcher.  With [autojunk] (default [true]),
+    elements appearing in more than 1 % of a [b] longer than 200 items are
+    ignored when seeding matches, as in Python. *)
+
+val find_longest_match : t -> a_lo:int -> a_hi:int -> b_lo:int -> b_hi:int -> block
+(** Longest matching block within [a[a_lo,a_hi)] × [b[b_lo,b_hi)];
+    ties resolve to the earliest block in [a], then in [b] — exactly
+    difflib's preference. *)
+
+val matching_blocks : t -> block list
+(** All matching blocks in order, adjacent blocks merged, terminated by a
+    zero-size sentinel block at [(length a, length b)]. *)
+
+val opcodes : t -> opcode list
+(** Edit script turning [a] into [b], difflib's [get_opcodes]. *)
+
+val ratio : t -> float
+(** Similarity in [0,1]: [2*matches / (len a + len b)]. *)
+
+(** {1 Longest common subsequence} *)
+
+val lcs : string array -> string array -> string array
+(** A longest common subsequence of the two sequences (dynamic
+    programming; ties prefer earlier elements of the first sequence). *)
+
+val lcs_lines : string -> string -> string list
+(** {!lcs} applied to the lines of two texts. *)
+
+(** {1 Derivation helpers} *)
+
+val added_segments : a:string array -> b:string array -> string array list
+(** The segments of [b] that are inserted or replace something relative
+    to [a] — the "blue" additions of the paper's Table I: what the safe
+    pattern adds over the vulnerable one. *)
+
+val render_diff : a:string -> b:string -> string
+(** Line diff of two texts with [' '], ['-'], ['+'] prefixes. *)
+
+val unified : ?context:int -> string -> string -> string
+(** [unified a b] renders a unified diff with [@@ -l,c +l,c @@] hunk
+    headers and [context] lines of context (default 3) — difflib's
+    [unified_diff] without the file-header lines.  Empty when the texts
+    are equal. *)
+
+val words : string -> string array
+(** Splits a text into word/symbol tokens for token-level comparison:
+    runs of word characters stay together, every other non-space char is
+    its own token. *)

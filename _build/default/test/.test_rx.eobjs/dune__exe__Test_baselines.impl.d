@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Corpus List Metrics Option Patchitpy Pyast QCheck QCheck_alcotest Rx

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Corpus Filename Fun List Metrics Patchitpy Printf Pyast QCheck QCheck_alcotest Rx String Sys

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Corpus Experiments Float Lazy List Metrics Printf Rx

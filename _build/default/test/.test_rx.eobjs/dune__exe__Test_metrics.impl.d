@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float List Metrics Printf Pyast QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_patchitpy.ml: Alcotest Catalog Cwe Derive Engine Jsonin Jsonout List Option Owasp Patcher Patchitpy Printf Pyast QCheck QCheck_alcotest Report Rule Rule_file Rx String

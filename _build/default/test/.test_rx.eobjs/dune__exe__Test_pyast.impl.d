@@ -1,0 +1,1 @@
+test/test_pyast.ml: Alcotest Buffer List Metrics Printf Pyast QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pylex.ml: Alcotest Buffer List Printf Pylex QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rx.ml: Alcotest Char List Printf QCheck QCheck_alcotest Rx String

@@ -1,0 +1,1 @@
+test/test_standardize.ml: Alcotest List Printf Pylex QCheck QCheck_alcotest Rx Standardize

@@ -1,0 +1,1 @@
+test/test_textdiff.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Textdiff

@@ -1,0 +1,401 @@
+(* Tests for the baseline analyzers: Bandit/Semgrep/CodeQL simulators and
+   the LLM reviewer personas. *)
+
+module B = Baselines.Baseline
+module Bandit = Baselines.Bandit_sim
+module Semgrep = Baselines.Semgrep_sim
+module Codeql = Baselines.Codeql_sim
+module Llm = Baselines.Llm_sim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let verdict (d : B.t) src = d.B.detect src
+
+let flags d src = (verdict d src).B.vulnerable
+
+let has_check findings id =
+  List.exists (fun (f : B.finding) -> f.B.check = id) findings
+
+(* --- Bandit ---------------------------------------------------------- *)
+
+let test_bandit_plugins_fire () =
+  let cases =
+    [
+      ("B102", "exec(code)\n");
+      ("B105", "password = \"hunter2\"\n");
+      ("B108", "f = open(\"/tmp/x\", \"w\")\n");
+      ("B110", "try:\n    go()\nexcept ValueError:\n    pass\n");
+      ("B301", "import pickle\nobj = pickle.loads(data)\n");
+      ("B303", "import hashlib\nh = hashlib.md5(data)\n");
+      ("B306", "import tempfile\np = tempfile.mktemp()\n");
+      ("B307", "v = eval(expr)\n");
+      ("B311", "import random\nt = random.randint(0, 9)\n");
+      ("B312", "import telnetlib\ntn = telnetlib.Telnet(host)\n");
+      ("B321", "import ftplib\nftp = ftplib.FTP(host)\n");
+      ("B501", "import requests\nr = requests.get(u, verify=False)\n");
+      ("B506", "import yaml\nc = yaml.load(f)\n");
+      ("B602", "import subprocess\nsubprocess.run(cmd, shell=True)\n");
+      ("B605", "import os\nos.system(cmd)\n");
+      ("B608", "cursor.execute(\"SELECT * FROM t WHERE x = '%s'\" % v)\n");
+      ("B201", "app.run(debug=True)\n");
+      ("B104", "app.run(host=\"0.0.0.0\")\n");
+    ]
+  in
+  List.iter
+    (fun (id, src) ->
+      if not (has_check (Bandit.scan src) id) then
+        Alcotest.failf "Bandit %s did not fire" id)
+    cases
+
+let test_bandit_needs_parse () =
+  let v = verdict Bandit.detector "def broken(:\n" in
+  check_bool "not analyzed" false v.B.analyzed;
+  check_bool "reports clean" false v.B.vulnerable;
+  (* the same weakness in parseable form is caught *)
+  check_bool "parses -> detected" true
+    (flags Bandit.detector "import os\nos.system(cmd)\n")
+
+let test_bandit_safe_loader_ok () =
+  check_bool "SafeLoader accepted" false
+    (has_check (Bandit.scan "yaml.load(f, Loader=yaml.SafeLoader)\n") "B506");
+  check_bool "FullLoader still flagged" true
+    (has_check (Bandit.scan "yaml.load(f, Loader=yaml.FullLoader)\n") "B506")
+
+let test_bandit_no_xss_coverage () =
+  (* Bandit has no XSS plugin: the flask reflected-input sample passes. *)
+  let src =
+    "from flask import Flask, request\n\
+     app = Flask(__name__)\n\
+     @app.route(\"/x\")\n\
+     def x():\n\
+    \    name = request.args.get(\"name\", \"\")\n\
+    \    return f\"<p>{name}</p>\"\n"
+  in
+  check_bool "misses reflected XSS" false (flags Bandit.detector src)
+
+(* --- Semgrep --------------------------------------------------------- *)
+
+let test_semgrep_rules_fire () =
+  check_bool "eval" true (flags Semgrep.detector "v = eval(x)\n");
+  check_bool "sql fstring" true
+    (flags Semgrep.detector "cur.execute(f\"SELECT * FROM t WHERE n = '{x}'\")\n");
+  check_bool "clean code quiet" false
+    (flags Semgrep.detector "def add(a, b):\n    return a + b\n")
+
+let test_semgrep_needs_parse () =
+  check_bool "syntax error -> not analyzed" false
+    (verdict Semgrep.detector "def broken(:\n").B.analyzed
+
+let test_semgrep_annotate () =
+  let src = "import yaml\nc = yaml.load(f)\n" in
+  let annotated = Semgrep.annotate src in
+  check_bool "suggestion comment added" true
+    (Rx.matches (Rx.compile {|# semgrep: .*yaml|}) annotated);
+  (* the code itself is never modified *)
+  check_bool "original line intact" true
+    (Rx.matches (Rx.compile {|c = yaml\.load\(f\)|}) annotated)
+
+let test_semgrep_suggestions_minority () =
+  (* only a minority of the registry rules ship fix suggestions, matching
+     the paper's 19 % observation *)
+  check_int "rule count stable" 29 Semgrep.rule_count;
+  let suggestions =
+    List.filter
+      (fun (f : B.finding) ->
+        match f.B.fix with B.Suggestion _ -> true | _ -> false)
+      (Semgrep.scan
+         "import yaml\nimport pickle\nc = yaml.load(f)\no = pickle.loads(b)\nv = eval(x)\n")
+  in
+  check_bool "yaml suggestion present, others bare" true
+    (List.length suggestions = 1)
+
+(* --- Semgrep AST patterns ---------------------------------------------- *)
+
+module Pat = Baselines.Semgrep_pat
+
+let pat_matches pattern src = Pat.matches_source (Pat.parse_exn pattern) src
+
+let test_pat_basics () =
+  check_bool "exact call" true (pat_matches "eval(...)" "v = eval(x)\n");
+  check_bool "no match" false (pat_matches "eval(...)" "v = evaluate(x)\n");
+  check_bool "deep match" true
+    (pat_matches "eval(...)" "if check(eval(raw)):\n    pass\n");
+  check_bool "metavar binds" true
+    (pat_matches "os.system($CMD)" "os.system(build_cmd(user))\n")
+
+let test_pat_ellipsis_args () =
+  let p = "subprocess.$F(..., shell=True, ...)" in
+  check_bool "kw anywhere" true
+    (pat_matches p "subprocess.run(cmd, check=True, shell=True)\n");
+  check_bool "kw first" true (pat_matches p "subprocess.call(c, shell=True)\n");
+  check_bool "absent kw" false (pat_matches p "subprocess.run(cmd, check=True)\n");
+  check_bool "kw false" false (pat_matches p "subprocess.run(cmd, shell=False)\n")
+
+let test_pat_multiline_robustness () =
+  (* the AST advantage: a call broken over lines defeats the line-oriented
+     regex rules but not the pattern matcher *)
+  let src =
+    "import subprocess\ndef go(cmd):\n    subprocess.run(cmd,\n                   check=True,\n                   shell=True)\n"
+  in
+  check_bool "multiline call matched" true
+    (pat_matches "subprocess.$F(..., shell=True, ...)" src);
+  check_bool "detector flags it" true (flags Semgrep.detector src)
+
+let test_pat_metavar_consistency () =
+  (* the same metavariable must bind equal expressions *)
+  let p = Pat.parse_exn "$X == $X" in
+  check_bool "x == x" true (Pat.matches_source p "if a == a:\n    pass\n");
+  check_bool "x == y" false (Pat.matches_source p "if a == b:\n    pass\n")
+
+let test_pat_string_wildcard () =
+  check_bool "string dots wildcard" true
+    (pat_matches {|open("...")|} "f = open(\"/etc/passwd\")\n");
+  check_bool "literal string exact" false
+    (pat_matches {|open("a.txt")|} "f = open(\"b.txt\")\n")
+
+let test_pat_bindings () =
+  let p = Pat.parse_exn "os.system($CMD)" in
+  match Pyast.parse "os.system(user_cmd)\n" with
+  | Error _ -> Alcotest.fail "parse"
+  | Ok m -> (
+    match Pat.find_in_module p m with
+    | [ (1, [ ("$CMD", Pyast.Name "user_cmd") ]) ] -> ()
+    | _ -> Alcotest.fail "expected one binding for $CMD")
+
+let test_pat_parse_errors () =
+  (match Pat.parse "def f(:" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage should not parse");
+  match Pat.parse "x = 1" with
+  | Error _ -> () (* statements are not expression patterns *)
+  | Ok _ -> Alcotest.fail "assignment is not an expression pattern"
+
+(* --- CodeQL ---------------------------------------------------------- *)
+
+let flask_sqli =
+  "import sqlite3\n\
+   from flask import Flask, request\n\
+   app = Flask(__name__)\n\
+   @app.route(\"/u\")\n\
+   def u():\n\
+  \    name = request.args.get(\"name\", \"\")\n\
+  \    conn = sqlite3.connect(\"db\")\n\
+  \    cur = conn.cursor()\n\
+  \    query = \"SELECT * FROM users WHERE name = '%s'\" % name\n\
+  \    cur.execute(query)\n\
+  \    return \"ok\"\n"
+
+let test_codeql_taint_chain () =
+  (* Taint flows through the intermediate `query` variable — the case
+     regex rules miss but the def-use queries catch. *)
+  check_bool "sql injection via chain" true
+    (has_check (Codeql.scan flask_sqli) "py/sql-injection")
+
+let test_codeql_source_needs_import () =
+  (* Same code as a fragment without imports: no remote source context. *)
+  let fragment =
+    "def u():\n\
+    \    name = request.args.get(\"name\", \"\")\n\
+    \    cur.execute(\"SELECT * FROM users WHERE name = '%s'\" % name)\n"
+  in
+  check_bool "fragment loses taint sources" false
+    (has_check (Codeql.scan fragment) "py/sql-injection")
+
+let test_codeql_queries () =
+  check_bool "command injection" true
+    (has_check
+       (Codeql.scan
+          "import os\nfrom flask import request\ndef go():\n    os.system(request.args[\"c\"])\n")
+       "py/command-line-injection");
+  check_bool "redirect" true
+    (has_check
+       (Codeql.scan
+          "from flask import request, redirect\ndef go():\n    return redirect(request.args[\"n\"])\n")
+       "py/url-redirection");
+  check_bool "config query without flask" true
+    (has_check (Codeql.scan "import hashlib\nh = hashlib.md5(x)\n")
+       "py/weak-sensitive-data-hashing");
+  check_bool "no parse, no results" false
+    (verdict Codeql.detector "def broken(:\n").B.analyzed
+
+(* --- LLM personas ------------------------------------------------------ *)
+
+let test_llm_detects_overt () =
+  List.iter
+    (fun p ->
+      check_bool (Llm.name p ^ " flags eval") true
+        (flags (Llm.detector p) "v = eval(expr)\n"))
+    Llm.personas
+
+let test_llm_detects_semantic () =
+  (* The semantic weakness rules miss: LLM reviewers reason about it. *)
+  let toctou =
+    "import os\ndef append(path, line):\n    if os.access(path, os.W_OK):\n        with open(path, \"a\") as f:\n            f.write(line)\n"
+  in
+  check_bool "patchitpy misses TOCTOU" false
+    (Patchitpy.Engine.is_vulnerable toctou);
+  List.iter
+    (fun p ->
+      check_bool (Llm.name p ^ " flags TOCTOU") true
+        (flags (Llm.detector p) toctou))
+    Llm.personas
+
+let test_llm_overtriggers () =
+  (* Benign code dense with security-adjacent APIs draws false alarms
+     from the most trigger-happy persona. *)
+  let benign =
+    "import subprocess\nimport hashlib\n\ndef deploy(password_file):\n    subprocess.run([\"deploy\", \"--safe\"])\n    return hashlib.sha256(open(password_file, \"rb\").read())\n"
+  in
+  check_bool "Gemini flags benign-dense code" true
+    (flags (Llm.detector Llm.Gemini) benign)
+
+let test_llm_patch_valid_python () =
+  let vulns =
+    [
+      "import os\ndef run(cmd):\n    os.system(cmd)\n";
+      "import pickle\ndef load(b):\n    return pickle.loads(b)\n";
+      "import yaml\ndef cfg(t):\n    return yaml.load(t)\n";
+      "from flask import Flask\napp = Flask(__name__)\napp.run(debug=True)\n";
+    ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun src ->
+          let patched = Llm.patch p src in
+          if not (Pyast.parses patched) then
+            Alcotest.failf "%s produced unparseable patch for: %s" (Llm.name p)
+              src)
+        vulns)
+    Llm.personas
+
+let test_llm_patch_inflates_complexity () =
+  let src =
+    "import pickle\n\ndef load(blob):\n    obj = pickle.loads(blob)\n    return obj\n"
+  in
+  let base = Option.get (Metrics.Complexity.average_of_source src) in
+  let inflated =
+    List.exists
+      (fun p ->
+        match Metrics.Complexity.average_of_source (Llm.patch p src) with
+        | Some cc -> cc > base
+        | None -> false)
+      Llm.personas
+  in
+  check_bool "at least one persona adds structure" true inflated
+
+let test_llm_deterministic () =
+  let src = "v = eval(x)\n" in
+  List.iter
+    (fun p ->
+      check_bool (Llm.name p ^ " deterministic") true
+        (Llm.patch p src = Llm.patch p src))
+    Llm.personas
+
+(* --- cross-tool ordering (the paper's headline) ------------------------- *)
+
+let test_patchitpy_outperforms_on_fragment () =
+  (* A truncated Copilot-style fragment: PatchitPy still detects; the
+     parser-based tools cannot. *)
+  let fragment =
+    "def run(cmd):\n    os.system(cmd)\ndef retry_with_backoff(attempts,\n"
+  in
+  check_bool "patchitpy detects" true (Patchitpy.Engine.is_vulnerable fragment);
+  check_bool "bandit cannot" false (flags Bandit.detector fragment);
+  check_bool "semgrep cannot" false (flags Semgrep.detector fragment);
+  check_bool "codeql cannot" false (flags Codeql.detector fragment)
+
+let test_suggestion_share_helper () =
+  let mk fix =
+    { B.vulnerable = true;
+      findings = [ { B.check = "x"; line = 1; message = ""; fix } ];
+      analyzed = true }
+  in
+  Alcotest.(check (float 1e-9)) "half"
+    0.5
+    (B.suggestion_share [ mk (B.Suggestion "s"); mk B.No_fix_support ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (B.suggestion_share [])
+
+(* --- properties --------------------------------------------------------- *)
+
+let sample_gen =
+  QCheck.make (QCheck.Gen.oneofl (Corpus.Generator.all_samples ()))
+
+let prop_detectors_total =
+  QCheck.Test.make ~name:"every detector returns a verdict on every sample"
+    ~count:150 sample_gen (fun s ->
+      let code = s.Corpus.Generator.code in
+      List.for_all
+        (fun (d : B.t) ->
+          let v = d.B.detect code in
+          v.B.analyzed || not v.B.vulnerable)
+        [
+          Bandit.detector; Semgrep.detector; Codeql.detector;
+          Llm.detector Llm.Chatgpt; Llm.detector Llm.Claude_llm;
+          Llm.detector Llm.Gemini;
+        ])
+
+let prop_llm_patch_parses_on_parseable =
+  QCheck.Test.make ~name:"LLM patches keep parseable inputs parseable"
+    ~count:100 sample_gen (fun s ->
+      let code = s.Corpus.Generator.code in
+      (not (Pyast.parses code))
+      || List.for_all
+           (fun p -> Pyast.parses (Llm.patch p code))
+           Llm.personas)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "baselines"
+    [
+      ( "bandit",
+        [
+          Alcotest.test_case "plugins fire" `Quick test_bandit_plugins_fire;
+          Alcotest.test_case "needs parse" `Quick test_bandit_needs_parse;
+          Alcotest.test_case "safe loader" `Quick test_bandit_safe_loader_ok;
+          Alcotest.test_case "no xss coverage" `Quick test_bandit_no_xss_coverage;
+        ] );
+      ( "semgrep",
+        [
+          Alcotest.test_case "rules fire" `Quick test_semgrep_rules_fire;
+          Alcotest.test_case "needs parse" `Quick test_semgrep_needs_parse;
+          Alcotest.test_case "annotate" `Quick test_semgrep_annotate;
+          Alcotest.test_case "rule inventory" `Quick test_semgrep_suggestions_minority;
+        ] );
+      ( "semgrep-ast",
+        [
+          Alcotest.test_case "basics" `Quick test_pat_basics;
+          Alcotest.test_case "ellipsis args" `Quick test_pat_ellipsis_args;
+          Alcotest.test_case "multiline robustness" `Quick
+            test_pat_multiline_robustness;
+          Alcotest.test_case "metavar consistency" `Quick
+            test_pat_metavar_consistency;
+          Alcotest.test_case "string wildcard" `Quick test_pat_string_wildcard;
+          Alcotest.test_case "bindings" `Quick test_pat_bindings;
+          Alcotest.test_case "parse errors" `Quick test_pat_parse_errors;
+        ] );
+      ( "codeql",
+        [
+          Alcotest.test_case "taint chain" `Quick test_codeql_taint_chain;
+          Alcotest.test_case "source needs import" `Quick
+            test_codeql_source_needs_import;
+          Alcotest.test_case "queries" `Quick test_codeql_queries;
+        ] );
+      ( "llm",
+        [
+          Alcotest.test_case "detects overt" `Quick test_llm_detects_overt;
+          Alcotest.test_case "detects semantic" `Quick test_llm_detects_semantic;
+          Alcotest.test_case "overtriggers" `Quick test_llm_overtriggers;
+          Alcotest.test_case "patch valid python" `Quick test_llm_patch_valid_python;
+          Alcotest.test_case "patch inflates cc" `Quick
+            test_llm_patch_inflates_complexity;
+          Alcotest.test_case "deterministic" `Quick test_llm_deterministic;
+        ] );
+      ( "cross-tool",
+        [
+          Alcotest.test_case "fragments" `Quick test_patchitpy_outperforms_on_fragment;
+          Alcotest.test_case "suggestion share" `Quick test_suggestion_share_helper;
+        ] );
+      ("property", qt [ prop_detectors_total; prop_llm_patch_parses_on_parseable ]);
+    ]

@@ -1,0 +1,240 @@
+(* Tests for the Corpus library: scenarios, dataset shape, generators. *)
+
+module S = Corpus.Scenario
+module G = Corpus.Generator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let scenarios = Corpus.scenarios ()
+
+let test_dataset_shape () =
+  check_int "203 scenarios as in the paper" 203 (List.length scenarios);
+  check_int "121 SecurityEval-style" 121
+    (List.length (List.filter (fun s -> s.S.source = S.Security_eval) scenarios));
+  check_int "82 LLMSecEval-style" 82
+    (List.length (List.filter (fun s -> s.S.source = S.Llmsec_eval) scenarios));
+  let sids = List.map (fun s -> s.S.sid) scenarios in
+  check_int "sids unique" (List.length sids)
+    (List.length (List.sort_uniq compare sids));
+  let cwes = List.sort_uniq compare (List.map (fun s -> s.S.cwe) scenarios) in
+  check_bool "at least 63 distinct CWEs (paper: 63)" true (List.length cwes >= 63);
+  check_bool "every CWE registered" true (List.for_all Patchitpy.Cwe.is_known cwes)
+
+let test_prompt_statistics () =
+  let toks = List.map float_of_int (Corpus.prompt_token_counts ()) in
+  let s = Metrics.Stats.summarize toks in
+  check_int "min 3 (paper: 3)" 3 (int_of_float s.Metrics.Stats.min);
+  check_int "max 63 (paper: 63)" 63 (int_of_float s.Metrics.Stats.max);
+  check_bool "mean near paper's 21" true
+    (s.Metrics.Stats.mean >= 17.0 && s.Metrics.Stats.mean <= 24.0);
+  check_bool "median near paper's 15" true
+    (s.Metrics.Stats.median >= 10.0 && s.Metrics.Stats.median <= 18.0);
+  let below = List.length (List.filter (fun t -> t < 35.0) toks) in
+  check_bool "three quarters under 35 tokens" true
+    (float_of_int below /. float_of_int (List.length toks) >= 0.75)
+
+let test_realizations_wellformed () =
+  List.iter
+    (fun s ->
+      List.iteri
+        (fun i v ->
+          if not (Pyast.parses v) then
+            Alcotest.failf "%s vulnerable variant %d does not parse" s.S.sid i)
+        s.S.vulnerable;
+      List.iteri
+        (fun i v ->
+          if not (Pyast.parses v) then
+            Alcotest.failf "%s secure variant %d does not parse" s.S.sid i)
+        s.S.secure)
+    scenarios
+
+let test_detectability_contract () =
+  (* The difficulty labels encode how the engine must behave:
+     - canonical (first) vulnerable variants of Plain/Detect_only
+       scenarios trigger a rule;
+     - Semantic vulnerable variants never do;
+     - secure variants are quiet unless the scenario is bait. *)
+  List.iter
+    (fun s ->
+      (match (s.S.difficulty, s.S.vulnerable) with
+      | (S.Plain | S.Detect_only), canonical :: _ ->
+        if not (Patchitpy.Engine.is_vulnerable canonical) then
+          Alcotest.failf "%s: canonical vulnerable variant is undetected" s.S.sid
+      | S.Semantic, variants ->
+        List.iter
+          (fun v ->
+            if Patchitpy.Engine.is_vulnerable v then
+              Alcotest.failf "%s: semantic variant triggers a lexical rule"
+                s.S.sid)
+          variants
+      | (S.Plain | S.Detect_only), [] -> assert false);
+      List.iter
+        (fun sec ->
+          let fires = Patchitpy.Engine.is_vulnerable sec in
+          if s.S.fp_bait && not fires then
+            Alcotest.failf "%s: bait secure variant does not bait" s.S.sid;
+          if (not s.S.fp_bait) && fires then
+            Alcotest.failf "%s: secure variant triggers a rule" s.S.sid)
+        s.S.secure)
+    scenarios
+
+let test_plain_scenarios_patchable () =
+  (* Plain = a rule detects AND fixes: the canonical vulnerable variant
+     must come out clean. *)
+  List.iter
+    (fun s ->
+      match (s.S.difficulty, s.S.vulnerable) with
+      | S.Plain, canonical :: _ ->
+        let r = Patchitpy.Patcher.patch canonical in
+        if Patchitpy.Engine.is_vulnerable r.Patchitpy.Patcher.patched then
+          Alcotest.failf "%s: patch left detectable findings" s.S.sid;
+        if not (Pyast.parses r.Patchitpy.Patcher.patched) then
+          Alcotest.failf "%s: patch broke the file" s.S.sid
+      | (S.Plain | S.Detect_only | S.Semantic), _ -> ())
+    scenarios
+
+let test_incidence_quotas () =
+  List.iter
+    (fun (m, vuln, total) ->
+      check_int
+        (Printf.sprintf "%s incidence (paper)" (G.model_name m))
+        (G.vulnerable_quota m) vuln;
+      check_int "203 samples per model" 203 total)
+    (Corpus.incidence ())
+
+let test_generation_deterministic () =
+  let one = G.all_samples () and two = G.all_samples () in
+  check_int "609 samples" 609 (List.length one);
+  check_bool "generation is reproducible" true
+    (List.for_all2
+       (fun (a : G.sample) (b : G.sample) ->
+         a.G.code = b.G.code && a.G.vulnerable = b.G.vulnerable)
+       one two)
+
+let test_model_styles () =
+  let claude = G.samples G.(List.nth models 1) in
+  check_bool "Claude adds docstrings" true
+    (List.exists
+       (fun (s : G.sample) ->
+         Rx.matches (Rx.compile {|"""Generated helper\."""|}) s.G.code)
+       claude);
+  let copilot = G.samples (List.hd G.models) in
+  let fragments =
+    List.filter (fun (s : G.sample) -> not (Pyast.parses s.G.code)) copilot
+  in
+  check_bool "some Copilot samples are truncated fragments" true
+    (List.length fragments > 5);
+  let deepseek = G.samples (List.nth G.models 2) in
+  check_bool "DeepSeek appends demos" true
+    (List.exists
+       (fun (s : G.sample) ->
+         Rx.matches (Rx.compile {|demo run complete|}) s.G.code)
+       deepseek);
+  check_bool "Claude and DeepSeek samples all parse" true
+    (List.for_all (fun (s : G.sample) -> Pyast.parses s.G.code) (claude @ deepseek))
+
+let test_labels_match_variants () =
+  (* A sample marked vulnerable must carry one of the scenario's
+     vulnerable realizations (allowing for style transforms). *)
+  let strip_style (s : G.sample) = s.G.code in
+  List.iter
+    (fun (s : G.sample) ->
+      let code = strip_style s in
+      if String.length code < 10 then
+        Alcotest.failf "%s: degenerate sample" s.G.scenario.S.sid)
+    (G.all_samples ())
+
+let test_genhash () =
+  Alcotest.(check (float 1e-12)) "deterministic" (Corpus.Genhash.float_of "x")
+    (Corpus.Genhash.float_of "x");
+  check_bool "distinct keys differ" true
+    (Corpus.Genhash.float_of "a" <> Corpus.Genhash.float_of "b");
+  check_bool "bounded" true
+    (List.for_all
+       (fun i ->
+         let f = Corpus.Genhash.float_of (string_of_int i) in
+         f >= 0.0 && f < 1.0)
+       (List.init 1000 Fun.id));
+  check_int "int_of bounded" 0 (Corpus.Genhash.int_of "k" 1)
+
+let test_dump_roundtrip () =
+  (* materialized samples must scan identically to in-memory ones *)
+  let dir = Filename.temp_file "patchitpy" "corpus" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let subset =
+        List.filteri (fun i _ -> i mod 31 = 0) (G.all_samples ())
+      in
+      List.iter
+        (fun (sample : G.sample) ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s_%s.py"
+                 (G.model_name sample.G.model)
+                 sample.G.scenario.S.sid)
+          in
+          let oc = open_out_bin path in
+          output_string oc sample.G.code;
+          close_out oc;
+          let ic = open_in_bin path in
+          let read = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          if read <> sample.G.code then
+            Alcotest.failf "%s: dump/load altered the bytes" path;
+          let mem = Patchitpy.Engine.is_vulnerable sample.G.code in
+          let disk = Patchitpy.Engine.is_vulnerable read in
+          if mem <> disk then Alcotest.failf "%s: verdict changed on disk" path)
+        subset)
+
+(* --- properties ------------------------------------------------------- *)
+
+let scenario_gen = QCheck.make (QCheck.Gen.oneofl scenarios)
+
+let prop_reference_is_secure =
+  QCheck.Test.make ~name:"references never trigger rules unless bait"
+    ~count:100 scenario_gen (fun s ->
+      s.S.fp_bait || not (Patchitpy.Engine.is_vulnerable (S.reference s)))
+
+let prop_samples_nonempty =
+  QCheck.Test.make ~name:"every sample carries code for its prompt" ~count:100
+    scenario_gen (fun s ->
+      List.for_all
+        (fun m ->
+          let sample =
+            List.find
+              (fun (x : G.sample) -> x.G.scenario.S.sid = s.S.sid)
+              (G.samples m)
+          in
+          String.length sample.G.code > 20)
+        G.models)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "corpus"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "shape" `Quick test_dataset_shape;
+          Alcotest.test_case "prompt statistics" `Quick test_prompt_statistics;
+          Alcotest.test_case "realizations parse" `Quick test_realizations_wellformed;
+          Alcotest.test_case "detectability contract" `Quick test_detectability_contract;
+          Alcotest.test_case "plain scenarios patchable" `Quick
+            test_plain_scenarios_patchable;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "incidence quotas" `Quick test_incidence_quotas;
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "model styles" `Quick test_model_styles;
+          Alcotest.test_case "labels sane" `Quick test_labels_match_variants;
+          Alcotest.test_case "genhash" `Quick test_genhash;
+          Alcotest.test_case "dump roundtrip" `Slow test_dump_roundtrip;
+        ] );
+      ("property", qt [ prop_reference_is_secure; prop_samples_nonempty ]);
+    ]

@@ -1,0 +1,346 @@
+(* Tests for the Metrics library: confusion, complexity, lint, stats. *)
+
+module C = Metrics.Confusion
+module Cx = Metrics.Complexity
+module L = Metrics.Lint
+module S = Metrics.Stats
+
+let checkf = Alcotest.(check (float 1e-6))
+let checkf3 = Alcotest.(check (float 1e-3))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- confusion ---------------------------------------------------------- *)
+
+let test_confusion_basic () =
+  let m =
+    C.of_outcomes
+      [ (true, true); (true, true); (true, false); (false, false); (false, true) ]
+  in
+  check_int "tp" 2 m.C.tp;
+  check_int "fn" 1 m.C.fn;
+  check_int "fp" 1 m.C.fp;
+  check_int "tn" 1 m.C.tn;
+  checkf "precision" (2.0 /. 3.0) (C.precision m);
+  checkf "recall" (2.0 /. 3.0) (C.recall m);
+  checkf "f1" (2.0 /. 3.0) (C.f1 m);
+  checkf "accuracy" 0.6 (C.accuracy m)
+
+let test_confusion_edge () =
+  checkf "empty precision" 0.0 (C.precision C.empty);
+  checkf "empty recall" 0.0 (C.recall C.empty);
+  checkf "empty f1" 0.0 (C.f1 C.empty);
+  let perfect = C.of_outcomes [ (true, true); (false, false) ] in
+  checkf "perfect f1" 1.0 (C.f1 perfect);
+  checkf "perfect accuracy" 1.0 (C.accuracy perfect)
+
+let test_confusion_merge () =
+  let a = C.of_outcomes [ (true, true) ] in
+  let b = C.of_outcomes [ (false, true) ] in
+  let m = C.merge a b in
+  check_int "merged total" 2 (C.total m);
+  check_int "merged fp" 1 m.C.fp
+
+(* --- complexity --------------------------------------------------------- *)
+
+let cc_fn src =
+  match Pyast.parse src with
+  | Ok m -> (
+    match Pyast.functions_of m with
+    | [ f ] -> Cx.of_function f
+    | _ -> Alcotest.fail "expected one function")
+  | Error _ -> Alcotest.fail "parse error"
+
+let test_complexity_straightline () =
+  check_int "no branches" 1 (cc_fn "def f():\n    x = 1\n    return x\n")
+
+let test_complexity_if () =
+  check_int "one if" 2 (cc_fn "def f(a):\n    if a:\n        return 1\n    return 0\n");
+  check_int "if/elif" 3
+    (cc_fn
+       "def f(a):\n    if a == 1:\n        return 1\n    elif a == 2:\n        return 2\n    return 0\n")
+
+let test_complexity_loops_and_bool () =
+  check_int "for" 2 (cc_fn "def f(xs):\n    for x in xs:\n        print(x)\n");
+  check_int "while+else" 3
+    (cc_fn "def f(n):\n    while n:\n        n -= 1\n    else:\n        pass\n");
+  check_int "boolop" 3
+    (cc_fn "def f(a, b, c):\n    return a and b and c\n");
+  check_int "ternary" 2 (cc_fn "def f(a):\n    return 1 if a else 0\n");
+  check_int "assert" 2 (cc_fn "def f(a):\n    assert a\n");
+  check_int "except" 2
+    (cc_fn "def f():\n    try:\n        go()\n    except ValueError:\n        pass\n");
+  check_int "comprehension" 3
+    (cc_fn "def f(xs):\n    return [x for x in xs if x > 0]\n")
+
+let test_complexity_module () =
+  let src =
+    "import os\n\
+     def a():\n    return 1\n\
+     def b(x):\n    if x:\n        return 2\n    return 3\n"
+  in
+  match Cx.of_source src with
+  | None -> Alcotest.fail "should parse"
+  | Some s ->
+    Alcotest.(check (list (pair string int))) "per function"
+      [ ("a", 1); ("b", 2) ] s.Cx.per_function;
+    checkf "average" 1.5 s.Cx.average
+
+let test_complexity_nested_def_is_separate () =
+  (* Nested function bodies are separate blocks, not part of the outer. *)
+  let src =
+    "def outer():\n    def inner(x):\n        if x:\n            return 1\n        return 0\n    return inner\n"
+  in
+  match Cx.of_source src with
+  | None -> Alcotest.fail "should parse"
+  | Some s ->
+    Alcotest.(check (list (pair string int))) "both measured"
+      [ ("outer", 1); ("inner", 2) ] s.Cx.per_function
+
+let test_complexity_unparseable () =
+  Alcotest.(check (option (float 0.0))) "unparseable" None
+    (Cx.average_of_source "def broken(:\n")
+
+(* --- lint ---------------------------------------------------------------- *)
+
+let has_msg report checker =
+  List.exists (fun m -> m.L.checker = checker) report.L.messages
+
+let test_lint_clean_code () =
+  let src =
+    "\"\"\"Module doc.\"\"\"\n\ndef add(a, b):\n    \"\"\"Add.\"\"\"\n    return a + b\n"
+  in
+  let r = L.check src in
+  check_bool "no messages" true (r.L.messages = []);
+  checkf "score 10" 10.0 r.L.score
+
+let test_lint_checks_fire () =
+  let r = L.check "import os\nx = 1\n" in
+  check_bool "unused import" true (has_msg r "unused-import");
+  check_bool "module docstring" true (has_msg r "missing-module-docstring");
+  let r2 = L.check "def F():\n    pass\n" in
+  check_bool "invalid name" true (has_msg r2 "invalid-name");
+  check_bool "fn docstring" true (has_msg r2 "missing-function-docstring");
+  let r3 = L.check "try:\n    go()\nexcept:\n    pass\n" in
+  check_bool "bare except" true (has_msg r3 "bare-except");
+  let r4 = L.check "def f(x=[]):\n    return x\n" in
+  check_bool "mutable default" true (has_msg r4 "dangerous-default-value");
+  let r5 = L.check "x = eval(y)\n" in
+  check_bool "eval used" true (has_msg r5 "eval-used");
+  let r6 = L.check ("x = 1" ^ String.make 120 ' ' ^ "# pad\n") in
+  check_bool "long line" true (has_msg r6 "line-too-long")
+
+let test_lint_syntax_error () =
+  let r = L.check "def broken(:\n" in
+  checkf "score 0" 0.0 r.L.score;
+  check_bool "syntax error msg" true (has_msg r "syntax-error")
+
+let test_lint_used_import_ok () =
+  let r = L.check "\"\"\"D.\"\"\"\nimport os\nprint(os.getcwd())\n" in
+  check_bool "no unused import" false (has_msg r "unused-import")
+
+let test_lint_score_monotone () =
+  (* More problems, lower score. *)
+  let clean = L.score "\"\"\"D.\"\"\"\nx = 1\n" in
+  let dirty = L.score "import os\nimport sys\ntry:\n    go()\nexcept:\n    pass\n" in
+  check_bool "clean > dirty" true (clean > dirty)
+
+(* --- maintainability -------------------------------------------------------- *)
+
+module M = Metrics.Maintainability
+
+let test_halstead_counts () =
+  match M.halstead "x = a + b\n" with
+  | Error e -> Alcotest.fail e
+  | Ok h ->
+    (* operators: '=', '+'; operands: x, a, b *)
+    check_int "distinct operators" 2 h.M.distinct_operators;
+    check_int "distinct operands" 3 h.M.distinct_operands;
+    check_int "total operators" 2 h.M.total_operators;
+    check_int "total operands" 3 h.M.total_operands;
+    check_int "vocabulary" 5 h.M.vocabulary;
+    check_int "length" 5 h.M.length;
+    checkf3 "volume = 5*log2(5)" (5.0 *. (log 5.0 /. log 2.0)) h.M.volume
+
+let test_halstead_repeats () =
+  match M.halstead "x = x + x + x\n" with
+  | Error e -> Alcotest.fail e
+  | Ok h ->
+    check_int "x counted once distinct" 1 h.M.distinct_operands;
+    check_int "x counted four times total" 4 h.M.total_operands
+
+let test_maintainability_ordering () =
+  let simple = "def add(a, b):\n    return a + b\n" in
+  let gnarly =
+    "def grind(a, b, c, d):\n" ^
+    String.concat ""
+      (List.init 12 (fun i ->
+           Printf.sprintf "    if a > %d and b > %d or c > %d:\n        d = d + a * b - c / %d\n"
+             i i i (i + 1)))
+    ^ "    return d\n"
+  in
+  match (M.maintainability_index simple, M.maintainability_index gnarly) with
+  | Some hi, Some lo ->
+    check_bool "simple code is more maintainable" true (hi > lo);
+    check_bool "bounded" true (hi <= 100.0 && lo >= 0.0)
+  | _ -> Alcotest.fail "both should measure"
+
+let test_maintainability_unparseable () =
+  check_bool "unparseable gives None" true
+    (M.maintainability_index "def broken(:\n" = None)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  checkf "mean" 2.5 (S.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  checkf "median even" 2.5 (S.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  checkf "median odd" 2.0 (S.median [ 3.0; 1.0; 2.0 ]);
+  checkf "p0" 1.0 (S.percentile [ 1.0; 2.0; 3.0 ] 0.0);
+  checkf "p100" 3.0 (S.percentile [ 1.0; 2.0; 3.0 ] 100.0);
+  (* numpy: percentile([1,2,3,4], 25) = 1.75 *)
+  checkf "p25 interp" 1.75 (S.percentile [ 1.0; 2.0; 3.0; 4.0 ] 25.0);
+  checkf "iqr" 1.5 (S.iqr [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stats_summary () =
+  let s = S.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check_int "n" 8 s.S.n;
+  checkf "mean" 5.0 s.S.mean;
+  checkf "stddev" 2.0 s.S.stddev;
+  checkf "min" 2.0 s.S.min;
+  checkf "max" 9.0 s.S.max
+
+let test_ranksum_identical () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 ] in
+  let r = S.rank_sum xs xs in
+  check_bool "identical not significant" true (r.S.p_value > 0.9)
+
+let test_ranksum_shifted () =
+  let xs = List.init 30 (fun i -> float_of_int i) in
+  let ys = List.init 30 (fun i -> float_of_int i +. 40.0) in
+  let r = S.rank_sum xs ys in
+  check_bool "disjoint significant" true (r.S.p_value < 0.001);
+  check_bool "api" true (S.significantly_different xs ys)
+
+let test_ranksum_scipy_reference () =
+  (* scipy.stats.mannwhitneyu([1,2,3,4,5], [6,7,8,9,10]) -> U1 = 0 *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let ys = [ 6.0; 7.0; 8.0; 9.0; 10.0 ] in
+  let r = S.rank_sum xs ys in
+  checkf "U" 0.0 r.S.u;
+  (* z ~= -2.5067 with continuity correction; p ~= 0.01217 *)
+  checkf3 "p" 0.0122 r.S.p_value
+
+let test_ranksum_ties () =
+  let xs = [ 1.0; 1.0; 2.0; 2.0; 3.0 ] in
+  let ys = [ 1.0; 2.0; 2.0; 3.0; 3.0 ] in
+  let r = S.rank_sum xs ys in
+  check_bool "tied samples not significant" true (r.S.p_value > 0.3)
+
+let test_boxplot_renders () =
+  let s = S.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let line = S.ascii_boxplot ~label:"demo" s ~width:40 ~lo:0.0 ~hi:6.0 in
+  check_bool "has label" true (String.length line > 40);
+  check_bool "has median marker" true (String.contains line '#')
+
+(* --- properties ------------------------------------------------------------ *)
+
+let float_list_gen =
+  QCheck.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+
+let pair_lists_gen =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 2 40) (float_bound_inclusive 100.0))
+        (list_size (int_range 2 40) (float_bound_inclusive 100.0)))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    (QCheck.make float_list_gen) (fun xs ->
+      let p25 = S.percentile xs 25.0
+      and p50 = S.percentile xs 50.0
+      and p75 = S.percentile xs 75.0 in
+      p25 <= p50 && p50 <= p75)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:200
+    (QCheck.make float_list_gen) (fun xs ->
+      let s = S.summarize xs in
+      s.S.min -. 1e-9 <= s.S.mean && s.S.mean <= s.S.max +. 1e-9)
+
+let prop_ranksum_symmetric =
+  QCheck.Test.make ~name:"rank_sum p-value is symmetric" ~count:100
+    pair_lists_gen (fun (xs, ys) ->
+      let a = S.rank_sum xs ys and b = S.rank_sum ys xs in
+      Float.abs (a.S.p_value -. b.S.p_value) < 1e-9)
+
+let prop_pvalue_bounds =
+  QCheck.Test.make ~name:"p-value within [0,1]" ~count:100 pair_lists_gen
+    (fun (xs, ys) ->
+      let r = S.rank_sum xs ys in
+      r.S.p_value >= 0.0 && r.S.p_value <= 1.0)
+
+let prop_f1_between_p_and_r =
+  QCheck.Test.make ~name:"f1 lies between precision and recall" ~count:200
+    QCheck.(quad (int_bound 50) (int_bound 50) (int_bound 50) (int_bound 50))
+    (fun (tp, fp, tn, fn) ->
+      QCheck.assume (tp + fp > 0 && tp + fn > 0);
+      let m = { C.tp; fp; tn; fn } in
+      let p = C.precision m and r = C.recall m and f = C.f1 m in
+      let lo = min p r -. 1e-9 and hi = max p r +. 1e-9 in
+      lo <= f && f <= hi)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "metrics"
+    [
+      ( "confusion",
+        [
+          Alcotest.test_case "basic" `Quick test_confusion_basic;
+          Alcotest.test_case "edge" `Quick test_confusion_edge;
+          Alcotest.test_case "merge" `Quick test_confusion_merge;
+        ] );
+      ( "complexity",
+        [
+          Alcotest.test_case "straightline" `Quick test_complexity_straightline;
+          Alcotest.test_case "if" `Quick test_complexity_if;
+          Alcotest.test_case "loops and bool" `Quick test_complexity_loops_and_bool;
+          Alcotest.test_case "module summary" `Quick test_complexity_module;
+          Alcotest.test_case "nested def" `Quick test_complexity_nested_def_is_separate;
+          Alcotest.test_case "unparseable" `Quick test_complexity_unparseable;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean code" `Quick test_lint_clean_code;
+          Alcotest.test_case "checks fire" `Quick test_lint_checks_fire;
+          Alcotest.test_case "syntax error" `Quick test_lint_syntax_error;
+          Alcotest.test_case "used import" `Quick test_lint_used_import_ok;
+          Alcotest.test_case "score monotone" `Quick test_lint_score_monotone;
+        ] );
+      ( "maintainability",
+        [
+          Alcotest.test_case "halstead counts" `Quick test_halstead_counts;
+          Alcotest.test_case "halstead repeats" `Quick test_halstead_repeats;
+          Alcotest.test_case "ordering" `Quick test_maintainability_ordering;
+          Alcotest.test_case "unparseable" `Quick test_maintainability_unparseable;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "ranksum identical" `Quick test_ranksum_identical;
+          Alcotest.test_case "ranksum shifted" `Quick test_ranksum_shifted;
+          Alcotest.test_case "ranksum scipy ref" `Quick test_ranksum_scipy_reference;
+          Alcotest.test_case "ranksum ties" `Quick test_ranksum_ties;
+          Alcotest.test_case "boxplot" `Quick test_boxplot_renders;
+        ] );
+      ( "property",
+        qt
+          [
+            prop_percentile_monotone;
+            prop_mean_bounds;
+            prop_ranksum_symmetric;
+            prop_pvalue_bounds;
+            prop_f1_between_p_and_r;
+          ] );
+    ]

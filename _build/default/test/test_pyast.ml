@@ -1,0 +1,386 @@
+(* Tests for the Pyast Python parser. *)
+
+open Pyast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parses = Pyast.parses
+
+let body src = (parse_exn src).body
+
+let single src =
+  match body src with
+  | [ s ] -> s.desc
+  | l -> Alcotest.failf "expected 1 statement, got %d" (List.length l)
+
+let test_assignments () =
+  (match single "x = 1\n" with
+  | Assign ([ Name "x" ], Int_e "1") -> ()
+  | _ -> Alcotest.fail "simple assign");
+  (match single "x = y = 0\n" with
+  | Assign ([ Name "x"; Name "y" ], Int_e "0") -> ()
+  | _ -> Alcotest.fail "chained assign");
+  (match single "a, b = 1, 2\n" with
+  | Assign ([ Tuple_e [ Name "a"; Name "b" ] ], Tuple_e [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "tuple assign");
+  (match single "x += 1\n" with
+  | Aug_assign (Name "x", "+", Int_e "1") -> ()
+  | _ -> Alcotest.fail "aug assign");
+  (match single "x: int = 3\n" with
+  | Ann_assign (Name "x", Name "int", Some (Int_e "3")) -> ()
+  | _ -> Alcotest.fail "ann assign");
+  match single "obj.attr[0] = v\n" with
+  | Assign ([ Subscript (Attr (Name "obj", "attr"), Int_e "0") ], Name "v") -> ()
+  | _ -> Alcotest.fail "target with trailer"
+
+let test_precedence () =
+  (match single "r = 1 + 2 * 3\n" with
+  | Assign (_, Binop ("+", Int_e "1", Binop ("*", Int_e "2", Int_e "3"))) -> ()
+  | _ -> Alcotest.fail "mul binds tighter");
+  (match single "r = (1 + 2) * 3\n" with
+  | Assign (_, Binop ("*", Binop ("+", _, _), _)) -> ()
+  | _ -> Alcotest.fail "parens");
+  (match single "r = -x ** 2\n" with
+  | Assign (_, Unary ("-", Binop ("**", Name "x", Int_e "2"))) -> ()
+  | _ -> Alcotest.fail "power under unary");
+  (match single "r = a or b and not c\n" with
+  | Assign (_, Boolop ("or", [ Name "a"; Boolop ("and", [ Name "b"; Unary ("not", Name "c") ]) ]))
+    -> ()
+  | _ -> Alcotest.fail "boolean precedence");
+  match single "r = 0 <= x < 10\n" with
+  | Assign (_, Compare (Int_e "0", [ ("<=", Name "x"); ("<", Int_e "10") ])) -> ()
+  | _ -> Alcotest.fail "chained comparison"
+
+let test_calls () =
+  (match single "f(1, x, key=2, *args, **kw)\n" with
+  | Expr_stmt
+      (Call
+         ( Name "f",
+           [ Pos_arg (Int_e "1"); Pos_arg (Name "x"); Kw_arg ("key", Int_e "2");
+             Star_arg (Name "args"); Star_star_arg (Name "kw") ] )) -> ()
+  | _ -> Alcotest.fail "call args");
+  match single "db.cursor().execute(q)\n" with
+  | Expr_stmt (Call (Attr (Call (Attr (Name "db", "cursor"), []), "execute"), [ _ ]))
+    -> ()
+  | _ -> Alcotest.fail "chained call"
+
+let test_strings_fstrings () =
+  (match single "s = 'a' 'b'\n" with
+  | Assign (_, Str_e { body = "ab"; _ }) -> ()
+  | _ -> Alcotest.fail "implicit concat");
+  match single "s = f\"<p>{name}</p>\"\n" with
+  | Assign (_, Str_e { prefix = "f"; body = "<p>{name}</p>" }) -> ()
+  | _ -> Alcotest.fail "fstring kept verbatim"
+
+let test_collections () =
+  (match single "d = {'a': 1, 'b': 2}\n" with
+  | Assign (_, Dict_e [ (Some _, _); (Some _, _) ]) -> ()
+  | _ -> Alcotest.fail "dict");
+  (match single "s = {1, 2}\n" with
+  | Assign (_, Set_e [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "set");
+  (match single "l = [x for x in xs if x]\n" with
+  | Assign (_, List_comp (Name "x", [ { ifs = [ Name "x" ]; _ } ])) -> ()
+  | _ -> Alcotest.fail "list comp");
+  (match single "d = {k: v for k, v in items}\n" with
+  | Assign (_, Dict_comp ((Name "k", Name "v"), [ _ ])) -> ()
+  | _ -> Alcotest.fail "dict comp");
+  (match single "g = (x for x in xs)\n" with
+  | Assign (_, Gen_comp _) -> ()
+  | _ -> Alcotest.fail "genexp");
+  match single "t = 1,\n" with
+  | Assign (_, Tuple_e [ Int_e "1" ]) -> ()
+  | _ -> Alcotest.fail "singleton tuple"
+
+let test_slices () =
+  (match single "y = xs[1:2]\n" with
+  | Assign (_, Subscript (_, Slice_e (Some _, Some _, None))) -> ()
+  | _ -> Alcotest.fail "slice");
+  (match single "y = xs[::2]\n" with
+  | Assign (_, Subscript (_, Slice_e (None, None, Some _))) -> ()
+  | _ -> Alcotest.fail "step slice");
+  match single "y = m[i, j]\n" with
+  | Assign (_, Subscript (_, Tuple_e [ _; _ ])) -> ()
+  | _ -> Alcotest.fail "tuple index"
+
+let test_def_and_class () =
+  let src =
+    "@app.route(\"/x\")\n\
+     def handler(req, n: int = 0, *args, **kw) -> str:\n\
+    \    return str(n)\n"
+  in
+  (match single src with
+  | Func_def { name = "handler"; params; decorators = [ Call _ ]; returns = Some _; is_async = false; _ }
+    ->
+    check_int "param count" 4 (List.length params);
+    (match params with
+    | [ p1; p2; p3; p4 ] ->
+      check_bool "p1 normal" true (p1.p_kind = P_normal);
+      check_bool "p2 default" true (p2.p_default <> None);
+      check_bool "p3 star" true (p3.p_kind = P_star);
+      check_bool "p4 kw" true (p4.p_kind = P_star_star)
+    | _ -> Alcotest.fail "params")
+  | _ -> Alcotest.fail "def with decorator");
+  (match single "class A(Base, meta=M):\n    pass\n" with
+  | Class_def { name = "A"; bases = [ Pos_arg (Name "Base"); Kw_arg ("meta", _) ]; _ }
+    -> ()
+  | _ -> Alcotest.fail "class");
+  match single "async def f():\n    await g()\n" with
+  | Func_def { is_async = true; body = [ { desc = Expr_stmt (Await_e _); _ } ]; _ }
+    -> ()
+  | _ -> Alcotest.fail "async def"
+
+let test_control_flow () =
+  let src = "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n" in
+  (match single src with
+  | If ([ (Name "a", _); (Name "b", _) ], Some _) -> ()
+  | _ -> Alcotest.fail "if/elif/else");
+  (match single "while x > 0:\n    x -= 1\nelse:\n    pass\n" with
+  | While (_, _, Some _) -> ()
+  | _ -> Alcotest.fail "while else");
+  (match single "for i, v in enumerate(xs):\n    print(v)\n" with
+  | For { target = Tuple_e [ Name "i"; Name "v" ]; _ } -> ()
+  | _ -> Alcotest.fail "for tuple target");
+  (match single "with open(p) as f, lock:\n    f.read()\n" with
+  | With { items = [ (_, Some (Name "f")); (Name "lock", None) ]; _ } -> ()
+  | _ -> Alcotest.fail "with items");
+  match
+    single
+      "try:\n    go()\nexcept ValueError as e:\n    raise\nexcept Exception:\n\
+      \    pass\nelse:\n    ok()\nfinally:\n    done()\n"
+  with
+  | Try { handlers = [ { bind = Some "e"; _ }; { bind = None; _ } ];
+          orelse = Some _; finally = Some _; _ } -> ()
+  | _ -> Alcotest.fail "try full"
+
+let test_imports () =
+  (match single "import os.path as osp, sys\n" with
+  | Import [ ("os.path", Some "osp"); ("sys", None) ] -> ()
+  | _ -> Alcotest.fail "import");
+  (match single "from flask import Flask, request as rq\n" with
+  | From_import ("flask", [ ("Flask", None); ("request", Some "rq") ]) -> ()
+  | _ -> Alcotest.fail "from import");
+  (match single "from os import *\n" with
+  | From_import ("os", [ ("*", None) ]) -> ()
+  | _ -> Alcotest.fail "star import");
+  let m = parse_exn "import os\nfrom flask import Flask\nimport os.path\n" in
+  Alcotest.(check (list string)) "imported modules" [ "os"; "flask" ]
+    (imported_modules m)
+
+let test_misc_stmts () =
+  (match single "assert x == 1, 'message'\n" with
+  | Assert (Compare _, Some _) -> ()
+  | _ -> Alcotest.fail "assert");
+  (match single "raise ValueError('bad') from exc\n" with
+  | Raise (Some (Call _), Some (Name "exc")) -> ()
+  | _ -> Alcotest.fail "raise from");
+  (match single "del xs[0], y\n" with
+  | Del [ _; _ ] -> ()
+  | _ -> Alcotest.fail "del");
+  (match single "global a, b\n" with
+  | Global [ "a"; "b" ] -> ()
+  | _ -> Alcotest.fail "global");
+  (match body "x = 1; y = 2\n" with
+  | [ { desc = Assign _; _ }; { desc = Assign _; _ } ] -> ()
+  | _ -> Alcotest.fail "semicolons");
+  match single "x = (n := compute())\n" with
+  | Assign (_, Walrus ("n", Call _)) -> ()
+  | _ -> Alcotest.fail "walrus"
+
+let test_lambda_cond_yield () =
+  (match single "f = lambda a, b=2: a + b\n" with
+  | Assign (_, Lambda ([ _; _ ], Binop _)) -> ()
+  | _ -> Alcotest.fail "lambda");
+  (match single "v = a if c else b\n" with
+  | Assign (_, Cond_e (Name "a", Name "c", Name "b")) -> ()
+  | _ -> Alcotest.fail "ternary");
+  match single "def g():\n    yield from range(3)\n" with
+  | Func_def { body = [ { desc = Expr_stmt (Yield_from _); _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "yield from"
+
+let test_match_statement () =
+  let src =
+    "match command:\n    \    case \"start\":\n    \        run()\n    \    case \"stop\" | \"halt\":\n    \        stop()\n    \    case Point(x=0, y=0):\n    \        origin()\n    \    case [a, b] if a > b:\n    \        swap(a, b)\n    \    case _:\n    \        ignore()\n"
+  in
+  (match single src with
+  | Match { subject = Name "command"; cases } ->
+    check_int "five cases" 5 (List.length cases);
+    (match cases with
+    | (Str_e _, None, _) :: (Binop ("|", _, _), None, _)
+      :: (Call (Name "Point", _), None, _) :: (List_e _, Some (Compare _), _)
+      :: (Name "_", None, _) :: [] -> ()
+    | _ -> Alcotest.fail "case shapes")
+  | _ -> Alcotest.fail "match statement");
+  (* 'match' stays usable as an ordinary identifier *)
+  (match single "match = 1\n" with
+  | Assign ([ Name "match" ], Int_e "1") -> ()
+  | _ -> Alcotest.fail "match as variable");
+  (match single "y = match(x)\n" with
+  | Assign (_, Call (Name "match", _)) -> ()
+  | _ -> Alcotest.fail "match as function");
+  (* complexity counts one decision per case *)
+  match
+    Metrics.Complexity.of_source
+      ("def dispatch(c):\n"
+      ^ String.concat "\n"
+          (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' src))
+      ^ "\n")
+  with
+  | Some s ->
+    Alcotest.(check (list (pair string int))) "cc = 1 base + 5 cases"
+      [ ("dispatch", 6) ] s.Metrics.Complexity.per_function
+  | None -> Alcotest.fail "should parse"
+
+let test_errors () =
+  check_bool "unclosed paren" false (parses "f(1, 2\n");
+  check_bool "bad indent block" false (parses "if a:\npass\n");
+  check_bool "stray else" false (parses "else:\n    pass\n");
+  check_bool "try alone" false (parses "try:\n    pass\n");
+  check_bool "empty ok" true (parses "");
+  check_bool "blank lines ok" true (parses "\n\n\n");
+  check_bool "comment only ok" true (parses "# nothing\n")
+
+let test_helpers () =
+  let m =
+    parse_exn
+      "import subprocess\n\
+       def run(cmd):\n\
+      \    return subprocess.call(cmd, shell=True)\n"
+  in
+  let calls = find_calls m.body in
+  (match calls with
+  | [ ("subprocess.call", args, line) ] ->
+    check_int "call line" 3 line;
+    (match kwarg args "shell" with
+    | Some (Bool_e true) -> ()
+    | _ -> Alcotest.fail "shell kwarg")
+  | _ -> Alcotest.fail "find_calls");
+  check_int "functions_of" 1 (List.length (functions_of m));
+  Alcotest.(check (option string)) "dotted"
+    (Some "a.b.c")
+    (dotted_name (Attr (Attr (Name "a", "b"), "c")));
+  Alcotest.(check (option string)) "string_value"
+    (Some "hi")
+    (string_value (Str_e { prefix = ""; body = "hi" }))
+
+let test_realistic_sample () =
+  (* The kind of output the corpus generators produce. *)
+  let src =
+    "import sqlite3\n\
+     from flask import Flask, request\n\n\
+     app = Flask(__name__)\n\n\
+     @app.route(\"/user\")\n\
+     def get_user():\n\
+    \    username = request.args.get(\"username\", \"\")\n\
+    \    conn = sqlite3.connect(\"users.db\")\n\
+    \    cursor = conn.cursor()\n\
+    \    query = \"SELECT * FROM users WHERE name = '%s'\" % username\n\
+    \    cursor.execute(query)\n\
+    \    rows = cursor.fetchall()\n\
+    \    if not rows:\n\
+    \        return \"not found\", 404\n\
+    \    return str(rows[0])\n\n\
+     if __name__ == \"__main__\":\n\
+    \    app.run(debug=True)\n"
+  in
+  let m = parse_exn src in
+  check_int "top-level stmts" 5 (List.length m.body);
+  let calls = List.map (fun (n, _, _) -> n) (find_calls m.body) in
+  check_bool "sees execute" true (List.mem "cursor.execute" calls);
+  check_bool "sees app.run" true (List.mem "app.run" calls);
+  Alcotest.(check (list string)) "modules" [ "sqlite3"; "flask" ]
+    (imported_modules m)
+
+(* --- properties ------------------------------------------------------- *)
+
+let int_list_gen = QCheck.Gen.(list_size (int_range 1 8) (int_range 0 99))
+
+let prop_nested_if_depth =
+  QCheck.Test.make ~name:"nested ifs parse at any depth" ~count:50
+    QCheck.(int_range 1 20)
+    (fun depth ->
+      let buf = Buffer.create 256 in
+      for i = 0 to depth - 1 do
+        Buffer.add_string buf (String.make (4 * i) ' ');
+        Buffer.add_string buf (Printf.sprintf "if x%d:\n" i)
+      done;
+      Buffer.add_string buf (String.make (4 * depth) ' ');
+      Buffer.add_string buf "pass\n";
+      parses (Buffer.contents buf))
+
+let prop_stmt_count =
+  QCheck.Test.make ~name:"one assignment parses per line" ~count:50
+    (QCheck.make int_list_gen) (fun xs ->
+      let src =
+        String.concat ""
+          (List.mapi (fun i v -> Printf.sprintf "x%d = %d\n" i v) xs)
+      in
+      List.length (body src) = List.length xs)
+
+let prop_arith_roundtrip =
+  (* Tiny evaluator: parser honours arithmetic precedence. *)
+  let rec eval = function
+    | Int_e s -> int_of_string s
+    | Binop ("+", a, b) -> eval a + eval b
+    | Binop ("*", a, b) -> eval a * eval b
+    | Binop ("-", a, b) -> eval a - eval b
+    | _ -> failwith "unexpected"
+  in
+  QCheck.Test.make ~name:"arithmetic precedence matches evaluation" ~count:100
+    QCheck.(triple (int_range 0 20) (int_range 0 20) (int_range 0 20))
+    (fun (a, b, c) ->
+      match single (Printf.sprintf "r = %d + %d * %d - %d\n" a b c a) with
+      | Assign (_, e) -> eval e = a + (b * c) - a
+      | _ -> false)
+
+let prop_parse_total =
+  (* failure injection: the parser returns Ok or a located Error on
+     arbitrary input, never an unexpected exception *)
+  QCheck.Test.make ~name:"parse is total on arbitrary bytes" ~count:500
+    (QCheck.string_gen_of_size (QCheck.Gen.int_range 0 80)
+       (QCheck.Gen.char_range '\x00' '\xff'))
+    (fun junk -> match Pyast.parse junk with Ok _ | Error _ -> true)
+
+let prop_parse_total_asciiish =
+  (* denser coverage of near-Python text *)
+  QCheck.Test.make ~name:"parse is total on python-ish text" ~count:500
+    (QCheck.string_gen_of_size
+       (QCheck.Gen.int_range 0 80)
+       (QCheck.Gen.oneofl
+          [ 'd'; 'e'; 'f'; ' '; '('; ')'; ':'; '\n'; '='; '"'; '1'; 'x'; ','; '.';
+            '['; ']'; '+'; '#'; '@' ]))
+    (fun text -> match Pyast.parse text with Ok _ | Error _ -> true)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pyast"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "assignments" `Quick test_assignments;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "calls" `Quick test_calls;
+          Alcotest.test_case "strings" `Quick test_strings_fstrings;
+          Alcotest.test_case "collections" `Quick test_collections;
+          Alcotest.test_case "slices" `Quick test_slices;
+          Alcotest.test_case "def and class" `Quick test_def_and_class;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "imports" `Quick test_imports;
+          Alcotest.test_case "misc statements" `Quick test_misc_stmts;
+          Alcotest.test_case "lambda/cond/yield" `Quick test_lambda_cond_yield;
+          Alcotest.test_case "match statement" `Quick test_match_statement;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "helpers" `Quick test_helpers;
+          Alcotest.test_case "realistic sample" `Quick test_realistic_sample;
+        ] );
+      ( "property",
+        qt
+          [
+            prop_nested_if_depth;
+            prop_stmt_count;
+            prop_arith_roundtrip;
+            prop_parse_total;
+            prop_parse_total_asciiish;
+          ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the Pylex Python tokenizer. *)
+
+let kinds source =
+  List.map (fun t -> Pylex.string_of_kind t.Pylex.kind) (Pylex.tokenize_exn source)
+
+let code_kinds source =
+  List.map
+    (fun t -> Pylex.string_of_kind t.Pylex.kind)
+    (Pylex.code_tokens (Pylex.tokenize_exn source))
+
+let check_kinds msg expected source =
+  Alcotest.(check (list string)) msg expected (kinds source)
+
+let check_code msg expected source =
+  Alcotest.(check (list string)) msg expected (code_kinds source)
+
+let lex_fails source =
+  match Pylex.tokenize source with Ok _ -> false | Error _ -> true
+
+let test_simple_statement () =
+  check_kinds "assignment"
+    [ "NAME(x)"; "OP(=)"; "INT(1)"; "NEWLINE"; "EOF" ]
+    "x = 1\n";
+  check_kinds "no trailing newline"
+    [ "NAME(x)"; "OP(=)"; "INT(1)"; "NEWLINE"; "EOF" ]
+    "x = 1"
+
+let test_keywords_vs_names () =
+  check_code "keywords"
+    [ "KW(if)"; "NAME(xif)"; "OP(:)"; "KW(pass)" ]
+    "if xif: pass\n";
+  Alcotest.(check bool) "is_keyword def" true (Pylex.is_keyword "def");
+  Alcotest.(check bool) "match is soft" false (Pylex.is_keyword "match")
+
+let test_numbers () =
+  check_code "ints & floats"
+    [ "INT(42)"; "OP(;)"; "FLOAT(3.14)"; "OP(;)"; "FLOAT(1.)"; "OP(;)";
+      "FLOAT(.5)"; "OP(;)"; "INT(1_000)" ]
+    "42; 3.14; 1.; .5; 1_000\n";
+  check_code "radix"
+    [ "INT(0xFF)"; "OP(;)"; "INT(0o17)"; "OP(;)"; "INT(0b101)" ]
+    "0xFF; 0o17; 0b101\n";
+  check_code "exponent & imag"
+    [ "FLOAT(1e10)"; "OP(;)"; "FLOAT(2.5e-3)"; "OP(;)"; "IMAG(3j)" ]
+    "1e10; 2.5e-3; 3j\n"
+
+let test_strings () =
+  check_code "single" [ "STR('abc')" ] "'abc'\n";
+  check_code "double escape" [ {|STR("a\"b")|} ] {|"a\"b"
+|};
+  check_code "triple"
+    [ "STR('''line1\nline2''')" ]
+    "'''line1\nline2'''\n";
+  check_code "prefixes"
+    [ "STR(r'\\d+')"; "OP(;)"; "STR(b'x')"; "OP(;)"; "STR(f'{a}')" ]
+    "r'\\d+'; b'x'; f'{a}'\n";
+  Alcotest.(check bool) "unterminated" true (lex_fails "x = 'abc\n");
+  Alcotest.(check bool) "unterminated triple" true (lex_fails "x = '''abc\n")
+
+let test_operators () =
+  check_code "compound ops"
+    [ "NAME(a)"; "OP(**=)"; "INT(2)" ]
+    "a **= 2\n";
+  check_code "walrus" [ "OP(()"; "NAME(n)"; "OP(:=)"; "INT(1)"; "OP())" ] "(n := 1)\n";
+  check_code "arrow"
+    [ "KW(def)"; "NAME(f)"; "OP(()"; "OP())"; "OP(->)"; "NAME(int)"; "OP(:)";
+      "KW(pass)" ]
+    "def f() -> int: pass\n"
+
+let test_comments () =
+  check_kinds "inline comment"
+    [ "NAME(x)"; "OP(=)"; "INT(1)"; "COMMENT( init)"; "NEWLINE"; "EOF" ]
+    "x = 1 # init\n";
+  check_kinds "comment-only line is NL"
+    [ "COMMENT( hi)"; "NL"; "NAME(x)"; "OP(=)"; "INT(1)"; "NEWLINE"; "EOF" ]
+    "# hi\nx = 1\n"
+
+let test_indentation () =
+  check_kinds "indent/dedent"
+    [
+      "KW(if)"; "NAME(a)"; "OP(:)"; "NEWLINE";
+      "INDENT"; "NAME(b)"; "OP(=)"; "INT(1)"; "NEWLINE";
+      "DEDENT"; "NAME(c)"; "OP(=)"; "INT(2)"; "NEWLINE"; "EOF";
+    ]
+    "if a:\n    b = 1\nc = 2\n";
+  check_kinds "nested dedents close at eof"
+    [
+      "KW(if)"; "NAME(a)"; "OP(:)"; "NEWLINE";
+      "INDENT"; "KW(if)"; "NAME(b)"; "OP(:)"; "NEWLINE";
+      "INDENT"; "NAME(c)"; "OP(=)"; "INT(1)"; "NEWLINE";
+      "DEDENT"; "DEDENT"; "EOF";
+    ]
+    "if a:\n  if b:\n    c = 1\n";
+  Alcotest.(check bool) "bad dedent" true
+    (lex_fails "if a:\n    b = 1\n  c = 2\n");
+  (* Blank lines inside a block do not dedent. *)
+  check_kinds "blank line neutral"
+    [
+      "KW(if)"; "NAME(a)"; "OP(:)"; "NEWLINE";
+      "INDENT"; "NAME(b)"; "OP(=)"; "INT(1)"; "NEWLINE";
+      "NL"; "NAME(c)"; "OP(=)"; "INT(2)"; "NEWLINE"; "DEDENT"; "EOF";
+    ]
+    "if a:\n    b = 1\n\n    c = 2\n"
+
+let test_line_joining () =
+  check_kinds "implicit in parens"
+    [
+      "NAME(f)"; "OP(()"; "NAME(a)"; "OP(,)"; "NL"; "NAME(b)"; "OP())";
+      "NEWLINE"; "EOF";
+    ]
+    "f(a,\n  b)\n";
+  check_kinds "explicit backslash"
+    [ "NAME(a)"; "OP(=)"; "INT(1)"; "OP(+)"; "INT(2)"; "NEWLINE"; "EOF" ]
+    "a = 1 + \\\n2\n"
+
+let test_positions () =
+  let tokens = Pylex.tokenize_exn "x = 10\ny = 2\n" in
+  let tok_y =
+    List.find
+      (fun t -> match t.Pylex.kind with Pylex.Name "y" -> true | _ -> false)
+      tokens
+  in
+  Alcotest.(check int) "line of y" 2 tok_y.Pylex.start.Pylex.line;
+  Alcotest.(check int) "col of y" 0 tok_y.Pylex.start.Pylex.col;
+  let tok_10 =
+    List.find
+      (fun t -> match t.Pylex.kind with Pylex.Int_lit "10" -> true | _ -> false)
+      tokens
+  in
+  Alcotest.(check int) "offset of 10" 4 tok_10.Pylex.start.Pylex.offset
+
+let test_realistic_flask () =
+  let src =
+    "from flask import Flask, request\n\
+     app = Flask(__name__)\n\n\
+     @app.route(\"/comments\")\n\
+     def comments():\n\
+    \    name = request.args.get(\"name\", \"\")\n\
+    \    return f\"<p>{name}</p>\"\n\n\
+     if __name__ == \"__main__\":\n\
+    \    app.run(debug=True)\n"
+  in
+  let tokens = Pylex.tokenize_exn src in
+  let names =
+    List.filter_map
+      (fun t -> match t.Pylex.kind with Pylex.Name n -> Some n | _ -> None)
+      tokens
+  in
+  Alcotest.(check bool) "sees request" true (List.mem "request" names);
+  Alcotest.(check bool) "sees app" true (List.mem "app" names);
+  Alcotest.(check int) "significant lines" 8 (Pylex.significant_line_count src)
+
+let test_stray_char () =
+  Alcotest.(check bool) "stray ?" true (lex_fails "a ? b\n")
+
+(* --- properties ------------------------------------------------------- *)
+
+let ident_gen =
+  QCheck.Gen.(
+    map2
+      (fun c rest -> Printf.sprintf "%c%s" c rest)
+      (char_range 'a' 'z')
+      (string_size ~gen:(char_range 'a' 'z') (int_range 0 8)))
+
+let prop_idents_roundtrip =
+  QCheck.Test.make ~name:"identifier tokens carry their text" ~count:200
+    (QCheck.make ident_gen) (fun id ->
+      QCheck.assume (not (Pylex.is_keyword id));
+      match Pylex.code_tokens (Pylex.tokenize_exn (id ^ " = 1\n")) with
+      | { kind = Pylex.Name n; _ } :: _ -> n = id
+      | _ -> false)
+
+let prop_balanced_indent =
+  (* Every INDENT is eventually matched by a DEDENT. *)
+  let block_gen =
+    QCheck.Gen.(
+      map
+        (fun depths ->
+          let buf = Buffer.create 64 in
+          List.iteri
+            (fun i d ->
+              Buffer.add_string buf (String.make (2 * d) ' ');
+              Buffer.add_string buf (Printf.sprintf "x%d = %d\n" i i))
+            (0 :: depths);
+          Buffer.contents buf)
+        (list_size (int_range 0 6) (int_range 0 3)))
+  in
+  QCheck.Test.make ~name:"indents and dedents balance" ~count:100
+    (QCheck.make block_gen) (fun src ->
+      match Pylex.tokenize src with
+      | Error _ -> true (* inconsistent indentation is allowed to fail *)
+      | Ok tokens ->
+        let balance =
+          List.fold_left
+            (fun acc t ->
+              match t.Pylex.kind with
+              | Pylex.Indent -> acc + 1
+              | Pylex.Dedent -> acc - 1
+              | _ -> acc)
+            0 tokens
+        in
+        balance = 0)
+
+let prop_token_spans_ordered =
+  QCheck.Test.make ~name:"token offsets are monotone" ~count:100
+    (QCheck.make ident_gen) (fun id ->
+      QCheck.assume (not (Pylex.is_keyword id));
+      let src = Printf.sprintf "def %s(a, b):\n    return a + b\n" id in
+      let tokens = Pylex.tokenize_exn src in
+      let offsets = List.map (fun t -> t.Pylex.start.Pylex.offset) tokens in
+      List.sort compare offsets = offsets)
+
+let prop_no_unexpected_exceptions =
+  (* failure injection: arbitrary bytes either tokenize or fail with a
+     located error — nothing else escapes *)
+  QCheck.Test.make ~name:"tokenize is total on arbitrary bytes" ~count:500
+    (QCheck.string_gen_of_size (QCheck.Gen.int_range 0 60)
+       (QCheck.Gen.char_range '\x00' '\xff'))
+    (fun junk ->
+      match Pylex.tokenize junk with Ok _ | Error _ -> true)
+
+let prop_token_count_stable =
+  QCheck.Test.make ~name:"tokenizing twice gives identical streams" ~count:100
+    (QCheck.make ident_gen) (fun id ->
+      QCheck.assume (not (Pylex.is_keyword id));
+      let src = Printf.sprintf "def %s():\n    return 1\n" id in
+      Pylex.tokenize src = Pylex.tokenize src)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pylex"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple statement" `Quick test_simple_statement;
+          Alcotest.test_case "keywords vs names" `Quick test_keywords_vs_names;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "indentation" `Quick test_indentation;
+          Alcotest.test_case "line joining" `Quick test_line_joining;
+          Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "realistic flask" `Quick test_realistic_flask;
+          Alcotest.test_case "stray char" `Quick test_stray_char;
+        ] );
+      ( "property",
+        qt
+          [
+            prop_idents_roundtrip;
+            prop_balanced_indent;
+            prop_token_spans_ordered;
+            prop_no_unexpected_exceptions;
+            prop_token_count_stable;
+          ]
+      );
+    ]

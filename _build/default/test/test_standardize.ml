@@ -1,0 +1,153 @@
+(* Tests for the Standardize named-entity tagger (§II-A). *)
+
+let std src = fst (Standardize.standardize_exn src)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_output_param () =
+  (* The assignment target of a plain call is standardized. *)
+  check_str "target" "var0 = request.args.get(var1, var2)\n"
+    (std "name = request.args.get(\"name\", \"\")\n")
+
+let test_input_params () =
+  (* 'result' (output) and both positional names (inputs) are mapped. *)
+  check_str "both sides" "var0 = compute(var1, var2)\n"
+    (std "result = compute(width, height)\n")
+
+let test_config_preserved () =
+  (* Keyword parameters (recognized by '=') are configuration. *)
+  check_str "debug kwarg" "app.run(debug=True)\n" (std "app.run(debug=True)\n");
+  check_str "kwarg with string value"
+    "connect(var0, mode=\"strict\")\n"
+    (std "connect(host, mode=\"strict\")\n")
+
+let test_constructor_preserved () =
+  (* Capitalized callees are constructors: framework configuration. *)
+  check_str "Flask" "app = Flask(__name__)\n" (std "app = Flask(__name__)\n")
+
+let test_decorator_preserved () =
+  check_str "route decorator"
+    "@app.route(\"/comments\")\ndef comments():\n    pass\n"
+    (std "@app.route(\"/comments\")\ndef comments():\n    pass\n")
+
+let test_dunder_preserved () =
+  check_str "main guard"
+    "if __name__ == \"__main__\":\n    app.run(debug=True)\n"
+    (std "if __name__ == \"__main__\":\n    app.run(debug=True)\n")
+
+let test_consistent_replacement () =
+  (* Once mapped, every occurrence is rewritten, f-strings included. *)
+  check_str "fstring follows mapping"
+    "var0 = request.args.get(var1, var2)\nreturn f\"<p>{var0}</p>\"\n"
+    (std "name = request.args.get(\"name\", \"\")\nreturn f\"<p>{name}</p>\"\n")
+
+let test_paper_table1_row1 () =
+  (* The vulnerable snippet v1 from Table I of the paper. *)
+  let v1 =
+    "from flask import Flask, request\n\
+     app = Flask(__name__)\n\
+     @app.route(\"/comments\")\n\
+     def comments():\n\
+    \    name = request.args.get(\"name\", \"\")\n\
+    \    return f\"<p>{name}</p>\"\n\
+     if __name__ == \"__main__\":\n\
+    \    app.run(debug=True)\n"
+  in
+  let out, mapping = Standardize.standardize_exn v1 in
+  check_bool "name -> var0" true (List.mem_assoc "name" mapping);
+  check_bool "var0 used" true
+    (Rx.matches (Rx.compile "var0 = request\\.args\\.get\\(var1, var2\\)") out);
+  check_bool "debug preserved" true (Rx.matches (Rx.compile "debug=True") out);
+  check_bool "fstring rewritten" true
+    (Rx.matches (Rx.compile "\\{var0\\}") out);
+  check_bool "decorator untouched" true
+    (Rx.matches (Rx.compile "@app\\.route\\(\"/comments\"\\)") out)
+
+let test_paper_pair_converges () =
+  (* After standardization, two variants of the same implementation
+     differ only in the tokens the tagger cannot touch. *)
+  let v1 = "name = request.args.get(\"name\", \"\")\nreturn f\"Hello {name}\"\n" in
+  let v2 = "user = request.args.get(\"user\", \"\")\nreturn f\"Hello {user}\"\n" in
+  check_bool "variants converge" true (Standardize.standardized_equal v1 v2)
+
+let test_mapping_order () =
+  let _, mapping =
+    Standardize.standardize_exn "a = f(\"x\")\nb = g(\"y\")\n"
+  in
+  Alcotest.(check (list (pair string string)))
+    "first-appearance order"
+    [ ("a", "var0"); ("\"x\"", "var1"); ("b", "var2"); ("\"y\"", "var3") ]
+    mapping
+
+let test_error_path () =
+  match Standardize.standardize "x = 'unterminated\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a lexical error"
+
+let test_idempotent_examples () =
+  List.iter
+    (fun src -> check_str "second pass is stable" (std src) (std (std src)))
+    [
+      "name = request.args.get(\"name\", \"\")\n";
+      "app.run(debug=True)\n";
+      "result = compute(width, height)\n";
+      "x = os.system(cmd)\n";
+    ]
+
+(* --- properties ------------------------------------------------------- *)
+
+let ident_gen =
+  QCheck.Gen.(
+    map2
+      (fun c rest -> Printf.sprintf "%c%s" c rest)
+      (char_range 'a' 'z')
+      (string_size ~gen:(char_range 'a' 'z') (int_range 0 6)))
+
+let prop_var_names_standardized =
+  QCheck.Test.make ~name:"any lowercase arg name becomes var#" ~count:100
+    (QCheck.make ident_gen) (fun name ->
+      QCheck.assume (not (Pylex.is_keyword name));
+      let out = std (Printf.sprintf "x = handle(%s)\n" name) in
+      Rx.matches (Rx.compile "x = handle\\(var\\d+\\)|var\\d+ = handle\\(var\\d+\\)") out)
+
+let prop_structure_preserved =
+  QCheck.Test.make ~name:"token structure is preserved" ~count:100
+    (QCheck.make ident_gen) (fun name ->
+      QCheck.assume (not (Pylex.is_keyword name));
+      let src = Printf.sprintf "y = process(%s, limit=10)\n" name in
+      let out = std src in
+      (* Same number of code tokens before and after. *)
+      List.length (Pylex.code_tokens (Pylex.tokenize_exn src))
+      = List.length (Pylex.code_tokens (Pylex.tokenize_exn out)))
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"standardization is idempotent" ~count:100
+    (QCheck.make ident_gen) (fun name ->
+      QCheck.assume (not (Pylex.is_keyword name));
+      let src = Printf.sprintf "v = fetch(%s)\nprint(v)\n" name in
+      let once = std src in
+      std once = once)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "standardize"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "output param" `Quick test_output_param;
+          Alcotest.test_case "input params" `Quick test_input_params;
+          Alcotest.test_case "config preserved" `Quick test_config_preserved;
+          Alcotest.test_case "constructor preserved" `Quick test_constructor_preserved;
+          Alcotest.test_case "decorator preserved" `Quick test_decorator_preserved;
+          Alcotest.test_case "dunder preserved" `Quick test_dunder_preserved;
+          Alcotest.test_case "consistent replacement" `Quick test_consistent_replacement;
+          Alcotest.test_case "paper table1 row1" `Quick test_paper_table1_row1;
+          Alcotest.test_case "paper pair converges" `Quick test_paper_pair_converges;
+          Alcotest.test_case "mapping order" `Quick test_mapping_order;
+          Alcotest.test_case "error path" `Quick test_error_path;
+          Alcotest.test_case "idempotent examples" `Quick test_idempotent_examples;
+        ] );
+      ( "property",
+        qt [ prop_var_names_standardized; prop_structure_preserved; prop_idempotent ]
+      );
+    ]

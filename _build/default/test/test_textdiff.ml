@@ -1,0 +1,250 @@
+(* Tests for the Textdiff (difflib port) library. *)
+
+open Textdiff
+
+let arr = Array.of_list
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_longest_match () =
+  let t = create (arr [ "a"; "b"; "c"; "d" ]) (arr [ "x"; "b"; "c"; "y" ]) in
+  let m = find_longest_match t ~a_lo:0 ~a_hi:4 ~b_lo:0 ~b_hi:4 in
+  check_int "a_start" 1 m.a_start;
+  check_int "b_start" 1 m.b_start;
+  check_int "size" 2 m.size
+
+let test_longest_match_tie () =
+  (* Two equally long matches: difflib prefers the earliest in a. *)
+  let t = create (arr [ "x"; "a"; "y"; "a" ]) (arr [ "a" ]) in
+  let m = find_longest_match t ~a_lo:0 ~a_hi:4 ~b_lo:0 ~b_hi:1 in
+  check_int "earliest in a" 1 m.a_start
+
+let test_matching_blocks () =
+  let t =
+    create (arr [ "q"; "a"; "b"; "x"; "c"; "d" ])
+      (arr [ "a"; "b"; "y"; "c"; "d" ])
+  in
+  let blocks = matching_blocks t in
+  (* difflib gives (1,0,2), (4,3,2), sentinel (6,5,0). *)
+  match blocks with
+  | [ b1; b2; s ] ->
+    check_int "b1.a" 1 b1.a_start;
+    check_int "b1.b" 0 b1.b_start;
+    check_int "b1.size" 2 b1.size;
+    check_int "b2.a" 4 b2.a_start;
+    check_int "b2.b" 3 b2.b_start;
+    check_int "b2.size" 2 b2.size;
+    check_int "sentinel size" 0 s.size;
+    check_int "sentinel a" 6 s.a_start
+  | l -> Alcotest.failf "expected 3 blocks, got %d" (List.length l)
+
+let test_opcodes () =
+  let t =
+    create
+      (arr [ "q"; "a"; "b"; "x"; "c"; "d" ])
+      (arr [ "a"; "b"; "y"; "c"; "d" ])
+  in
+  let tags =
+    List.map
+      (fun o ->
+        match o.tag with
+        | Equal -> "equal"
+        | Replace -> "replace"
+        | Delete -> "delete"
+        | Insert -> "insert")
+      (opcodes t)
+  in
+  Alcotest.(check (list string)) "opcode tags"
+    [ "delete"; "equal"; "replace"; "equal" ]
+    tags
+
+let test_opcodes_cover () =
+  let a = arr [ "a"; "b"; "c" ] and b = arr [ "c"; "b"; "a" ] in
+  let ops = opcodes (create a b) in
+  (* Opcodes must tile both sequences completely. *)
+  let rec check_tiling i j = function
+    | [] ->
+      check_int "a covered" (Array.length a) i;
+      check_int "b covered" (Array.length b) j
+    | op :: rest ->
+      check_int "a contiguous" i op.a_lo;
+      check_int "b contiguous" j op.b_lo;
+      check_tiling op.a_hi op.b_hi rest
+  in
+  check_tiling 0 0 ops
+
+let test_ratio () =
+  let t = create (arr [ "a"; "b"; "c"; "d" ]) (arr [ "a"; "b"; "c"; "d" ]) in
+  Alcotest.(check (float 1e-9)) "identical" 1.0 (ratio t);
+  let t2 = create (arr [ "a"; "b" ]) (arr [ "c"; "d" ]) in
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0 (ratio t2);
+  let t3 = create (arr [ "a"; "b" ]) (arr [ "a"; "c" ]) in
+  Alcotest.(check (float 1e-9)) "half" 0.5 (ratio t3)
+
+let test_lcs () =
+  let l =
+    lcs (arr [ "A"; "B"; "C"; "B"; "D"; "A"; "B" ]) (arr [ "B"; "D"; "C"; "A"; "B"; "A" ])
+  in
+  check_int "lcs length" 4 (Array.length l);
+  (* A classic: LCS of ABCBDAB / BDCABA has length 4 (e.g. BCAB or BDAB). *)
+  check_bool "is subsequence of both" true
+    (let is_subseq sub seq =
+       let n = Array.length seq in
+       let rec go i j =
+         if i >= Array.length sub then true
+         else if j >= n then false
+         else if sub.(i) = seq.(j) then go (i + 1) (j + 1)
+         else go i (j + 1)
+       in
+       go 0 0
+     in
+     is_subseq l (arr [ "A"; "B"; "C"; "B"; "D"; "A"; "B" ])
+     && is_subseq l (arr [ "B"; "D"; "C"; "A"; "B"; "A" ]))
+
+let test_lcs_lines () =
+  let a = "import os\nx = 1\ny = 2\n" in
+  let b = "import sys\nx = 1\ny = 2\n" in
+  Alcotest.(check (list string)) "common lines" [ "x = 1"; "y = 2"; "" ]
+    (lcs_lines a b)
+
+let test_added_segments () =
+  (* The paper's use: what does the safe pattern add over the vulnerable? *)
+  let v = words "return f\"<p>{var0}</p>\"" in
+  let s = words "return f\"<p>{escape(var0)}</p>\"" in
+  let adds = added_segments ~a:v ~b:s in
+  let flat = List.concat_map Array.to_list adds in
+  check_bool "escape added" true (List.mem "escape" flat)
+
+let test_render_diff () =
+  let d = render_diff ~a:"a\nb\nc" ~b:"a\nx\nc" in
+  Alcotest.(check string) "diff" " a\n-b\n+x\n c\n" d
+
+let test_unified () =
+  let a = String.concat "\n" (List.init 12 (fun i -> Printf.sprintf "line%d" i)) in
+  let b =
+    String.concat "\n"
+      (List.init 12 (fun i -> if i = 6 then "CHANGED" else Printf.sprintf "line%d" i))
+  in
+  let d = unified a b in
+  check_bool "hunk header present" true
+    (String.length d > 0 && String.sub d 0 3 = "@@ ");
+  check_bool "change marked" true
+    (List.exists (fun l -> l = "+CHANGED") (String.split_on_char '\n' d));
+  check_bool "removal marked" true
+    (List.exists (fun l -> l = "-line6") (String.split_on_char '\n' d));
+  (* far-away lines are trimmed from the hunk *)
+  check_bool "context trimmed" false
+    (List.exists (fun l -> l = " line0") (String.split_on_char '\n' d));
+  check_bool "near context kept" true
+    (List.exists (fun l -> l = " line5") (String.split_on_char '\n' d));
+  Alcotest.(check string) "equal inputs -> empty" "" (unified a a);
+  (* two distant changes produce two hunks *)
+  let c =
+    String.concat "\n"
+      (List.init 30 (fun i ->
+           if i = 2 then "X" else if i = 25 then "Y" else Printf.sprintf "l%d" i))
+  in
+  let base = String.concat "\n" (List.init 30 (fun i -> Printf.sprintf "l%d" i)) in
+  let d2 = unified base c in
+  check_int "two hunks" 2
+    (List.length
+       (List.filter
+          (fun l -> String.length l > 2 && String.sub l 0 2 = "@@")
+          (String.split_on_char '\n' d2)))
+
+let test_words () =
+  Alcotest.(check (list string)) "tokenization"
+    [ "app"; "."; "run"; "("; "debug"; "="; "True"; ")" ]
+    (Array.to_list (words "app.run(debug=True)"))
+
+(* --- properties ------------------------------------------------------- *)
+
+let token_seq_gen =
+  QCheck.Gen.(
+    map arr (list_size (int_range 0 20) (oneofl [ "a"; "b"; "c"; "d"; "(" ])))
+
+let pair_gen = QCheck.make QCheck.Gen.(pair token_seq_gen token_seq_gen)
+
+let prop_lcs_symmetric_length =
+  QCheck.Test.make ~name:"lcs length is symmetric" ~count:200 pair_gen
+    (fun (a, b) -> Array.length (lcs a b) = Array.length (lcs b a))
+
+let prop_lcs_identity =
+  QCheck.Test.make ~name:"lcs with self is self" ~count:200
+    (QCheck.make token_seq_gen) (fun a -> lcs a a = a)
+
+let prop_lcs_is_subsequence =
+  let is_subseq sub seq =
+    let n = Array.length seq in
+    let rec go i j =
+      if i >= Array.length sub then true
+      else if j >= n then false
+      else if sub.(i) = seq.(j) then go (i + 1) (j + 1)
+      else go i (j + 1)
+    in
+    go 0 0
+  in
+  QCheck.Test.make ~name:"lcs is a subsequence of both" ~count:200 pair_gen
+    (fun (a, b) ->
+      let l = lcs a b in
+      is_subseq l a && is_subseq l b)
+
+let prop_opcodes_tile =
+  QCheck.Test.make ~name:"opcodes tile both sequences" ~count:200 pair_gen
+    (fun (a, b) ->
+      let ops = opcodes (create a b) in
+      let rec go i j = function
+        | [] -> i = Array.length a && j = Array.length b
+        | op :: rest -> op.a_lo = i && op.b_lo = j && go op.a_hi op.b_hi rest
+      in
+      go 0 0 ops)
+
+let prop_ratio_bounds =
+  QCheck.Test.make ~name:"ratio is within [0,1]" ~count:200 pair_gen
+    (fun (a, b) ->
+      let r = ratio (create a b) in
+      r >= 0.0 && r <= 1.0)
+
+let prop_equal_opcodes_match =
+  QCheck.Test.make ~name:"equal opcodes really are equal" ~count:200 pair_gen
+    (fun (a, b) ->
+      List.for_all
+        (fun op ->
+          match op.tag with
+          | Equal ->
+            Array.sub a op.a_lo (op.a_hi - op.a_lo)
+            = Array.sub b op.b_lo (op.b_hi - op.b_lo)
+          | Replace | Delete | Insert -> true)
+        (opcodes (create a b)))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "textdiff"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "longest match" `Quick test_longest_match;
+          Alcotest.test_case "longest match tie" `Quick test_longest_match_tie;
+          Alcotest.test_case "matching blocks" `Quick test_matching_blocks;
+          Alcotest.test_case "opcodes" `Quick test_opcodes;
+          Alcotest.test_case "opcodes cover" `Quick test_opcodes_cover;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+          Alcotest.test_case "lcs" `Quick test_lcs;
+          Alcotest.test_case "lcs lines" `Quick test_lcs_lines;
+          Alcotest.test_case "added segments" `Quick test_added_segments;
+          Alcotest.test_case "render diff" `Quick test_render_diff;
+          Alcotest.test_case "unified" `Quick test_unified;
+          Alcotest.test_case "words" `Quick test_words;
+        ] );
+      ( "property",
+        qt
+          [
+            prop_lcs_symmetric_length;
+            prop_lcs_identity;
+            prop_lcs_is_subsequence;
+            prop_opcodes_tile;
+            prop_ratio_bounds;
+            prop_equal_opcodes_match;
+          ] );
+    ]
