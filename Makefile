@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench eval docs dataset clean
+.PHONY: all build test bench bench-json eval docs dataset clean
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 # study and micro-benchmarks.
 bench:
 	dune exec bench/main.exe
+
+# Micro-benchmarks only, as machine-readable per-benchmark ns/run JSON —
+# the perf trajectory file future PRs compare against.
+bench-json:
+	dune exec bench/main.exe -- --json > BENCH_scan.json
+	cat BENCH_scan.json
 
 eval:
 	dune exec bin/patchitpy_cli.exe -- eval

@@ -36,6 +36,8 @@ let table1_safe_pair =
 let shell_rule =
   Rx.compile {|\bsubprocess\.(call|run|Popen)\(([^)\n]*)shell\s*=\s*True([^)\n]*)\)|}
 
+let catalog_scanner = Patchitpy.Scanner.compile Patchitpy.Catalog.all
+
 let micro_tests =
   Test.make_grouped ~name:"patchitpy"
     [
@@ -46,6 +48,12 @@ let micro_tests =
         (Staged.stage (fun () -> ignore (Pylex.tokenize sample_flask)));
       Test.make ~name:"pyast-parse (substrate)"
         (Staged.stage (fun () -> ignore (Pyast.parse sample_flask)));
+      Test.make ~name:"scanner-compile-catalog"
+        (Staged.stage (fun () ->
+             ignore (Patchitpy.Scanner.compile Patchitpy.Catalog.all)));
+      Test.make ~name:"scanner-scan-per-sample"
+        (Staged.stage (fun () ->
+             ignore (Patchitpy.Scanner.scan catalog_scanner sample_flask)));
       Test.make ~name:"tableII-detect-per-sample"
         (Staged.stage (fun () -> ignore (Patchitpy.Engine.scan sample_flask)));
       Test.make ~name:"tableIII-patch-per-sample"
@@ -64,7 +72,7 @@ let micro_tests =
         (Staged.stage (fun () -> ignore (Baselines.Codeql_sim.scan sample_flask)));
     ]
 
-let run_micro () =
+let measure_micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -81,14 +89,49 @@ let run_micro () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
+  List.sort compare !rows
+
+let run_micro () =
   print_string (Experiments.Tables.section "B  Bechamel micro-benchmarks");
   List.iter
     (fun (name, ns) ->
       Printf.printf "%-48s %12.0f ns/run  (%.1f us)\n" name ns (ns /. 1000.0))
-    (List.sort compare !rows)
+    (measure_micro ())
+
+(* `--json`: micro-benchmarks only, as machine-readable JSON on stdout —
+   `make bench-json` captures it as BENCH_scan.json so successive PRs
+   can track the perf trajectory. *)
+
+(* Frozen pre-scan-plan measurements (commit 9109b08, same harness
+   config) — the denominators any speedup claim is made against. *)
+let seed_reference =
+  [
+    ("patchitpy/tableII-detect-per-sample", 465707.0);
+    ("patchitpy/tableIII-patch-per-sample", 1742304.0);
+  ]
+
+let run_micro_json () =
+  let rows = measure_micro () in
+  let obj fields =
+    print_string "  {\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.printf "    %S: %.0f%s\n" name ns
+          (if i = List.length fields - 1 then "" else ","))
+      fields;
+    print_string "  }"
+  in
+  print_string "{\n  \"unit\": \"ns/run\",\n  \"seed\":\n";
+  obj seed_reference;
+  print_string ",\n  \"benchmarks\":\n";
+  obj rows;
+  print_string "\n}\n"
 
 let () =
-  print_string (Experiments.run_all ());
-  print_string (Experiments.run_ablations ());
-  run_micro ();
-  print_newline ()
+  if Array.exists (( = ) "--json") Sys.argv then run_micro_json ()
+  else begin
+    print_string (Experiments.run_all ());
+    print_string (Experiments.run_ablations ());
+    run_micro ();
+    print_newline ()
+  end

@@ -130,6 +130,9 @@ let scan_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let run files lang json sarif rules_file min_severity lines only exclude =
     let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
+    (* One compiled scan plan for the whole invocation, shared by every
+       scanned file. *)
+    let scanner = Patchitpy.Scanner.compile rules in
     let total = ref 0 in
     let scans =
       List.map
@@ -137,9 +140,9 @@ let scan_cmd =
           let source = read_file path in
           let findings =
             match lines with
-            | None -> Patchitpy.Engine.scan ~rules source
+            | None -> Patchitpy.Scanner.scan scanner source
             | Some (first_line, last_line) ->
-              Patchitpy.Engine.scan_selection ~rules source ~first_line
+              Patchitpy.Scanner.scan_selection scanner source ~first_line
                 ~last_line
           in
           let findings =
@@ -356,10 +359,22 @@ let corpus_cmd =
 
 (* --- eval ---------------------------------------------------------------- *)
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the corpus experiments (default: the \
+                 machine's recommended domain count; 1 runs sequentially). \
+                 Tables are identical at every $(docv).")
+
 let eval_cmd =
-  let run () = print_string (Experiments.run_all ()) in
+  let run jobs =
+    (match jobs with
+    | Some n -> Experiments.Par.set_default_jobs n
+    | None -> ());
+    print_string (Experiments.run_all ())
+  in
   let doc = "Regenerate every table and figure of the paper's evaluation." in
-  Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ jobs_arg)
 
 let () =
   let doc = "pattern-based vulnerability detection and patching for Python" in

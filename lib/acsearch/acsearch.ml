@@ -1,0 +1,120 @@
+(* Aho–Corasick, compiled to a dense byte-indexed DFA.
+
+   Build is three phases: trie insertion, breadth-first failure-link
+   computation, and goto/fail squashing into a single transition table
+   (delta) so the scan loop is one array read per input byte.  Output
+   sets are merged down failure chains at build time, which keeps the
+   scan loop free of chain walking. *)
+
+type t = {
+  delta : int array array;  (* state -> byte -> state *)
+  out : int array array;  (* state -> pattern indices ending here (merged) *)
+  npat : int;
+}
+
+let pattern_count t = t.npat
+
+(* Growable trie used only during [build]. *)
+type builder = {
+  mutable next : int array array;  (* -1 = no edge *)
+  mutable bout : int list array;
+  mutable nstates : int;
+}
+
+let new_state b =
+  if b.nstates = Array.length b.next then begin
+    let cap = max 16 (2 * b.nstates) in
+    let next = Array.make cap [||] in
+    Array.blit b.next 0 next 0 b.nstates;
+    b.next <- next;
+    let bout = Array.make cap [] in
+    Array.blit b.bout 0 bout 0 b.nstates;
+    b.bout <- bout
+  end;
+  b.next.(b.nstates) <- Array.make 256 (-1);
+  b.nstates <- b.nstates + 1;
+  b.nstates - 1
+
+let insert b idx pattern =
+  let st = ref 0 in
+  String.iter
+    (fun c ->
+      let c = Char.code c in
+      let nxt = b.next.(!st).(c) in
+      if nxt >= 0 then st := nxt
+      else begin
+        let fresh = new_state b in
+        b.next.(!st).(c) <- fresh;
+        st := fresh
+      end)
+    pattern;
+  b.bout.(!st) <- idx :: b.bout.(!st)
+
+let build patterns =
+  let b = { next = [||]; bout = [||]; nstates = 0 } in
+  ignore (new_state b) (* root *);
+  List.iteri (insert b) patterns;
+  let n = b.nstates in
+  let fail = Array.make n 0 in
+  let out = Array.make n [] in
+  for s = 0 to n - 1 do
+    out.(s) <- b.bout.(s)
+  done;
+  (* BFS from the root: fail links, merged outputs, then squash the
+     missing edges so delta is total. *)
+  let queue = Queue.create () in
+  for c = 0 to 255 do
+    let s = b.next.(0).(c) in
+    if s < 0 then b.next.(0).(c) <- 0 else Queue.add s queue
+  done;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    out.(s) <- out.(s) @ out.(fail.(s));
+    for c = 0 to 255 do
+      let child = b.next.(s).(c) in
+      if child < 0 then b.next.(s).(c) <- b.next.(fail.(s)).(c)
+      else begin
+        fail.(child) <- b.next.(fail.(s)).(c);
+        Queue.add child queue
+      end
+    done
+  done;
+  {
+    delta = Array.sub b.next 0 n;
+    out = Array.map (fun ids -> Array.of_list (List.sort_uniq compare ids)) out;
+    npat = List.length patterns;
+  }
+
+let search_mask t subject =
+  let mask = Array.make t.npat false in
+  let mark st = Array.iter (fun id -> mask.(id) <- true) t.out.(st) in
+  let st = ref 0 in
+  mark 0 (* empty patterns end at the root *);
+  String.iter
+    (fun c ->
+      st := t.delta.(!st).(Char.code c);
+      if t.out.(!st) <> [||] then mark !st)
+    subject;
+  mask
+
+let search t subject =
+  let mask = search_mask t subject in
+  let hits = ref [] in
+  for i = t.npat - 1 downto 0 do
+    if mask.(i) then hits := i :: !hits
+  done;
+  !hits
+
+let mem t subject =
+  if t.npat = 0 then false
+  else if t.out.(0) <> [||] then true
+  else begin
+    let st = ref 0 and i = ref 0 and len = String.length subject in
+    let hit = ref false in
+    while (not !hit) && !i < len do
+      st := t.delta.(!st).(Char.code subject.[!i]);
+      if t.out.(!st) <> [||] then hit := true;
+      incr i
+    done;
+    !hit
+  end

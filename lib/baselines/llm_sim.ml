@@ -149,10 +149,11 @@ let advanced_replacements =
     ({|RSA\.generate\(\s*(?:512|768|1024)|}, "RSA.generate(2048");
   ]
 
+(* Compiled eagerly at module init: a [lazy] here would race when the
+   parallel corpus runner forces it from several domains at once. *)
 let compiled =
-  lazy
-    (List.map (fun (p, t) -> (Rx.compile p, t)) common_replacements,
-     List.map (fun (p, t) -> (Rx.compile p, t)) advanced_replacements)
+  ( List.map (fun (p, t) -> (Rx.compile p, t)) common_replacements,
+    List.map (fun (p, t) -> (Rx.compile p, t)) advanced_replacements )
 
 let apply_replacements replacements code =
   List.fold_left (fun acc (rx, template) -> Rx.replace rx ~template acc) code
@@ -255,7 +256,7 @@ let add_imports code =
   | imports -> String.concat "\n" imports ^ "\n" ^ code
 
 let patch persona code =
-  let common, advanced = Lazy.force compiled in
+  let common, advanced = compiled in
   (* Hallucination: sometimes the model restructures without actually
      removing the dangerous API. *)
   let hallucinate_p =

@@ -16,19 +16,22 @@ module C = Metrics.Confusion
 
 let overall_confusion detect =
   C.of_outcomes
-    (List.map
+    (Par.map_samples
        (fun (s : G.sample) -> (s.G.vulnerable, detect s.G.code))
        (G.all_samples ()))
 
-(* A1: strip every rule's suppress pattern. *)
+(* A1: strip every rule's suppress pattern.  The stripped catalog is
+   compiled into one scan plan up front instead of per-sample ~rules. *)
 let a1_suppression () =
   let stripped =
-    List.map (fun r -> { r with Patchitpy.Rule.suppress = None }) Patchitpy.Catalog.all
+    Patchitpy.Scanner.compile
+      (List.map
+         (fun r -> { r with Patchitpy.Rule.suppress = None })
+         Patchitpy.Catalog.all)
   in
   let full = overall_confusion Patchitpy.Engine.is_vulnerable in
   let without =
-    overall_confusion (fun code ->
-        Patchitpy.Engine.is_vulnerable ~rules:stripped code)
+    overall_confusion (Patchitpy.Scanner.is_vulnerable stripped)
   in
   (full, without)
 
@@ -36,11 +39,15 @@ let a1_suppression () =
 let a2_rounds () =
   let unresolved rounds =
     G.all_samples ()
-    |> List.filter (fun (s : G.sample) ->
-           s.G.vulnerable && Patchitpy.Engine.is_vulnerable s.G.code)
-    |> List.filter (fun (s : G.sample) ->
-           let r = Patchitpy.Patcher.patch ~rounds s.G.code in
-           Patchitpy.Engine.is_vulnerable r.Patchitpy.Patcher.patched)
+    |> Par.filter_map_samples (fun (s : G.sample) ->
+           if
+             s.G.vulnerable
+             && Patchitpy.Engine.is_vulnerable s.G.code
+             &&
+             let r = Patchitpy.Patcher.patch ~rounds s.G.code in
+             Patchitpy.Engine.is_vulnerable r.Patchitpy.Patcher.patched
+           then Some ()
+           else None)
     |> List.length
   in
   (unresolved 4, unresolved 1)
@@ -52,7 +59,7 @@ let a3_imports () =
     G.all_samples ()
     |> List.filter (fun (s : G.sample) ->
            s.G.vulnerable && Patchitpy.Engine.is_vulnerable s.G.code)
-    |> List.filter (fun (s : G.sample) ->
+    |> Par.map_samples (fun (s : G.sample) ->
            let r = Patchitpy.Patcher.patch ~manage_imports s.G.code in
            match Pyast.parse r.Patchitpy.Patcher.patched with
            | Error _ -> false
@@ -77,19 +84,19 @@ let a3_imports () =
                  r.Patchitpy.Patcher.applications
              in
              List.exists (fun n -> not (List.mem n imported)) needed)
-    |> List.length
+    |> List.filter Fun.id |> List.length
   in
   (would_crash true, would_crash false)
 
-(* A4: recall as the rule catalog grows. *)
+(* A4: recall as the rule catalog grows — one scan plan per prefix. *)
 let a4_rule_sweep () =
   List.map
     (fun n ->
-      let rules = List.filteri (fun i _ -> i < n) Patchitpy.Catalog.all in
-      let cm =
-        overall_confusion (fun code ->
-            Patchitpy.Engine.is_vulnerable ~rules code)
+      let scanner =
+        Patchitpy.Scanner.compile
+          (List.filteri (fun i _ -> i < n) Patchitpy.Catalog.all)
       in
+      let cm = overall_confusion (Patchitpy.Scanner.is_vulnerable scanner) in
       (n, C.recall cm, C.precision cm))
     [ 20; 40; 60; 85 ]
 

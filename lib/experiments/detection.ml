@@ -55,7 +55,7 @@ let eval_detector (d : Baselines.Baseline.t) =
       (fun model ->
         let cm =
           C.of_outcomes
-            (List.map
+            (Par.map_samples
                (fun (s : G.sample) ->
                  (s.G.vulnerable, (d.Baselines.Baseline.detect s.G.code).Baselines.Baseline.vulnerable))
                (G.samples model))
@@ -74,9 +74,10 @@ let cwes_detected () =
     (fun model ->
       let detected =
         G.samples model
-        |> List.filter (fun (s : G.sample) ->
-               s.G.vulnerable && Patchitpy.Engine.is_vulnerable s.G.code)
-        |> List.map (fun (s : G.sample) -> s.G.scenario.Corpus.Scenario.cwe)
+        |> Par.filter_map_samples (fun (s : G.sample) ->
+               if s.G.vulnerable && Patchitpy.Engine.is_vulnerable s.G.code then
+                 Some s.G.scenario.Corpus.Scenario.cwe
+               else None)
         |> List.sort_uniq compare
       in
       (model, detected))
@@ -106,18 +107,23 @@ let render_table rows =
 (* E3b: where the findings land across the OWASP Top 10 — the taxonomy
    the paper organizes its rules and samples by. *)
 let owasp_breakdown () =
+  (* Scans run on domains; the tally stays sequential over the ordered
+     per-sample category lists. *)
+  let per_sample =
+    Par.map_samples
+      (fun (s : G.sample) ->
+        List.filter_map
+          (fun (f : Patchitpy.Engine.finding) ->
+            Patchitpy.Rule.owasp f.Patchitpy.Engine.rule)
+          (Patchitpy.Engine.scan s.G.code))
+      (G.all_samples ())
+  in
   let tally = Hashtbl.create 16 in
   List.iter
-    (fun (s : G.sample) ->
-      List.iter
-        (fun (f : Patchitpy.Engine.finding) ->
-          match Patchitpy.Rule.owasp f.Patchitpy.Engine.rule with
-          | Some cat ->
-            Hashtbl.replace tally cat
-              (1 + Option.value (Hashtbl.find_opt tally cat) ~default:0)
-          | None -> ())
-        (Patchitpy.Engine.scan s.G.code))
-    (G.all_samples ());
+    (List.iter (fun cat ->
+         Hashtbl.replace tally cat
+           (1 + Option.value (Hashtbl.find_opt tally cat) ~default:0)))
+    per_sample;
   Patchitpy.Owasp.all
   |> List.filter_map (fun cat ->
          match Hashtbl.find_opt tally cat with

@@ -4,6 +4,7 @@ module Patching = Patching
 module Quality = Quality
 module Fig3 = Fig3
 module Ablation = Ablation
+module Par = Par
 
 module G = Corpus.Generator
 module S = Metrics.Stats

@@ -19,6 +19,11 @@ module Quality = Quality
 module Fig3 = Fig3
 module Ablation = Ablation
 
+module Par = Par
+(** Parallel corpus runner: E1-E8 map their per-sample work through
+    {!Par.map_samples}, so [Par.set_default_jobs] (the CLI's [--jobs])
+    controls the domain count for the whole harness. *)
+
 val prompt_stats : unit -> string
 (** E1: token statistics of the 203 prompts. *)
 

@@ -13,7 +13,7 @@ type series = {
 }
 
 let generated_values samples =
-  List.filter_map
+  Par.filter_map_samples
     (fun (s : G.sample) -> Metrics.Complexity.average_of_source s.G.code)
     samples
 
@@ -29,7 +29,7 @@ let run () =
     }
   in
   let patchitpy =
-    List.filter_map
+    Par.filter_map_samples
       (fun (s : G.sample) ->
         Metrics.Complexity.average_of_source
           (Patchitpy.Patcher.patch s.G.code).Patchitpy.Patcher.patched)
@@ -37,7 +37,7 @@ let run () =
   in
   let llm persona =
     let d = Baselines.Llm_sim.detector persona in
-    List.filter_map
+    Par.filter_map_samples
       (fun (s : G.sample) ->
         let code =
           if (d.Baselines.Baseline.detect s.G.code).Baselines.Baseline.vulnerable
@@ -88,16 +88,16 @@ let render all =
 let maintainability () =
   let samples = G.all_samples () in
   let mi code = Metrics.Maintainability.maintainability_index code in
-  let generated = List.filter_map (fun (s : G.sample) -> mi s.G.code) samples in
+  let generated = Par.filter_map_samples (fun (s : G.sample) -> mi s.G.code) samples in
   let patchitpy =
-    List.filter_map
+    Par.filter_map_samples
       (fun (s : G.sample) ->
         mi (Patchitpy.Patcher.patch s.G.code).Patchitpy.Patcher.patched)
       samples
   in
   let llm persona =
     let d = Baselines.Llm_sim.detector persona in
-    List.filter_map
+    Par.filter_map_samples
       (fun (s : G.sample) ->
         let code =
           if (d.Baselines.Baseline.detect s.G.code).Baselines.Baseline.vulnerable

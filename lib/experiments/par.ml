@@ -1,0 +1,51 @@
+(* Parallel corpus runner: order-preserving map over samples using
+   OCaml 5 domains.
+
+   The work items of E1-E8 are pure per-sample computations (scan,
+   patch, lint, complexity), so the only observable difference between
+   jobs=1 and jobs=N is wall-clock time: results land in a slot array by
+   index, and workers pull indices from an atomic counter, so scheduling
+   order never leaks into the output.
+
+   The first element is mapped in the calling domain before any worker
+   spawns.  That warm-up forces shared one-shot initialisation living
+   behind the closure (the default scan plan, compiled replacement
+   tables, corpus memos) exactly once, instead of letting N domains race
+   to initialise it. *)
+
+let default_jobs = Atomic.make 0 (* 0 = Domain.recommended_domain_count *)
+
+let set_default_jobs n = Atomic.set default_jobs (max 1 n)
+
+let effective_jobs () =
+  match Atomic.get default_jobs with
+  | 0 -> Domain.recommended_domain_count ()
+  | n -> n
+
+let map_samples ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> effective_jobs () in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if jobs = 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    results.(0) <- Some (f arr.(0));
+    let next = Atomic.make 1 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f arr.(i));
+        worker ()
+      end
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let filter_map_samples ?jobs f xs =
+  List.filter_map Fun.id (map_samples ?jobs f xs)

@@ -1,0 +1,24 @@
+(** Parallel corpus runner for the evaluation harness.
+
+    E1-E8 are embarrassingly parallel over the 609-sample corpus; this
+    module maps a pure per-sample function across the samples on OCaml 5
+    domains while keeping the output order (and therefore every rendered
+    table) identical to a sequential run. *)
+
+val set_default_jobs : int -> unit
+(** Sets the worker count used when [?jobs] is not passed (the CLI's
+    [--jobs]).  Values below 1 clamp to 1; the initial default is
+    [Domain.recommended_domain_count ()]. *)
+
+val effective_jobs : unit -> int
+(** The worker count a [?jobs]-less call would use right now. *)
+
+val map_samples : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_samples f xs] is [List.map f xs] computed on up to [jobs]
+    domains.  [f] must be pure (all E1-E8 work items are); results are
+    returned in input order regardless of scheduling.  [jobs = 1] — or a
+    list of fewer than two elements — runs sequentially in the calling
+    domain.  An exception raised by [f] propagates. *)
+
+val filter_map_samples : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** [List.filter_map] on domains, same contract as {!map_samples}. *)

@@ -52,16 +52,19 @@ let eval_patcher p =
         let vuln =
           List.filter (fun (s : G.sample) -> s.G.vulnerable) (G.samples model)
         in
-        let detected = List.filter (fun (s : G.sample) -> p.flags s.G.code) vuln in
-        let patched =
-          List.filter
-            (fun (s : G.sample) -> correct_patch ~patched:(p.rewrite s.G.code))
-            detected
+        (* One parallel pass: a sample is only rewritten when flagged,
+           exactly as the sequential filter chain did. *)
+        let verdicts =
+          Par.map_samples
+            (fun (s : G.sample) ->
+              let flagged = p.flags s.G.code in
+              (flagged, flagged && correct_patch ~patched:(p.rewrite s.G.code)))
+            vuln
         in
         ( model,
           { vulnerable = List.length vuln;
-            detected = List.length detected;
-            patched = List.length patched } ))
+            detected = List.length (List.filter fst verdicts);
+            patched = List.length (List.filter snd verdicts) } ))
       G.models
   in
   { tool = p.p_name; per_model }
@@ -110,7 +113,7 @@ let suggestion_rates () =
   let share (d : Baselines.Baseline.t) =
     let verdicts =
       G.all_samples ()
-      |> List.filter_map (fun (s : G.sample) ->
+      |> Par.filter_map_samples (fun (s : G.sample) ->
              let v = d.Baselines.Baseline.detect s.G.code in
              if s.G.vulnerable && v.Baselines.Baseline.vulnerable then Some v
              else None)

@@ -22,7 +22,7 @@ type entry = {
    patches, mirroring the paper's manual review scope. *)
 let patched_samples () =
   G.all_samples ()
-  |> List.filter_map (fun (s : G.sample) ->
+  |> Par.filter_map_samples (fun (s : G.sample) ->
          if not s.G.vulnerable then None
          else begin
            let r = Patchitpy.Patcher.patch s.G.code in
@@ -34,7 +34,7 @@ let patched_samples () =
 let run () =
   let pairs = patched_samples () in
   let reference_scores =
-    List.map
+    Par.map_samples
       (fun ((s : G.sample), _) ->
         Metrics.Lint.score ~disable (Corpus.Scenario.reference s.G.scenario))
       pairs
@@ -48,11 +48,11 @@ let run () =
     }
   in
   let patchitpy_scores =
-    List.map (fun (_, patched) -> Metrics.Lint.score ~disable patched) pairs
+    Par.map_samples (fun (_, patched) -> Metrics.Lint.score ~disable patched) pairs
   in
   let llm_entry persona =
     let scores =
-      List.filter_map
+      Par.filter_map_samples
         (fun ((s : G.sample), _) ->
           let patched = Baselines.Llm_sim.patch persona s.G.code in
           if Pyast.parses patched then Some (Metrics.Lint.score ~disable patched) else None)

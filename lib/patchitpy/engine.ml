@@ -1,4 +1,4 @@
-type finding = {
+type finding = Scanner.finding = {
   rule : Rule.t;
   line : int;
   column : int;
@@ -8,123 +8,34 @@ type finding = {
   m : Rx.m;
 }
 
-let line_of_offset source offset =
-  let line = ref 1 in
-  let limit = min offset (String.length source) in
-  for i = 0 to limit - 1 do
-    if source.[i] = '\n' then incr line
-  done;
-  !line
+(* The full-catalog scanner, compiled on first use.  An [Atomic] rather
+   than a [lazy] so concurrent first calls from several domains are
+   safe: the race is at worst a duplicated compile, and whichever value
+   wins the CAS is equivalent. *)
+let default : Scanner.t option Atomic.t = Atomic.make None
 
-let column_of_offset source offset =
-  let rec back i = if i > 0 && source.[i - 1] <> '\n' then back (i - 1) else i in
-  offset - back offset
-
-(* The text window a suppress pattern is evaluated over: the lines the
-   match spans, extended by one line on each side. *)
-let context_window source start stop =
-  let len = String.length source in
-  let line_start i =
-    let rec back j = if j > 0 && source.[j - 1] <> '\n' then back (j - 1) else j in
-    back (min i len)
-  in
-  let line_end i =
-    let rec fwd j = if j < len && source.[j] <> '\n' then fwd (j + 1) else j in
-    fwd (max 0 (min i len))
-  in
-  let w_start = line_start (max 0 (line_start start - 1)) in
-  let w_end = line_end (min len (line_end stop + 1)) in
-  String.sub source w_start (w_end - w_start)
-
-let one_line s =
-  let s = String.trim s in
-  match String.index_opt s '\n' with
-  | Some i -> String.sub s 0 i ^ " ..."
-  | None -> s
-
-(* naive substring search is plenty at rule-pattern sizes *)
-let contains_substring haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  if n = 0 then true
-  else begin
-    let rec at i =
-      if i + n > h then false
-      else if String.sub haystack i n = needle then true
-      else at (i + 1)
-    in
-    at 0
-  end
-
-(* Prefilter table: rule id -> required literals (computed once). *)
-let literal_table : (string, string list) Hashtbl.t = Hashtbl.create 128
-
-let literals_for (rule : Rule.t) =
-  match Hashtbl.find_opt literal_table rule.Rule.id with
-  | Some l -> l
+let default_scanner () =
+  match Atomic.get default with
+  | Some scanner -> scanner
   | None ->
-    let l = Rx.required_literals rule.Rule.pattern in
-    Hashtbl.replace literal_table rule.Rule.id l;
-    l
+    let scanner = Scanner.compile Catalog.all in
+    if Atomic.compare_and_set default None (Some scanner) then scanner
+    else (
+      match Atomic.get default with
+      | Some winner -> winner
+      | None -> scanner)
 
-let prefilter_passes rule source =
-  match literals_for rule with
-  | [] -> true
-  | literals -> List.exists (contains_substring source) literals
+let scanner_for = function
+  | None -> default_scanner ()
+  | Some rules -> Scanner.compile rules
 
-let scan ?(rules = Catalog.all) source =
-  let findings = ref [] in
-  List.iter
-    (fun (rule : Rule.t) ->
-      (* A pathological input must never take the scanner down: a rule
-         that exhausts its backtracking budget is skipped, the rest of
-         the catalog still runs. *)
-      let matches =
-        if not (prefilter_passes rule source) then []
-        else
-          try Rx.find_all rule.Rule.pattern source
-          with Rx.Budget_exceeded _ -> []
-      in
-      List.iter
-        (fun m ->
-          let offset = Rx.m_start m and stop = Rx.m_stop m in
-          let suppressed =
-            match rule.Rule.suppress with
-            | None -> false
-            | Some sup -> Rx.matches sup (context_window source offset stop)
-          in
-          if not suppressed then
-            findings :=
-              {
-                rule;
-                line = line_of_offset source offset;
-                column = column_of_offset source offset;
-                offset;
-                stop;
-                snippet = one_line (Rx.matched m);
-                m;
-              }
-              :: !findings)
-        matches)
-    rules;
-  List.sort
-    (fun a b ->
-      match compare a.offset b.offset with
-      | 0 -> compare a.rule.Rule.id b.rule.Rule.id
-      | c -> c)
-    !findings
+let scan ?rules source = Scanner.scan (scanner_for rules) source
+let is_vulnerable ?rules source = Scanner.is_vulnerable (scanner_for rules) source
 
-let is_vulnerable ?rules source = scan ?rules source <> []
+let scan_selection ?rules source ~first_line ~last_line =
+  Scanner.scan_selection (scanner_for rules) source ~first_line ~last_line
 
 let distinct_cwes findings =
   List.sort_uniq compare (List.map (fun f -> f.rule.Rule.cwe) findings)
 
-let scan_selection ?rules source ~first_line ~last_line =
-  let lines = String.split_on_char '\n' source in
-  let selected =
-    List.filteri (fun i _ -> i + 1 >= first_line && i + 1 <= last_line) lines
-    |> String.concat "\n"
-  in
-  scan ?rules selected
-  |> List.map (fun f ->
-         let line = f.line + first_line - 1 in
-         { f with line })
+let line_of_offset source offset = Line_index.line (Line_index.build source) offset

@@ -2,9 +2,16 @@
 
     Runs every catalog rule over the raw source text.  Because detection
     is lexical, it works on incomplete fragments that AST-based tools
-    reject — the property the paper leans on for AI-generated code. *)
+    reject — the property the paper leans on for AI-generated code.
 
-type finding = {
+    This module is a thin convenience wrapper over {!Scanner}: the
+    85-rule default catalog is compiled into a scan plan once, on first
+    use, and shared by every call that does not pass [~rules].  Callers
+    that scan many sources with a non-default rule list should
+    {!Scanner.compile} once themselves — each [~rules] call here builds
+    a fresh plan. *)
+
+type finding = Scanner.finding = {
   rule : Rule.t;
   line : int;  (** 1-based line of the match start *)
   column : int;  (** 0-based column *)
@@ -13,6 +20,10 @@ type finding = {
   snippet : string;  (** the matched text, single-line-trimmed *)
   m : Rx.m;  (** the underlying match, used by the patcher *)
 }
+
+val default_scanner : unit -> Scanner.t
+(** The shared scan plan for {!Catalog.all}, compiled on first use.
+    Domain-safe: concurrent first calls at worst duplicate the compile. *)
 
 val scan : ?rules:Rule.t list -> string -> finding list
 (** All findings, sorted by offset then rule id.  A rule's [suppress]

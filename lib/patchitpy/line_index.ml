@@ -1,0 +1,33 @@
+(* starts.(i) is the byte offset of the first character of line i+1;
+   starts.(0) = 0 always, and a trailing newline contributes a final
+   (possibly empty) line, exactly like counting '\n's up to the offset. *)
+
+type t = int array
+
+let build source =
+  let n = String.length source in
+  let count = ref 1 in
+  for i = 0 to n - 1 do
+    if source.[i] = '\n' then incr count
+  done;
+  let starts = Array.make !count 0 in
+  let next = ref 1 in
+  for i = 0 to n - 1 do
+    if source.[i] = '\n' then begin
+      starts.(!next) <- i + 1;
+      incr next
+    end
+  done;
+  starts
+
+(* Greatest i with starts.(i) <= offset. *)
+let locate starts offset =
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= offset then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let line t offset = locate t offset + 1
+let column t offset = offset - t.(locate t offset)

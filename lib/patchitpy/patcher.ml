@@ -129,11 +129,13 @@ let insert_imports source imports =
 (* After rewriting, imports whose module the code no longer references
    are stale (e.g. "import pickle" after pickle.loads became json.loads);
    they are dropped so the patch leaves clean code behind. *)
+let import_binding_rx = Rx.compile {|^import\s+([A-Za-z_][\w.]*)\s*$|}
+
 let remove_stale_imports source =
   let lines = String.split_on_char '\n' source in
   let binding_of line =
     let t = String.trim line in
-    match Rx.exec (Rx.compile {|^import\s+([A-Za-z_][\w.]*)\s*$|}) t with
+    match Rx.exec import_binding_rx t with
     | Some m ->
       let full = Option.value (Rx.group m 1) ~default:"" in
       let root =
@@ -144,28 +146,43 @@ let remove_stale_imports source =
       Some root
     | None -> None
   in
+  (* Classify each line once; [used] then compiles one \bname\b regex per
+     distinct import and checks it against the non-import lines only. *)
+  let bindings = List.map (fun line -> (line, binding_of line)) lines in
+  let code_lines =
+    List.filter_map
+      (fun (line, binding) -> if binding = None then Some line else None)
+      bindings
+  in
   let used name =
     let rx = Rx.compile ("\\b" ^ name ^ "\\b") in
-    List.exists
-      (fun line -> binding_of line = None && Rx.matches rx line)
-      lines
+    List.exists (fun line -> Rx.matches rx line) code_lines
   in
-  lines
-  |> List.filter (fun line ->
-         match binding_of line with
-         | Some name -> used name
-         | None -> true)
+  bindings
+  |> List.filter_map (fun (line, binding) ->
+         match binding with
+         | Some name -> if used name then Some line else None
+         | None -> Some line)
   |> String.concat "\n"
 
 let default_rounds = 4
 
 let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
-  let rec run src acc_apps n =
-    if n = 0 then (src, acc_apps)
+  (* One scan plan for every fix round and the final residue scan. *)
+  let scanner =
+    match rules with
+    | None -> Engine.default_scanner ()
+    | Some rules -> Scanner.compile rules
+  in
+  (* [rev_acc] holds the applications newest-first; a single reverse at
+     the end replaces the seed's quadratic [acc @ apps] per round. *)
+  let rec run src rev_acc n =
+    if n = 0 then (src, List.rev rev_acc)
     else begin
-      let findings = Engine.scan ?rules src in
+      let findings = Scanner.scan scanner src in
       let patched, apps = apply_round src findings in
-      if apps = [] then (src, acc_apps) else run patched (acc_apps @ apps) (n - 1)
+      if apps = [] then (src, List.rev rev_acc)
+      else run patched (List.rev_append apps rev_acc) (n - 1)
     end
   in
   let patched, applications = run source [] rounds in
@@ -179,7 +196,7 @@ let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
       insert_imports patched needed_imports
     end
   in
-  let remaining = Engine.scan ?rules patched in
+  let remaining = Scanner.scan scanner patched in
   { original = source; patched; applications; imports_added; remaining }
 
 let changed r = r.patched <> r.original

@@ -1,0 +1,129 @@
+type finding = {
+  rule : Rule.t;
+  line : int;
+  column : int;
+  offset : int;
+  stop : int;
+  snippet : string;
+  m : Rx.m;
+}
+
+type t = {
+  rule_arr : Rule.t array;  (* compilation order = reporting tie-break *)
+  prefilter : Acsearch.t;  (* one automaton over every rule's literals *)
+  owner : int array;  (* automaton pattern index -> rule index *)
+  unconditional : int list;  (* rules with no derivable literal *)
+}
+
+let compile rule_list =
+  let rule_arr = Array.of_list rule_list in
+  let literals = ref [] and owners = ref [] and unconditional = ref [] in
+  Array.iteri
+    (fun i (rule : Rule.t) ->
+      match Rx.required_literals rule.Rule.pattern with
+      | [] -> unconditional := i :: !unconditional
+      | lits ->
+        List.iter
+          (fun lit ->
+            literals := lit :: !literals;
+            owners := i :: !owners)
+          lits)
+    rule_arr;
+  {
+    rule_arr;
+    prefilter = Acsearch.build (List.rev !literals);
+    owner = Array.of_list (List.rev !owners);
+    unconditional = List.rev !unconditional;
+  }
+
+let rules t = Array.to_list t.rule_arr
+
+(* The text window a suppress pattern is evaluated over: the lines the
+   match spans, extended by one line on each side. *)
+let context_window source start stop =
+  let len = String.length source in
+  let line_start i =
+    let rec back j = if j > 0 && source.[j - 1] <> '\n' then back (j - 1) else j in
+    back (min i len)
+  in
+  let line_end i =
+    let rec fwd j = if j < len && source.[j] <> '\n' then fwd (j + 1) else j in
+    fwd (max 0 (min i len))
+  in
+  let w_start = line_start (max 0 (line_start start - 1)) in
+  let w_end = line_end (min len (line_end stop + 1)) in
+  String.sub source w_start (w_end - w_start)
+
+let one_line s =
+  let s = String.trim s in
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i ^ " ..."
+  | None -> s
+
+(* Candidate rule set: the unconditional rules plus every rule owning a
+   literal the automaton saw — one pass over the source total. *)
+let candidates t source =
+  let wanted = Array.make (Array.length t.rule_arr) false in
+  List.iter (fun i -> wanted.(i) <- true) t.unconditional;
+  let hits = Acsearch.search_mask t.prefilter source in
+  Array.iteri (fun j hit -> if hit then wanted.(t.owner.(j)) <- true) hits;
+  wanted
+
+let scan t source =
+  let wanted = candidates t source in
+  let index = lazy (Line_index.build source) in
+  let findings = ref [] in
+  Array.iteri
+    (fun i (rule : Rule.t) ->
+      if wanted.(i) then begin
+        (* A pathological input must never take the scanner down: a rule
+           that exhausts its backtracking budget is skipped, the rest of
+           the plan still runs. *)
+        let matches =
+          try Rx.find_all rule.Rule.pattern source
+          with Rx.Budget_exceeded _ -> []
+        in
+        List.iter
+          (fun m ->
+            let offset = Rx.m_start m and stop = Rx.m_stop m in
+            let suppressed =
+              match rule.Rule.suppress with
+              | None -> false
+              | Some sup -> Rx.matches sup (context_window source offset stop)
+            in
+            if not suppressed then begin
+              let index = Lazy.force index in
+              findings :=
+                {
+                  rule;
+                  line = Line_index.line index offset;
+                  column = Line_index.column index offset;
+                  offset;
+                  stop;
+                  snippet = one_line (Rx.matched m);
+                  m;
+                }
+                :: !findings
+            end)
+          matches
+      end)
+    t.rule_arr;
+  List.sort
+    (fun a b ->
+      match compare a.offset b.offset with
+      | 0 -> compare a.rule.Rule.id b.rule.Rule.id
+      | c -> c)
+    !findings
+
+let is_vulnerable t source = scan t source <> []
+
+let scan_selection t source ~first_line ~last_line =
+  let lines = String.split_on_char '\n' source in
+  let selected =
+    List.filteri (fun i _ -> i + 1 >= first_line && i + 1 <= last_line) lines
+    |> String.concat "\n"
+  in
+  scan t selected
+  |> List.map (fun f ->
+         let line = f.line + first_line - 1 in
+         { f with line })

@@ -1,0 +1,54 @@
+(** Compiled scan plans.
+
+    {!compile} turns a rule list into an immutable scanner value holding
+    everything detection needs that does not depend on the scanned
+    source: one shared {!Acsearch} automaton over every rule's
+    {!Rx.required_literals} (a single pass over the source yields the
+    candidate rule set), the literal→rule ownership map, and the set of
+    rules that must always run because no prefilter literal could be
+    derived for them.
+
+    Scanners are pure values — no global tables, no caches — so one
+    scanner can be shared freely across OCaml 5 domains, and distinct
+    catalogs (the Python catalog, the JS pack, a stripped ablation set,
+    user rule files) each get their own plan instead of colliding in a
+    process-wide table keyed by rule id.
+
+    Per scanned source, {!scan} additionally builds a {!Line_index} once
+    and resolves every finding position through it, replacing the seed
+    engine's from-byte-0 rescan per finding. *)
+
+type finding = {
+  rule : Rule.t;
+  line : int;  (** 1-based line of the match start *)
+  column : int;  (** 0-based column *)
+  offset : int;  (** byte offset of the match start *)
+  stop : int;  (** byte offset one past the match end *)
+  snippet : string;  (** the matched text, single-line-trimmed *)
+  m : Rx.m;  (** the underlying match, used by the patcher *)
+}
+
+type t
+(** A compiled scan plan.  Immutable and domain-safe. *)
+
+val compile : Rule.t list -> t
+(** Derives every rule's prefilter literals and builds the shared
+    automaton.  Rule order is preserved and ties in finding order break
+    on it, so a compiled scanner reports findings exactly as a
+    rule-by-rule scan of the same list would. *)
+
+val rules : t -> Rule.t list
+(** The rule list the scanner was compiled from, in order. *)
+
+val scan : t -> string -> finding list
+(** All findings, sorted by offset then rule id.  Semantics are
+    identical to the seed [Engine.scan]: suppress patterns are evaluated
+    over the matched lines plus one line of context each side, and a
+    rule that exhausts its backtracking budget on a pathological input
+    is skipped while the rest of the plan still runs. *)
+
+val is_vulnerable : t -> string -> bool
+
+val scan_selection : t -> string -> first_line:int -> last_line:int -> finding list
+(** Scans only the selected line range (1-based, inclusive); finding
+    positions refer to the whole file. *)

@@ -122,17 +122,24 @@ let matches t subject = exec t subject <> None
 
 exception Unsupported_linear of string
 
-(* The Pike program is compiled on first use and cached on the pattern. *)
+(* The Pike program is compiled on first use and cached on the pattern.
+   The cache is process-wide, so lookups/inserts take a mutex — callers
+   may scan from several domains at once. *)
 let pike_cache : (string, Rx_pike.inst array) Hashtbl.t = Hashtbl.create 64
+let pike_cache_lock = Mutex.create ()
 
 let matches_linear t subject =
+  let cached =
+    Mutex.protect pike_cache_lock (fun () -> Hashtbl.find_opt pike_cache t.source)
+  in
   let prog =
-    match Hashtbl.find_opt pike_cache t.source with
+    match cached with
     | Some prog -> prog
     | None -> (
       match Rx_pike.compile t.node with
       | prog ->
-        Hashtbl.replace pike_cache t.source prog;
+        Mutex.protect pike_cache_lock (fun () ->
+            Hashtbl.replace pike_cache t.source prog);
         prog
       | exception Rx_pike.Unsupported what -> raise (Unsupported_linear what))
   in

@@ -1,0 +1,108 @@
+(* Tests for the Acsearch (Aho–Corasick) library. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_hits = Alcotest.(check (list int))
+
+(* Reference oracle: naive per-pattern substring search. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec at i =
+      if i + n > h then false
+      else if String.sub haystack i n = needle then true
+      else at (i + 1)
+    in
+    at 0
+  end
+
+let naive patterns subject =
+  List.mapi (fun i p -> (i, p)) patterns
+  |> List.filter_map (fun (i, p) -> if contains subject p then Some i else None)
+
+let test_basic () =
+  let t = Acsearch.build [ "he"; "she"; "his"; "hers" ] in
+  check_hits "ushers" [ 0; 1; 3 ] (Acsearch.search t "ushers");
+  check_hits "this" [ 2 ] (Acsearch.search t "this");
+  check_hits "none" [] (Acsearch.search t "zzz");
+  check_bool "mem hit" true (Acsearch.mem t "ushers");
+  check_bool "mem miss" false (Acsearch.mem t "zzz")
+
+let test_overlapping () =
+  (* Nested and overlapping occurrences must all surface. *)
+  let t = Acsearch.build [ "aba"; "bab"; "ab"; "a" ] in
+  check_hits "ababab" [ 0; 1; 2; 3 ] (Acsearch.search t "ababab");
+  check_hits "single a" [ 3 ] (Acsearch.search t "a");
+  (* A pattern that is a proper suffix of another is reported through the
+     longer pattern's merged output set. *)
+  let t2 = Acsearch.build [ "xay"; "ay" ] in
+  check_hits "suffix via merged outputs" [ 0; 1 ] (Acsearch.search t2 "xxay")
+
+let test_empty () =
+  let none = Acsearch.build [] in
+  check_int "no patterns" 0 (Acsearch.pattern_count none);
+  check_hits "empty automaton" [] (Acsearch.search none "anything");
+  check_bool "empty automaton mem" false (Acsearch.mem none "anything");
+  (* The empty pattern occurs in every subject, even the empty one. *)
+  let e = Acsearch.build [ ""; "x" ] in
+  check_hits "empty pattern always hits" [ 0 ] (Acsearch.search e "");
+  check_hits "empty + literal" [ 0; 1 ] (Acsearch.search e "ax");
+  check_bool "mem of empty subject" true (Acsearch.mem e "")
+
+let test_duplicates () =
+  let t = Acsearch.build [ "dup"; "dup"; "other" ] in
+  check_hits "both indices reported" [ 0; 1 ] (Acsearch.search t "a dup here")
+
+let test_unicode_bytes () =
+  (* Patterns and subjects are raw bytes: multi-byte UTF-8 sequences and
+     high bytes work without any decoding. *)
+  let t = Acsearch.build [ "naïve"; "\xff\xfe"; "π" ] in
+  check_hits "utf8 word" [ 0 ] (Acsearch.search t "a naïve scan");
+  check_hits "raw high bytes" [ 1 ] (Acsearch.search t "bom:\xff\xfe!");
+  check_hits "pi" [ 2 ] (Acsearch.search t "2πr");
+  check_hits "byte-prefix but not full" [] (Acsearch.search t "na\xc3 almost")
+
+let test_mask_matches_search () =
+  let patterns = [ "import"; "os.system"; "eval("; "ss" ] in
+  let t = Acsearch.build patterns in
+  let subject = "import os\nos.system(eval(x))  # assess" in
+  let mask = Acsearch.search_mask t subject in
+  List.iteri
+    (fun i p ->
+      check_bool (Printf.sprintf "mask slot %d (%s)" i p)
+        (List.mem i (Acsearch.search t subject))
+        mask.(i))
+    patterns
+
+let test_against_naive_oracle () =
+  let patterns = [ "ab"; "bc"; "abc"; "cab"; "aa"; "ca" ] in
+  let t = Acsearch.build patterns in
+  let alphabet = [| 'a'; 'b'; 'c' |] in
+  (* every subject over {a,b,c} up to length 5 *)
+  let rec subjects len acc prefix =
+    if len = 0 then prefix :: acc
+    else
+      Array.fold_left
+        (fun acc c -> subjects (len - 1) acc (prefix ^ String.make 1 c))
+        (prefix :: acc) alphabet
+  in
+  List.iter
+    (fun subject ->
+      check_hits subject (naive patterns subject) (Acsearch.search t subject))
+    (subjects 5 [] "")
+
+let () =
+  Alcotest.run "acsearch"
+    [
+      ( "automaton",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "overlapping" `Quick test_overlapping;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "unicode bytes" `Quick test_unicode_bytes;
+          Alcotest.test_case "mask matches search" `Quick test_mask_matches_search;
+          Alcotest.test_case "naive oracle" `Quick test_against_naive_oracle;
+        ] );
+    ]
