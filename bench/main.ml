@@ -38,6 +38,13 @@ let shell_rule =
 
 let catalog_scanner = Patchitpy.Scanner.compile Patchitpy.Catalog.all
 
+(* One long-lived sink for the "(telemetry on)" pairs: the instrumented
+   runs measure recording cost, not sink construction.  [with_sink] per
+   run adds two atomic stores — noise at this scale — and guarantees the
+   uninstrumented benchmarks really run with telemetry off whatever
+   order Bechamel picks. *)
+let bench_sink = Telemetry.create ()
+
 let micro_tests =
   Test.make_grouped ~name:"patchitpy"
     [
@@ -54,10 +61,18 @@ let micro_tests =
       Test.make ~name:"scanner-scan-per-sample"
         (Staged.stage (fun () ->
              ignore (Patchitpy.Scanner.scan catalog_scanner sample_flask)));
+      Test.make ~name:"scanner-scan-per-sample (telemetry on)"
+        (Staged.stage (fun () ->
+             Telemetry.with_sink bench_sink (fun () ->
+                 ignore (Patchitpy.Scanner.scan catalog_scanner sample_flask))));
       Test.make ~name:"tableII-detect-per-sample"
         (Staged.stage (fun () -> ignore (Patchitpy.Engine.scan sample_flask)));
       Test.make ~name:"tableIII-patch-per-sample"
         (Staged.stage (fun () -> ignore (Patchitpy.Patcher.patch sample_flask)));
+      Test.make ~name:"tableIII-patch-per-sample (telemetry on)"
+        (Staged.stage (fun () ->
+             Telemetry.with_sink bench_sink (fun () ->
+                 ignore (Patchitpy.Patcher.patch sample_flask))));
       Test.make ~name:"fig3-complexity-per-sample"
         (Staged.stage (fun () ->
              ignore (Metrics.Complexity.average_of_source sample_flask)));
@@ -78,7 +93,7 @@ let measure_micro () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:4000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in

@@ -34,6 +34,36 @@ let collect_sources lang path =
   in
   if Sys.is_directory path then List.sort compare (walk [] path) else [ path ]
 
+(* --- telemetry options ---------------------------------------------------- *)
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Collect telemetry during the run and print a summary \
+                 (per-rule hot spots, prefilter effectiveness, patch \
+                 rounds) to stderr.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Collect telemetry during the run and write the full \
+                 report as JSON (schema patchitpy-telemetry/1) to $(docv).")
+
+(* Runs [f] under a fresh telemetry sink when --stats or --trace asked
+   for one; otherwise telemetry stays off (the one-branch fast path). *)
+let with_telemetry ~stats ~trace f =
+  if not stats && trace = None then f ()
+  else begin
+    let sink = Telemetry.create () in
+    let result = Telemetry.with_sink sink f in
+    let report = Telemetry.Report.of_sink sink in
+    (match trace with
+    | Some path -> write_file path (Telemetry.Report.to_json report)
+    | None -> ());
+    if stats then prerr_string (Experiments.Profile.summary report);
+    result
+  end
+
 (* --- scan ---------------------------------------------------------------- *)
 
 let lang_arg =
@@ -128,22 +158,24 @@ let lines_arg =
 
 let scan_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
-  let run files lang json sarif rules_file min_severity lines only exclude =
+  let run files lang json sarif rules_file min_severity lines only exclude
+      stats trace =
     let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
     (* One compiled scan plan for the whole invocation, shared by every
        scanned file. *)
     let scanner = Patchitpy.Scanner.compile rules in
     let total = ref 0 in
     let scans =
+      with_telemetry ~stats ~trace @@ fun () ->
       List.map
         (fun path ->
           let source = read_file path in
-          let findings =
+          let findings, warnings =
             match lines with
-            | None -> Patchitpy.Scanner.scan scanner source
+            | None -> Patchitpy.Scanner.scan_with_warnings scanner source
             | Some (first_line, last_line) ->
-              Patchitpy.Scanner.scan_selection scanner source ~first_line
-                ~last_line
+              Patchitpy.Scanner.scan_selection_with_warnings scanner source
+                ~first_line ~last_line
           in
           let findings =
             match min_severity with
@@ -156,21 +188,30 @@ let scan_cmd =
                 findings
           in
           total := !total + List.length findings;
-          (path, source, findings))
+          (path, source, findings, warnings))
         (List.concat_map (collect_sources lang) files)
     in
     if sarif then
       print_endline
         (Patchitpy.Jsonout.to_sarif ~rules
-           (List.map (fun (p, _, f) -> (p, f)) scans))
+           (List.map (fun (p, _, f, _) -> (p, f)) scans))
     else
       List.iter
-        (fun (path, source, findings) ->
+        (fun (path, source, findings, warnings) ->
           if json then
-            print_endline (Patchitpy.Jsonout.findings_to_json ~file:path findings)
-          else
+            print_endline
+              (Patchitpy.Jsonout.findings_to_json ~warnings ~file:path findings)
+          else begin
             Printf.printf "%s:\n%s\n" path
-              (Patchitpy.Report.render_findings source findings))
+              (Patchitpy.Report.render_findings source findings);
+            List.iter
+              (fun (Patchitpy.Scanner.Budget_exhausted rule) ->
+                Printf.printf
+                  "warning: rule %s gave up on this file (matcher budget \
+                   exhausted); its findings may be incomplete\n"
+                  rule)
+              warnings
+          end)
         scans;
     if !total > 0 then exit 1
   in
@@ -180,7 +221,8 @@ let scan_cmd =
   in
   Cmd.v (Cmd.info "scan" ~doc)
     Term.(const run $ files $ lang_arg $ json_arg $ sarif_arg $ rules_file_arg
-          $ min_severity_arg $ lines_arg $ only_arg $ exclude_arg)
+          $ min_severity_arg $ lines_arg $ only_arg $ exclude_arg $ stats_arg
+          $ trace_arg)
 
 (* --- patch --------------------------------------------------------------- *)
 
@@ -203,10 +245,13 @@ let patch_cmd =
                    consumable by patch(1) or git apply.")
   in
   let run file in_place output diff_only lang json rules_file only exclude
-      patch_file =
+      patch_file stats trace =
     let source = read_file file in
     let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
-    let r = Patchitpy.Patcher.patch ~rules source in
+    let r =
+      with_telemetry ~stats ~trace @@ fun () ->
+      Patchitpy.Patcher.patch ~rules source
+    in
     (match patch_file with
     | Some out ->
       let body = Textdiff.unified source r.Patchitpy.Patcher.patched in
@@ -242,7 +287,8 @@ let patch_cmd =
   let doc = "Detect and patch vulnerable patterns, inserting needed imports." in
   Cmd.v (Cmd.info "patch" ~doc)
     Term.(const run $ file $ in_place $ output $ diff_only $ lang_arg
-          $ json_arg $ rules_file_arg $ only_arg $ exclude_arg $ patch_file_arg)
+          $ json_arg $ rules_file_arg $ only_arg $ exclude_arg $ patch_file_arg
+          $ stats_arg $ trace_arg)
 
 (* --- rules --------------------------------------------------------------- *)
 
@@ -366,6 +412,50 @@ let jobs_arg =
                  machine's recommended domain count; 1 runs sequentially). \
                  Tables are identical at every $(docv).")
 
+(* --- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let wall =
+    Arg.(value & flag
+         & info [ "wall" ]
+             ~doc:"Also report per-rule wall time.  Off by default because \
+                   wall-clock columns cannot be byte-identical across runs \
+                   or $(b,--jobs) values; the deterministic cost unit is \
+                   matcher backtracking steps.")
+  in
+  let top =
+    Arg.(value & opt (some int) None
+         & info [ "top" ] ~docv:"N" ~doc:"Show only the $(docv) costliest rules.")
+  in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Profile only the first $(docv) corpus samples (CI smoke).")
+  in
+  let patch =
+    Arg.(value & flag
+         & info [ "patch" ]
+             ~doc:"Also run the patcher on every sample, adding patch-round \
+                   and import counters to the report.")
+  in
+  let run jobs json wall top limit patch trace =
+    let p = Experiments.Profile.run ?jobs ?limit ~patch () in
+    (match trace with
+    | Some path ->
+      write_file path
+        (Telemetry.Report.to_json p.Experiments.Profile.report)
+    | None -> ());
+    if json then print_endline (Experiments.Profile.to_json ~wall p)
+    else print_string (Experiments.Profile.render ~wall ?top p)
+  in
+  let doc =
+    "Profile the scanner over the 609-sample corpus: per-rule hit counts, \
+     prefilter skip ratios and matcher cost, as a hot-spot table or JSON."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ jobs_arg $ json_arg $ wall $ top $ limit $ patch
+          $ trace_arg)
+
 let eval_cmd =
   let run jobs =
     (match jobs with
@@ -380,4 +470,5 @@ let () =
   let doc = "pattern-based vulnerability detection and patching for Python" in
   let info = Cmd.info "patchitpy" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ scan_cmd; patch_cmd; rules_cmd; derive_cmd; corpus_cmd; eval_cmd ]))
+       [ scan_cmd; patch_cmd; rules_cmd; derive_cmd; corpus_cmd; profile_cmd;
+         eval_cmd ]))

@@ -5,6 +5,7 @@ module Quality = Quality
 module Fig3 = Fig3
 module Ablation = Ablation
 module Par = Par
+module Profile = Profile
 
 module G = Corpus.Generator
 module S = Metrics.Stats

@@ -24,6 +24,10 @@ module Par = Par
     {!Par.map_samples}, so [Par.set_default_jobs] (the CLI's [--jobs])
     controls the domain count for the whole harness. *)
 
+module Profile = Profile
+(** Corpus profiling under {!Telemetry}: the per-rule hot-spot table
+    behind [patchitpy profile]. *)
+
 val prompt_stats : unit -> string
 (** E1: token statistics of the 203 prompts. *)
 

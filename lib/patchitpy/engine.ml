@@ -38,4 +38,23 @@ let scan_selection ?rules source ~first_line ~last_line =
 let distinct_cwes findings =
   List.sort_uniq compare (List.map (fun f -> f.rule.Rule.cwe) findings)
 
-let line_of_offset source offset = Line_index.line (Line_index.build source) offset
+(* Callers resolve many offsets against the same source, so rebuilding
+   the index per call was O(|source|) each time.  Memoize the last
+   (source, index) pair per domain — domain-local state, so concurrent
+   domains never share or race it.  Hits are recognized by physical
+   equality: the common caller holds one source string and queries it
+   repeatedly, and a miss merely rebuilds (never returns wrong data). *)
+let line_index_memo : (string * Line_index.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let line_of_offset source offset =
+  let memo = Domain.DLS.get line_index_memo in
+  let index =
+    match !memo with
+    | Some (s, index) when s == source -> index
+    | _ ->
+      let index = Line_index.build source in
+      memo := Some (source, index);
+      index
+  in
+  Line_index.line index offset

@@ -44,4 +44,7 @@ val distinct_cwes : finding list -> int list
 (** Ascending CWE ids among the findings. *)
 
 val line_of_offset : string -> int -> int
-(** 1-based line containing the byte offset. *)
+(** 1-based line containing the byte offset.  The underlying
+    {!Line_index} is memoized per domain for the most recent source
+    (recognized physically), so resolving many offsets against one
+    source costs one index build instead of one per call. *)

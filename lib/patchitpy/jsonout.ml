@@ -41,11 +41,16 @@ let finding_json (f : Engine.finding) =
       ("advice", str r.Rule.note);
     ]
 
-let findings_to_json ~file findings =
+let warning_json = function
+  | Scanner.Budget_exhausted rule ->
+    obj [ ("type", str "budgetExhausted"); ("rule", str rule) ]
+
+let findings_to_json ?(warnings = []) ~file findings =
   obj
     [
       ("file", str file);
       ("findings", arr (List.map finding_json findings));
+      ("warnings", arr (List.map warning_json warnings));
       ( "summary",
         obj
           [

@@ -9,10 +9,14 @@
 val escape_string : string -> string
 (** JSON string escaping, without the surrounding quotes. *)
 
-val findings_to_json : file:string -> Engine.finding list -> string
-(** A JSON document: [{"file": ..., "findings": [...], "summary": ...}].
-    Each finding carries rule id, CWE, OWASP category, severity,
-    line/column, the matched snippet, and whether a fix is available. *)
+val findings_to_json :
+  ?warnings:Scanner.warning list -> file:string -> Engine.finding list -> string
+(** A JSON document: [{"file": ..., "findings": [...], "warnings":
+    [...], "summary": ...}].  Each finding carries rule id, CWE, OWASP
+    category, severity, line/column, the matched snippet, and whether a
+    fix is available.  [warnings] (default none) lists scan-degradation
+    events — rules skipped after exhausting their backtracking budget —
+    as [{"type": "budgetExhausted", "rule": ...}] objects. *)
 
 val patch_to_json : file:string -> Patcher.result -> string
 (** A JSON document with the rewritten source, the per-application edits

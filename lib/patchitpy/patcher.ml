@@ -6,7 +6,28 @@ type result = {
   applications : application list;
   imports_added : string list;
   remaining : Engine.finding list;
+  rounds_used : int;
+  converged : bool;
 }
+
+(* Patch-round telemetry: how patching terminates (fixpoint vs the
+   round cap), how much work each round does, and what the import
+   manager adds and removes — the counters behind the paper's
+   convergence discussion.  All no-ops unless a sink is installed. *)
+let rounds_histogram = Telemetry.Histogram.make "patcher_rounds"
+
+let applications_per_round_histogram =
+  Telemetry.Histogram.make "patcher_applications_per_round"
+
+let patch_span = Telemetry.Histogram.make "patcher_patch_ns"
+let applications_counter = Telemetry.Counter.make "patcher_applications_total"
+let imports_added_counter = Telemetry.Counter.make "patcher_imports_added_total"
+
+let imports_removed_counter =
+  Telemetry.Counter.make "patcher_imports_removed_total"
+
+let fixpoint_counter = Telemetry.Counter.make "patcher_fixpoint_total"
+let round_cap_counter = Telemetry.Counter.make "patcher_round_cap_total"
 
 let render_fix (rule : Rule.t) (m : Rx.m) =
   match rule.Rule.fix with
@@ -131,7 +152,7 @@ let insert_imports source imports =
    they are dropped so the patch leaves clean code behind. *)
 let import_binding_rx = Rx.compile {|^import\s+([A-Za-z_][\w.]*)\s*$|}
 
-let remove_stale_imports source =
+let remove_stale_imports_counted source =
   let lines = String.split_on_char '\n' source in
   let binding_of line =
     let t = String.trim line in
@@ -158,16 +179,26 @@ let remove_stale_imports source =
     let rx = Rx.compile ("\\b" ^ name ^ "\\b") in
     List.exists (fun line -> Rx.matches rx line) code_lines
   in
-  bindings
-  |> List.filter_map (fun (line, binding) ->
-         match binding with
-         | Some name -> if used name then Some line else None
-         | None -> Some line)
-  |> String.concat "\n"
+  let removed = ref 0 in
+  let kept =
+    bindings
+    |> List.filter_map (fun (line, binding) ->
+           match binding with
+           | Some name ->
+             if used name then Some line
+             else begin
+               incr removed;
+               None
+             end
+           | None -> Some line)
+    |> String.concat "\n"
+  in
+  (kept, !removed)
 
 let default_rounds = 4
 
 let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
+  Telemetry.Span.record patch_span @@ fun () ->
   (* One scan plan for every fix round and the final residue scan. *)
   let scanner =
     match rules with
@@ -175,28 +206,49 @@ let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
     | Some rules -> Scanner.compile rules
   in
   (* [rev_acc] holds the applications newest-first; a single reverse at
-     the end replaces the seed's quadratic [acc @ apps] per round. *)
-  let rec run src rev_acc n =
-    if n = 0 then (src, List.rev rev_acc)
+     the end replaces the seed's quadratic [acc @ apps] per round.
+     [used] counts rounds that applied at least one fix; [converged]
+     tells a reached fixpoint (a round found nothing left to fix) from
+     a run cut off by the round cap with fixable findings possibly
+     remaining. *)
+  let rec run src rev_acc used n =
+    if n = 0 then (src, List.rev rev_acc, used, false)
     else begin
       let findings = Scanner.scan scanner src in
       let patched, apps = apply_round src findings in
-      if apps = [] then (src, List.rev rev_acc)
-      else run patched (List.rev_append apps rev_acc) (n - 1)
+      if apps = [] then (src, List.rev rev_acc, used, true)
+      else begin
+        Telemetry.Histogram.observe applications_per_round_histogram
+          (List.length apps);
+        run patched (List.rev_append apps rev_acc) (used + 1) (n - 1)
+      end
     end
   in
-  let patched, applications = run source [] rounds in
+  let patched, applications, rounds_used, converged = run source [] 0 rounds in
+  Telemetry.Histogram.observe rounds_histogram rounds_used;
+  Telemetry.Counter.incr applications_counter ~by:(List.length applications);
+  Telemetry.Counter.incr (if converged then fixpoint_counter else round_cap_counter);
   let needed_imports =
     List.concat_map (fun a -> a.rule.Rule.imports) applications
   in
   let patched, imports_added =
     if applications = [] || not manage_imports then (patched, [])
     else begin
-      let patched = remove_stale_imports patched in
+      let patched, removed = remove_stale_imports_counted patched in
+      Telemetry.Counter.incr imports_removed_counter ~by:removed;
       insert_imports patched needed_imports
     end
   in
+  Telemetry.Counter.incr imports_added_counter ~by:(List.length imports_added);
   let remaining = Scanner.scan scanner patched in
-  { original = source; patched; applications; imports_added; remaining }
+  {
+    original = source;
+    patched;
+    applications;
+    imports_added;
+    remaining;
+    rounds_used;
+    converged;
+  }
 
 let changed r = r.patched <> r.original

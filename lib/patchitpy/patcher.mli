@@ -15,6 +15,13 @@ type result = {
   remaining : Engine.finding list;
       (** findings still present after patching: detection-only rules and
           fixes whose replacement did not eliminate the pattern *)
+  rounds_used : int;  (** fix rounds that applied at least one rewrite *)
+  converged : bool;
+      (** [true] when patching reached a fixpoint (a round found nothing
+          fixable left); [false] when the round cap cut it off.  The
+          distinction — with round counts, per-round application counts
+          and import add/remove tallies — is also recorded in
+          {!Telemetry} when a sink is installed. *)
 }
 
 val patch :

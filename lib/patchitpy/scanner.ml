@@ -8,11 +8,14 @@ type finding = {
   m : Rx.m;
 }
 
+type warning = Budget_exhausted of string
+
 type t = {
   rule_arr : Rule.t array;  (* compilation order = reporting tie-break *)
   prefilter : Acsearch.t;  (* one automaton over every rule's literals *)
   owner : int array;  (* automaton pattern index -> rule index *)
   unconditional : int list;  (* rules with no derivable literal *)
+  tele : Telemetry.Rules.def;  (* per-rule telemetry registration *)
 }
 
 let compile rule_list =
@@ -34,7 +37,12 @@ let compile rule_list =
     prefilter = Acsearch.build (List.rev !literals);
     owner = Array.of_list (List.rev !owners);
     unconditional = List.rev !unconditional;
+    tele =
+      Telemetry.Rules.define
+        (Array.map (fun (r : Rule.t) -> r.Rule.id) rule_arr);
   }
+
+let telemetry_def t = t.tele
 
 let rules t = Array.to_list t.rule_arr
 
@@ -69,29 +77,60 @@ let candidates t source =
   Array.iteri (fun j hit -> if hit then wanted.(t.owner.(j)) <- true) hits;
   wanted
 
-let scan t source =
+module B = Telemetry.Rules
+
+let scan_with_warnings t source =
   let wanted = candidates t source in
   let index = lazy (Line_index.build source) in
-  let findings = ref [] in
+  (* One branch when telemetry is off; with a sink installed, the block
+     is fetched once per scan and every per-rule statistic is a dense
+     array store by rule index. *)
+  let block =
+    match Telemetry.installed () with
+    | None -> None
+    | Some sink ->
+      let b = B.block sink t.tele in
+      b.B.scans <- b.B.scans + 1;
+      Some b
+  in
+  let findings = ref [] and warnings = ref [] in
+  (* Chained timestamps: one clock read per candidate rule — each rule's
+     end time is the next one's start, since nothing happens between
+     candidate rules. *)
+  let t_prev =
+    ref (match block with Some _ -> Telemetry.now_ns () | None -> 0L)
+  in
   Array.iteri
     (fun i (rule : Rule.t) ->
       if wanted.(i) then begin
+        let steps = ref 0 in
+        let exhausted = ref false in
         (* A pathological input must never take the scanner down: a rule
            that exhausts its backtracking budget is skipped, the rest of
-           the plan still runs. *)
+           the plan still runs — but the skip is no longer silent: it is
+           reported as a warning and counted in telemetry. *)
         let matches =
-          try Rx.find_all rule.Rule.pattern source
-          with Rx.Budget_exceeded _ -> []
+          try
+            match block with
+            | None -> Rx.find_all rule.Rule.pattern source
+            | Some _ -> Rx.find_all_counted rule.Rule.pattern source ~steps
+          with Rx.Budget_exceeded _ ->
+            exhausted := true;
+            []
         in
+        let raw = ref 0 and dropped = ref 0 and reported = ref 0 in
         List.iter
           (fun m ->
+            incr raw;
             let offset = Rx.m_start m and stop = Rx.m_stop m in
             let suppressed =
               match rule.Rule.suppress with
               | None -> false
               | Some sup -> Rx.matches sup (context_window source offset stop)
             in
-            if not suppressed then begin
+            if suppressed then incr dropped
+            else begin
+              incr reported;
               let index = Lazy.force index in
               findings :=
                 {
@@ -105,25 +144,49 @@ let scan t source =
                 }
                 :: !findings
             end)
-          matches
+          matches;
+        if !exhausted then warnings := Budget_exhausted rule.Rule.id :: !warnings;
+        match block with
+        | None -> ()
+        | Some b ->
+          b.B.candidates.(i) <- b.B.candidates.(i) + 1;
+          b.B.matched.(i) <- b.B.matched.(i) + !raw;
+          b.B.suppressed.(i) <- b.B.suppressed.(i) + !dropped;
+          b.B.findings.(i) <- b.B.findings.(i) + !reported;
+          b.B.steps.(i) <- b.B.steps.(i) + !steps;
+          if !exhausted then
+            b.B.budget_exhausted.(i) <- b.B.budget_exhausted.(i) + 1;
+          let t = Telemetry.now_ns () in
+          b.B.time_ns.(i) <-
+            b.B.time_ns.(i) + Int64.to_int (Int64.sub t !t_prev);
+          t_prev := t
       end)
     t.rule_arr;
-  List.sort
-    (fun a b ->
-      match compare a.offset b.offset with
-      | 0 -> compare a.rule.Rule.id b.rule.Rule.id
-      | c -> c)
-    !findings
+  ( List.sort
+      (fun a b ->
+        match compare a.offset b.offset with
+        | 0 -> compare a.rule.Rule.id b.rule.Rule.id
+        | c -> c)
+      !findings,
+    List.rev !warnings )
+
+let scan t source = fst (scan_with_warnings t source)
 
 let is_vulnerable t source = scan t source <> []
 
-let scan_selection t source ~first_line ~last_line =
+let scan_selection_with_warnings t source ~first_line ~last_line =
   let lines = String.split_on_char '\n' source in
   let selected =
     List.filteri (fun i _ -> i + 1 >= first_line && i + 1 <= last_line) lines
     |> String.concat "\n"
   in
-  scan t selected
-  |> List.map (fun f ->
-         let line = f.line + first_line - 1 in
-         { f with line })
+  let findings, warnings = scan_with_warnings t selected in
+  ( List.map
+      (fun f ->
+        let line = f.line + first_line - 1 in
+        { f with line })
+      findings,
+    warnings )
+
+let scan_selection t source ~first_line ~last_line =
+  fst (scan_selection_with_warnings t source ~first_line ~last_line)

@@ -28,6 +28,12 @@ type finding = {
   m : Rx.m;  (** the underlying match, used by the patcher *)
 }
 
+type warning =
+  | Budget_exhausted of string
+      (** The named rule hit its {!Rx} backtracking budget on this
+          source and was skipped.  Formerly a silent drop; now surfaced
+          so reports (and telemetry) can show it. *)
+
 type t
 (** A compiled scan plan.  Immutable and domain-safe. *)
 
@@ -47,8 +53,24 @@ val scan : t -> string -> finding list
     rule that exhausts its backtracking budget on a pathological input
     is skipped while the rest of the plan still runs. *)
 
+val scan_with_warnings : t -> string -> finding list * warning list
+(** {!scan}, also returning the rules that were skipped because they
+    exhausted their backtracking budget (in rule order).  When a
+    {!Telemetry} sink is installed, either entry point additionally
+    records per-rule wall time, backtracking steps, prefilter
+    candidate/match/suppress counts and budget exhaustion. *)
+
 val is_vulnerable : t -> string -> bool
 
 val scan_selection : t -> string -> first_line:int -> last_line:int -> finding list
 (** Scans only the selected line range (1-based, inclusive); finding
     positions refer to the whole file. *)
+
+val scan_selection_with_warnings :
+  t -> string -> first_line:int -> last_line:int -> finding list * warning list
+(** {!scan_selection} with the budget warnings of {!scan_with_warnings}. *)
+
+val telemetry_def : t -> Telemetry.Rules.def
+(** The telemetry registration of this plan's rule-id vector — the key
+    for picking this scanner's per-rule block out of a
+    {!Telemetry.Report}. *)

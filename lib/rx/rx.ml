@@ -109,8 +109,16 @@ let group m i =
   | None -> None
   | Some (a, b) -> Some (String.sub m.subject a (b - a))
 
+(* Budget exhaustion used to vanish into a silent per-rule skip at the
+   scanner; the counter makes every occurrence visible, whichever caller
+   swallowed the exception.  Cost on the non-exceptional path: none. *)
+let budget_exhausted_counter = Telemetry.Counter.make "rx_budget_exhausted_total"
+
 let wrap_budget f =
-  try f () with Rx_match.Budget_exceeded msg -> raise (Budget_exceeded msg)
+  try f ()
+  with Rx_match.Budget_exceeded msg ->
+    Telemetry.Counter.incr budget_exhausted_counter;
+    raise (Budget_exceeded msg)
 
 let exec ?(pos = 0) t subject =
   wrap_budget (fun () ->
@@ -160,6 +168,46 @@ let find_all t subject =
         loop next (m :: acc)
   in
   loop 0 []
+
+let search_steps_histogram = Telemetry.Histogram.make "rx_search_steps"
+
+let exec_steps ?(pos = 0) t subject ~steps =
+  wrap_budget (fun () ->
+      match Rx_match.search ~steps_acc:steps t.node t.ngroups subject pos with
+      | None -> None
+      | Some res -> Some { subject; res; ngroups = t.ngroups })
+
+let exec_counted ?pos t subject ~steps =
+  let before = !steps in
+  let result = exec_steps ?pos t subject ~steps in
+  Telemetry.Histogram.observe search_steps_histogram (!steps - before);
+  result
+
+let observe_sweep before steps =
+  Telemetry.Histogram.observe search_steps_histogram (!steps - before)
+
+let find_all_counted t subject ~steps =
+  let before = !steps in
+  let len = String.length subject in
+  let rec loop pos acc =
+    if pos > len then List.rev acc
+    else
+      match exec_steps ~pos t subject ~steps with
+      | None -> List.rev acc
+      | Some m ->
+        let next = if m_stop m = m_start m then m_stop m + 1 else m_stop m in
+        loop next (m :: acc)
+  in
+  (* One histogram observation per sweep, not per exec: the scanner calls
+     this once per candidate rule, and the cheap path must stay within
+     the documented <=2% overhead budget. *)
+  match loop 0 [] with
+  | result ->
+    observe_sweep before steps;
+    result
+  | exception e ->
+    observe_sweep before steps;
+    raise e
 
 let expand_template m template =
   let buf = Buffer.create (String.length template + 16) in

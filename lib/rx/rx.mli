@@ -98,6 +98,22 @@ val find_all : t -> string -> m list
 (** All non-overlapping matches, left to right.  Empty matches advance the
     scan by one character, as Python's [re.finditer] does. *)
 
+(** {1 Instrumented matching}
+
+    The scanner's telemetry needs the backtracking cost of each rule.
+    The [_counted] variants behave exactly like their plain
+    counterparts but additionally accumulate the matcher steps they
+    consumed into [steps]; the accumulation is flushed even when the
+    step budget is exhausted mid-search, so a {!Budget_exceeded} scan
+    still reports the work it burned.  Every search observed this way
+    also feeds the ["rx_search_steps"] telemetry histogram. *)
+
+val exec_counted : ?pos:int -> t -> string -> steps:int ref -> m option
+(** {!exec}, adding the steps consumed to [steps]. *)
+
+val find_all_counted : t -> string -> steps:int ref -> m list
+(** {!find_all}, adding the steps consumed to [steps]. *)
+
 (** {1 Rewriting} *)
 
 val replace : ?count:int -> t -> template:string -> string -> string

@@ -21,14 +21,24 @@ let at_word_boundary subject pos =
   before <> after
 
 (* Attempts a match of [node] anchored at [start].  Returns the end offset
-   of the leftmost match found under the usual greedy/lazy preferences. *)
-let match_at ?(budget = default_budget) node ngroups subject start =
+   of the leftmost match found under the usual greedy/lazy preferences.
+   [steps_acc], when given, accumulates the steps this attempt consumed
+   (including attempts cut short by the budget) — the telemetry hook
+   behind per-rule backtracking cost.  The budget itself stays
+   per-attempt, so accounting never changes matching semantics. *)
+let match_at ?(budget = default_budget) ?steps_acc node ngroups subject start =
   let len = String.length subject in
   let groups = Array.make (ngroups + 1) None in
-  let steps = ref 0 in
+  (* With an accumulator the attempt ticks it directly — no per-attempt
+     flush on the search loop's hot path — and the budget is enforced
+     relative to the attempt's starting value, so accounting never
+     changes matching semantics (the budget stays per attempt). *)
+  let steps = match steps_acc with Some acc -> acc | None -> ref 0 in
+  let base = !steps in
   let tick () =
     incr steps;
-    if !steps > budget then raise (Budget_exceeded "regex step budget exceeded")
+    if !steps - base > budget then
+      raise (Budget_exceeded "regex step budget exceeded")
   in
   let rec run node pos k =
     tick ();
@@ -112,12 +122,12 @@ let match_whole ?(budget = default_budget) node ngroups subject =
   | None -> false
 
 (* Leftmost search: tries every start offset from [pos]. *)
-let search ?budget node ngroups subject pos =
+let search ?budget ?steps_acc node ngroups subject pos =
   let len = String.length subject in
   let rec loop start =
     if start > len then None
     else
-      match match_at ?budget node ngroups subject start with
+      match match_at ?budget ?steps_acc node ngroups subject start with
       | Some _ as r -> r
       | None -> loop (start + 1)
   in

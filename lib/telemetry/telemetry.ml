@@ -1,0 +1,424 @@
+(* Metrics and tracing with per-domain collectors.
+
+   Layout: every instrument (counter / histogram) owns a process-wide
+   dense slot allocated at [make] time; a collector is one domain's
+   slot-indexed arrays plus its per-scanner rule blocks.  Recording is
+   therefore [Atomic.get] + [Domain.DLS.get] + an array store — no
+   locks and no allocation on the hot path.  The only mutexes are
+   around slot allocation (once per instrument) and collector
+   registration (once per domain per sink), both off the hot path. *)
+
+let now_ns = Monotonic_clock.now
+
+(* --- instrument registry ------------------------------------------------- *)
+
+let registry_lock = Mutex.create ()
+let counter_names : string list ref = ref [] (* newest first; slot = index from end *)
+let counter_slots : (string, int) Hashtbl.t = Hashtbl.create 16
+let histo_names : string list ref = ref []
+let histo_slots : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let intern slots names name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt slots name with
+      | Some slot -> slot
+      | None ->
+        let slot = Hashtbl.length slots in
+        Hashtbl.replace slots name slot;
+        names := name :: !names;
+        slot)
+
+let registered names () =
+  (* slot order: the list is newest-first *)
+  Mutex.protect registry_lock (fun () -> Array.of_list (List.rev !names))
+
+(* --- rule-set definitions ------------------------------------------------ *)
+
+module Rules0 = struct
+  type def = { stamp : int; def_ids : string array }
+
+  let next_stamp = Atomic.make 0
+
+  let define ids = { stamp = Atomic.fetch_and_add next_stamp 1; def_ids = ids }
+  let ids d = d.def_ids
+
+  type block = {
+    mutable scans : int;
+    time_ns : int array;
+    steps : int array;
+    candidates : int array;
+    matched : int array;
+    suppressed : int array;
+    findings : int array;
+    budget_exhausted : int array;
+  }
+
+  let fresh_block n =
+    {
+      scans = 0;
+      time_ns = Array.make n 0;
+      steps = Array.make n 0;
+      candidates = Array.make n 0;
+      matched = Array.make n 0;
+      suppressed = Array.make n 0;
+      findings = Array.make n 0;
+      budget_exhausted = Array.make n 0;
+    }
+end
+
+(* --- collectors and sinks ------------------------------------------------ *)
+
+type collector = {
+  mutable c_counters : int array;  (* counter slot -> value *)
+  mutable c_histos : int array array;  (* histo slot -> 32 buckets + sum *)
+  c_blocks : (int, Rules0.def * Rules0.block) Hashtbl.t;  (* by stamp *)
+}
+
+let n_buckets = 32
+
+let fresh_collector () =
+  {
+    c_counters = Array.make (max 8 (Hashtbl.length counter_slots)) 0;
+    c_histos = Array.make (max 8 (Hashtbl.length histo_slots)) [||];
+    c_blocks = Hashtbl.create 4;
+  }
+
+type sink = {
+  lock : Mutex.t;
+  mutable collectors : collector list;
+  key : collector Domain.DLS.key;
+}
+
+let create () =
+  let holder = ref None in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = fresh_collector () in
+        (match !holder with
+        | Some s -> Mutex.protect s.lock (fun () -> s.collectors <- c :: s.collectors)
+        | None -> ());
+        c)
+  in
+  let s = { lock = Mutex.create (); collectors = []; key } in
+  holder := Some s;
+  s
+
+let current : sink option Atomic.t = Atomic.make None
+
+let install s = Atomic.set current (Some s)
+let uninstall () = Atomic.set current None
+let installed () = Atomic.get current
+let enabled () = Atomic.get current <> None
+
+let with_sink s f =
+  let previous = Atomic.get current in
+  Atomic.set current (Some s);
+  Fun.protect ~finally:(fun () -> Atomic.set current previous) f
+
+let collector_of s = Domain.DLS.get s.key
+
+(* --- counters ------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { slot : int }
+
+  let make name = { slot = intern counter_slots counter_names name }
+
+  let incr ?(by = 1) c =
+    match Atomic.get current with
+    | None -> ()
+    | Some s ->
+      let col = collector_of s in
+      let n = Array.length col.c_counters in
+      if c.slot >= n then begin
+        let grown = Array.make (max (c.slot + 1) (2 * n)) 0 in
+        Array.blit col.c_counters 0 grown 0 n;
+        col.c_counters <- grown
+      end;
+      col.c_counters.(c.slot) <- col.c_counters.(c.slot) + by
+end
+
+(* --- histograms ---------------------------------------------------------- *)
+
+(* Bucket [i] holds values in [2^i, 2^(i+1)); bucket 0 absorbs v <= 1,
+   the last bucket absorbs the tail.  Data layout per slot: 32 bucket
+   counts followed by the running sum. *)
+module Histogram = struct
+  type t = { slot : int }
+
+  let bucket_count = n_buckets
+
+  let make name = { slot = intern histo_slots histo_names name }
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else begin
+      let i = ref 0 and v = ref v in
+      while !v > 1 do
+        incr i;
+        v := !v lsr 1
+      done;
+      min !i (n_buckets - 1)
+    end
+
+  let observe h v =
+    match Atomic.get current with
+    | None -> ()
+    | Some s ->
+      let v = max 0 v in
+      let col = collector_of s in
+      let n = Array.length col.c_histos in
+      if h.slot >= n then begin
+        let grown = Array.make (max (h.slot + 1) (2 * n)) [||] in
+        Array.blit col.c_histos 0 grown 0 n;
+        col.c_histos <- grown
+      end;
+      let data =
+        match col.c_histos.(h.slot) with
+        | [||] ->
+          let d = Array.make (n_buckets + 1) 0 in
+          col.c_histos.(h.slot) <- d;
+          d
+        | d -> d
+      in
+      data.(bucket_of v) <- data.(bucket_of v) + 1;
+      data.(n_buckets) <- data.(n_buckets) + v
+end
+
+module Span = struct
+  let record h f =
+    match Atomic.get current with
+    | None -> f ()
+    | Some _ ->
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          Histogram.observe h (Int64.to_int (Int64.sub (now_ns ()) t0)))
+        f
+end
+
+(* --- per-rule blocks ----------------------------------------------------- *)
+
+module Rules = struct
+  include Rules0
+
+  let block s (def : def) =
+    let col = collector_of s in
+    match Hashtbl.find_opt col.c_blocks def.stamp with
+    | Some (_, b) -> b
+    | None ->
+      let b = fresh_block (Array.length def.def_ids) in
+      Hashtbl.replace col.c_blocks def.stamp (def, b);
+      b
+end
+
+(* --- merged reports ------------------------------------------------------ *)
+
+module Report = struct
+  type histogram = {
+    h_name : string;
+    h_count : int;
+    h_sum : int;
+    h_buckets : int array;
+  }
+
+  type ruleset = { r_ids : string array; r_scans : int; r_block : Rules.block }
+
+  type t = {
+    counters : (string * int) list;
+    histograms : histogram list;
+    rulesets : ruleset list;
+  }
+
+  let add_into dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src
+
+  let of_sink s =
+    let collectors = Mutex.protect s.lock (fun () -> s.collectors) in
+    let counter_names = registered counter_names () in
+    let histo_names = registered histo_names () in
+    let counters =
+      Array.to_list
+        (Array.mapi
+           (fun slot name ->
+             let total =
+               List.fold_left
+                 (fun acc col ->
+                   if slot < Array.length col.c_counters then
+                     acc + col.c_counters.(slot)
+                   else acc)
+                 0 collectors
+             in
+             (name, total))
+           counter_names)
+      |> List.sort compare
+    in
+    let histograms =
+      Array.to_list
+        (Array.mapi
+           (fun slot name ->
+             let buckets = Array.make n_buckets 0 in
+             let sum = ref 0 in
+             List.iter
+               (fun col ->
+                 if slot < Array.length col.c_histos then
+                   match col.c_histos.(slot) with
+                   | [||] -> ()
+                   | data ->
+                     for i = 0 to n_buckets - 1 do
+                       buckets.(i) <- buckets.(i) + data.(i)
+                     done;
+                     sum := !sum + data.(n_buckets))
+               collectors;
+             {
+               h_name = name;
+               h_count = Array.fold_left ( + ) 0 buckets;
+               h_sum = !sum;
+               h_buckets = buckets;
+             })
+           histo_names)
+      |> List.sort (fun a b -> compare a.h_name b.h_name)
+    in
+    let merged : (int, Rules.def * Rules.block) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun col ->
+        Hashtbl.iter
+          (fun stamp ((def : Rules.def), (b : Rules.block)) ->
+            let acc =
+              match Hashtbl.find_opt merged stamp with
+              | Some (_, acc) -> acc
+              | None ->
+                let acc = Rules.fresh_block (Array.length (Rules.ids def)) in
+                Hashtbl.replace merged stamp (def, acc);
+                acc
+            in
+            acc.scans <- acc.scans + b.scans;
+            add_into acc.time_ns b.time_ns;
+            add_into acc.steps b.steps;
+            add_into acc.candidates b.candidates;
+            add_into acc.matched b.matched;
+            add_into acc.suppressed b.suppressed;
+            add_into acc.findings b.findings;
+            add_into acc.budget_exhausted b.budget_exhausted)
+          col.c_blocks)
+      collectors;
+    let rulesets =
+      Hashtbl.fold (fun stamp (def, b) acc -> (stamp, def, b) :: acc) merged []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      |> List.map (fun (_, def, (b : Rules.block)) ->
+             { r_ids = Rules.ids def; r_scans = b.scans; r_block = b })
+    in
+    { counters; histograms; rulesets }
+
+  (* --- serialization ----------------------------------------------------- *)
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_rule_fields (b : Rules.block) i =
+    Printf.sprintf
+      "\"candidates\":%d,\"matched\":%d,\"suppressed\":%d,\"findings\":%d,\
+       \"steps\":%d,\"budgetExhausted\":%d,\"timeNs\":%d"
+      b.candidates.(i) b.matched.(i) b.suppressed.(i) b.findings.(i)
+      b.steps.(i) b.budget_exhausted.(i) b.time_ns.(i)
+
+  let to_json t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"schema\":\"patchitpy-telemetry/1\",\"counters\":{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (escape name) v))
+      t.counters;
+    Buffer.add_string buf "},\"histograms\":[";
+    List.iteri
+      (fun i h ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\",\"count\":%d,\"sum\":%d,\"buckets\":["
+             (escape h.h_name) h.h_count h.h_sum);
+        Array.iteri
+          (fun j n ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (string_of_int n))
+          h.h_buckets;
+        Buffer.add_string buf "]}")
+      t.histograms;
+    Buffer.add_string buf "],\"rulesets\":[";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "{\"scans\":%d,\"rules\":[" r.r_scans);
+        Array.iteri
+          (fun j id ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"id\":\"%s\",%s}" (escape id)
+                 (json_rule_fields r.r_block j)))
+          r.r_ids;
+        Buffer.add_string buf "]}")
+      t.rulesets;
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+
+  (* Prometheus text exposition.  Metric names we mint ourselves; rule
+     ids only appear as label values (escaped). *)
+  let to_prometheus t =
+    let buf = Buffer.create 4096 in
+    let label_escape s = escape s (* quote/backslash/newline, as required *) in
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v))
+      t.counters;
+    List.iter
+      (fun h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun i n ->
+            cumulative := !cumulative + n;
+            if i < n_buckets - 1 then
+              (* bucket i covers values <= 2^(i+1)-1 *)
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" h.h_name
+                   ((1 lsl (i + 1)) - 1)
+                   !cumulative))
+          h.h_buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n"
+             h.h_name h.h_count h.h_name h.h_sum h.h_name h.h_count))
+      t.histograms;
+    List.iteri
+      (fun set r ->
+        Buffer.add_string buf
+          (Printf.sprintf "patchitpy_scanner_scans_total{set=\"%d\"} %d\n" set
+             r.r_scans);
+        let series name (arr : int array) =
+          Array.iteri
+            (fun i id ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "patchitpy_scanner_rule_%s_total{set=\"%d\",rule=\"%s\"} %d\n"
+                   name set (label_escape id) arr.(i)))
+            r.r_ids
+        in
+        series "candidates" r.r_block.Rules.candidates;
+        series "matched" r.r_block.Rules.matched;
+        series "suppressed" r.r_block.Rules.suppressed;
+        series "findings" r.r_block.Rules.findings;
+        series "steps" r.r_block.Rules.steps;
+        series "budget_exhausted" r.r_block.Rules.budget_exhausted;
+        series "time_ns" r.r_block.Rules.time_ns)
+      t.rulesets;
+    Buffer.contents buf
+end

@@ -131,6 +131,119 @@ let test_js_catalog_equivalence () =
   let src = "const q = `SELECT * FROM t WHERE id = ${id}`;\neval(payload);\n" in
   same_findings "js" (reference_scan Catalog.javascript src) (Scanner.scan scanner src)
 
+(* --- scan_selection ------------------------------------------------------ *)
+
+(* A five-line file with findings on the first and last lines, and one in
+   the middle, so range edges are observable. *)
+let sel_src =
+  "app.run(debug=True)\n\
+   x = 1\n\
+   os.system(cmd)\n\
+   y = 2\n\
+   eval(payload)"
+
+let sel_scanner = lazy (Scanner.compile Catalog.all)
+
+let ids findings =
+  List.map (fun (f : Scanner.finding) -> f.Scanner.rule.Rule.id) findings
+
+let test_selection_file_start () =
+  let scanner = Lazy.force sel_scanner in
+  let full = Scanner.scan scanner sel_src in
+  let sel = Scanner.scan_selection scanner sel_src ~first_line:1 ~last_line:1 in
+  (* only line 1's findings, with whole-file line numbers *)
+  let expected =
+    List.filter (fun (f : Scanner.finding) -> f.Scanner.line = 1) full
+  in
+  check_int "first-line finding count" (List.length expected) (List.length sel);
+  check_bool "found the debug=True rule" true (sel <> []);
+  List.iter2
+    (fun (e : Scanner.finding) (s : Scanner.finding) ->
+      Alcotest.(check string) "rule" e.Scanner.rule.Rule.id s.Scanner.rule.Rule.id;
+      check_int "line stays 1-based" e.Scanner.line s.Scanner.line;
+      check_int "column" e.Scanner.column s.Scanner.column)
+    expected sel
+
+let test_selection_file_end () =
+  let scanner = Lazy.force sel_scanner in
+  let full = Scanner.scan scanner sel_src in
+  let last = Scanner.scan_selection scanner sel_src ~first_line:5 ~last_line:5 in
+  let expected =
+    List.filter (fun (f : Scanner.finding) -> f.Scanner.line = 5) full
+  in
+  check_bool "last line has a finding" true (expected <> []);
+  Alcotest.(check (list string)) "last-line rules" (ids expected) (ids last);
+  List.iter2
+    (fun (e : Scanner.finding) (s : Scanner.finding) ->
+      check_int "line remapped to whole file" e.Scanner.line s.Scanner.line)
+    expected last;
+  (* a last_line past EOF clamps to the end of the file *)
+  let beyond = Scanner.scan_selection scanner sel_src ~first_line:5 ~last_line:999 in
+  Alcotest.(check (list string)) "beyond EOF clamps" (ids last) (ids beyond)
+
+let test_selection_whole_file () =
+  let scanner = Lazy.force sel_scanner in
+  let full = Scanner.scan scanner sel_src in
+  let sel = Scanner.scan_selection scanner sel_src ~first_line:1 ~last_line:5 in
+  Alcotest.(check (list string)) "whole-file selection = scan" (ids full) (ids sel);
+  List.iter2
+    (fun (e : Scanner.finding) (s : Scanner.finding) ->
+      check_int "same line" e.Scanner.line s.Scanner.line)
+    full sel
+
+let test_selection_empty_range () =
+  let scanner = Lazy.force sel_scanner in
+  (* inverted range selects nothing and must not raise *)
+  let sel = Scanner.scan_selection scanner sel_src ~first_line:4 ~last_line:2 in
+  check_int "inverted range is empty" 0 (List.length sel);
+  let findings, warnings =
+    Scanner.scan_selection_with_warnings scanner sel_src ~first_line:4
+      ~last_line:2
+  in
+  check_int "no findings" 0 (List.length findings);
+  check_int "no warnings" 0 (List.length warnings);
+  (* ...and an empty source is equally fine *)
+  check_int "empty source" 0
+    (List.length (Scanner.scan_selection scanner "" ~first_line:1 ~last_line:3))
+
+let test_selection_splits_multiline_match () =
+  (* \s crosses newlines, so this rule matches across a line break; a
+     selection boundary between the two halves must break the match. *)
+  let rule =
+    Rule.make ~id:"TEST-ML" ~title:"multi-line test pattern" ~cwe:1
+      ~severity:Rule.Low ~pattern:{|alpha\s+beta|} ~note:"test only" ()
+  in
+  let scanner = Scanner.compile [ rule ] in
+  let src = "alpha\nbeta\n" in
+  check_int "matches across the newline" 1
+    (List.length (Scanner.scan scanner src));
+  check_int "whole-file selection still matches" 1
+    (List.length (Scanner.scan_selection scanner src ~first_line:1 ~last_line:2));
+  check_int "selecting only line 1 splits the match" 0
+    (List.length (Scanner.scan_selection scanner src ~first_line:1 ~last_line:1));
+  check_int "selecting only line 2 splits the match" 0
+    (List.length (Scanner.scan_selection scanner src ~first_line:2 ~last_line:2))
+
+(* --- budget warnings ------------------------------------------------------ *)
+
+let test_budget_warning_surfaces () =
+  (* Nested quantifiers over a long non-matching tail: classic
+     exponential backtracking, guaranteed to blow the step budget. *)
+  let rule =
+    Rule.make ~id:"TEST-BOOM" ~title:"pathological pattern" ~cwe:1
+      ~severity:Rule.Low ~pattern:{|(a+)+$|} ~note:"test only" ()
+  in
+  let scanner = Scanner.compile [ rule ] in
+  let src = String.make 64 'a' ^ "b" in
+  let findings, warnings = Scanner.scan_with_warnings scanner src in
+  check_int "no findings" 0 (List.length findings);
+  (match warnings with
+  | [ Scanner.Budget_exhausted id ] ->
+    Alcotest.(check string) "warning names the rule" "TEST-BOOM" id
+  | ws -> Alcotest.failf "expected one budget warning, got %d" (List.length ws));
+  (* the plain entry point still just skips the rule *)
+  check_int "scan skips silently" 0 (List.length (Scanner.scan scanner src))
+
 (* --- line index --------------------------------------------------------- *)
 
 let test_line_index_units () =
@@ -187,6 +300,21 @@ let () =
             test_corpus_equivalence;
           Alcotest.test_case "engine delegates" `Quick test_engine_delegates;
           Alcotest.test_case "js catalog" `Quick test_js_catalog_equivalence;
+        ] );
+      ( "scan selection",
+        [
+          Alcotest.test_case "file start" `Quick test_selection_file_start;
+          Alcotest.test_case "file end + past-EOF clamp" `Quick
+            test_selection_file_end;
+          Alcotest.test_case "whole file" `Quick test_selection_whole_file;
+          Alcotest.test_case "empty range" `Quick test_selection_empty_range;
+          Alcotest.test_case "multi-line match split" `Quick
+            test_selection_splits_multiline_match;
+        ] );
+      ( "budget warnings",
+        [
+          Alcotest.test_case "exhaustion surfaces" `Quick
+            test_budget_warning_surfaces;
         ] );
       ( "line index",
         [

@@ -1,0 +1,240 @@
+(* Tests for the telemetry library: the disabled fast path really is a
+   no-op, instruments land in the right buckets, reports serialize both
+   ways, and — the property the profile subcommand depends on — merged
+   reports are deterministic across domain counts. *)
+
+module T = Telemetry
+module R = Telemetry.Report
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let counter_value report name =
+  match List.assoc_opt name report.R.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %s missing from report" name
+
+let histogram report name =
+  match List.find_opt (fun h -> h.R.h_name = name) report.R.histograms with
+  | Some h -> h
+  | None -> Alcotest.failf "histogram %s missing from report" name
+
+(* --- enablement ---------------------------------------------------------- *)
+
+let test_disabled_is_noop () =
+  check_bool "off by default" false (T.enabled ());
+  let c = T.Counter.make "test_noop_counter" in
+  let h = T.Histogram.make "test_noop_histogram" in
+  (* must not raise, must not record anywhere *)
+  T.Counter.incr c;
+  T.Histogram.observe h 42;
+  check_int "span still returns its value" 7 (T.Span.record h (fun () -> 7));
+  (* the registry of instrument names is process-wide, so a fresh sink
+     reports every registered counter — but all at zero *)
+  let sink = T.create () in
+  let report = T.Report.of_sink sink in
+  List.iter
+    (fun (name, v) -> check_int ("fresh sink: " ^ name ^ " is zero") 0 v)
+    report.R.counters
+
+let test_with_sink_restores () =
+  let outer = T.create () in
+  let inner = T.create () in
+  T.with_sink outer (fun () ->
+      check_bool "outer installed" true (T.installed () == Some outer |> fun _ ->
+        match T.installed () with Some s -> s == outer | None -> false);
+      (try T.with_sink inner (fun () -> failwith "boom") with Failure _ -> ());
+      check_bool "outer restored after raise" true
+        (match T.installed () with Some s -> s == outer | None -> false));
+  check_bool "uninstalled at the end" false (T.enabled ())
+
+(* --- counters and histograms --------------------------------------------- *)
+
+let test_counter_accumulates () =
+  let c = T.Counter.make "test_counter_a" in
+  let sink = T.create () in
+  T.with_sink sink (fun () ->
+      T.Counter.incr c;
+      T.Counter.incr c ~by:4;
+      T.Counter.incr c ~by:0);
+  let report = T.Report.of_sink sink in
+  check_int "1 + 4 + 0" 5 (counter_value report "test_counter_a");
+  (* names come out sorted *)
+  let names = List.map fst report.R.counters in
+  check_bool "counters sorted" true (names = List.sort compare names)
+
+let test_histogram_buckets () =
+  let h = T.Histogram.make "test_histogram_buckets" in
+  let sink = T.create () in
+  T.with_sink sink (fun () ->
+      List.iter (T.Histogram.observe h) [ 0; 1; 2; 3; 4; 1000; -5 ]);
+  let report = T.Report.of_sink sink in
+  let hist = histogram report "test_histogram_buckets" in
+  check_int "count" 7 hist.R.h_count;
+  (* -5 clamps to 0 *)
+  check_int "sum" (0 + 1 + 2 + 3 + 4 + 1000 + 0) hist.R.h_sum;
+  check_int "bucket array length" T.Histogram.bucket_count
+    (Array.length hist.R.h_buckets);
+  (* bucket 0 absorbs <= 1: values 0, 1, -5 *)
+  check_int "bucket 0" 3 hist.R.h_buckets.(0);
+  (* bucket 1 covers [2, 4): values 2, 3 *)
+  check_int "bucket 1" 2 hist.R.h_buckets.(1);
+  (* bucket 2 covers [4, 8): value 4 *)
+  check_int "bucket 2" 1 hist.R.h_buckets.(2);
+  (* 1000 lands in [512, 1024) = bucket 9 *)
+  check_int "bucket 9" 1 hist.R.h_buckets.(9);
+  check_int "all observations bucketed" hist.R.h_count
+    (Array.fold_left ( + ) 0 hist.R.h_buckets)
+
+let test_span_records_duration () =
+  let h = T.Histogram.make "test_span_ns" in
+  let sink = T.create () in
+  let v = T.with_sink sink (fun () -> T.Span.record h (fun () -> 11)) in
+  check_int "value passes through" 11 v;
+  let hist = histogram (T.Report.of_sink sink) "test_span_ns" in
+  check_int "one observation" 1 hist.R.h_count;
+  check_bool "non-negative duration" true (hist.R.h_sum >= 0)
+
+(* --- rule blocks ---------------------------------------------------------- *)
+
+let test_rules_block () =
+  let def = T.Rules.define [| "R-1"; "R-2" |] in
+  let sink = T.create () in
+  T.with_sink sink (fun () ->
+      match T.installed () with
+      | None -> Alcotest.fail "sink not installed"
+      | Some s ->
+        let b = T.Rules.block s def in
+        b.T.Rules.scans <- b.T.Rules.scans + 1;
+        b.T.Rules.candidates.(0) <- b.T.Rules.candidates.(0) + 1;
+        b.T.Rules.findings.(1) <- b.T.Rules.findings.(1) + 3;
+        (* a second lookup returns the same block for this domain *)
+        let b' = T.Rules.block s def in
+        check_bool "same block on re-lookup" true (b == b'));
+  let report = T.Report.of_sink sink in
+  (match report.R.rulesets with
+  | [ r ] ->
+    check_bool "ids preserved" true (r.R.r_ids == T.Rules.ids def);
+    check_int "scans" 1 r.R.r_scans;
+    check_int "candidates" 1 r.R.r_block.T.Rules.candidates.(0);
+    check_int "findings" 3 r.R.r_block.T.Rules.findings.(1)
+  | rs -> Alcotest.failf "expected one ruleset, got %d" (List.length rs))
+
+(* --- serialization -------------------------------------------------------- *)
+
+let serialization_report () =
+  let c = T.Counter.make "ser_counter" in
+  let h = T.Histogram.make "ser_histogram" in
+  let def = T.Rules.define [| "SER-1" |] in
+  let sink = T.create () in
+  T.with_sink sink (fun () ->
+      T.Counter.incr c ~by:2;
+      T.Histogram.observe h 5;
+      match T.installed () with
+      | Some s ->
+        let b = T.Rules.block s def in
+        b.T.Rules.scans <- 1;
+        b.T.Rules.steps.(0) <- 9
+      | None -> ());
+  T.Report.of_sink sink
+
+let contains hay needle =
+  let n = String.length needle and l = String.length hay in
+  let rec at i =
+    i + n <= l && (String.sub hay i n = needle || at (i + 1))
+  in
+  n = 0 || at 0
+
+let test_json_shape () =
+  let json = T.Report.to_json (serialization_report ()) in
+  List.iter
+    (fun fragment ->
+      check_bool ("json contains " ^ fragment) true (contains json fragment))
+    [
+      {|"schema":"patchitpy-telemetry/1"|};
+      {|"ser_counter":2|};
+      {|"ser_histogram"|};
+      {|"SER-1"|};
+    ]
+
+let test_prometheus_shape () =
+  let text = T.Report.to_prometheus (serialization_report ()) in
+  List.iter
+    (fun fragment ->
+      check_bool ("prometheus contains " ^ fragment) true (contains text fragment))
+    [ "ser_counter 2"; "ser_histogram_count 1"; "ser_histogram_sum 5";
+      {|le="+Inf"|}; {|rule="SER-1"|} ]
+
+let test_escape () =
+  check_string "escapes quotes and backslashes" {|a\"b\\c|}
+    (T.Report.escape {|a"b\c|})
+
+(* --- merge determinism across domains ------------------------------------ *)
+
+(* The property [patchitpy profile] relies on: every deterministic
+   statistic merges to the same value whatever the domain count.  Runs
+   the corpus slice through the real scanner at --jobs 1 and --jobs 4
+   and compares the wall-clock-free profile documents byte for byte. *)
+let test_merge_determinism_jobs () =
+  let profile jobs = Experiments.Profile.run ~jobs ~limit:48 () in
+  let p1 = profile 1 and p4 = profile 4 in
+  check_string "profile JSON identical at --jobs 1 and --jobs 4"
+    (Experiments.Profile.to_json p1)
+    (Experiments.Profile.to_json p4);
+  check_string "rendered table identical at --jobs 1 and --jobs 4"
+    (Experiments.Profile.render p1)
+    (Experiments.Profile.render p4)
+
+(* Same property at the raw-instrument level: concurrent increments from
+   several domains merge by summation. *)
+let test_merge_across_domains () =
+  let c = T.Counter.make "test_multi_domain_counter" in
+  let h = T.Histogram.make "test_multi_domain_histogram" in
+  let sink = T.create () in
+  T.with_sink sink (fun () ->
+      let worker () =
+        for i = 1 to 100 do
+          T.Counter.incr c;
+          T.Histogram.observe h i
+        done
+      in
+      let domains = List.init 3 (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains);
+  let report = T.Report.of_sink sink in
+  check_int "counter sums across domains" 400
+    (counter_value report "test_multi_domain_counter");
+  let hist = histogram report "test_multi_domain_histogram" in
+  check_int "histogram count sums" 400 hist.R.h_count;
+  check_int "histogram sum sums" (4 * 5050) hist.R.h_sum
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "enablement",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "with_sink restores" `Quick test_with_sink_restores;
+        ] );
+      ( "instruments",
+        [
+          Alcotest.test_case "counter accumulates" `Quick test_counter_accumulates;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "span records" `Quick test_span_records_duration;
+          Alcotest.test_case "rule blocks" `Quick test_rules_block;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "json" `Quick test_json_shape;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_shape;
+          Alcotest.test_case "escape" `Quick test_escape;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "profile identical across --jobs" `Quick
+            test_merge_determinism_jobs;
+          Alcotest.test_case "merge across domains" `Quick
+            test_merge_across_domains;
+        ] );
+    ]
