@@ -55,9 +55,18 @@ let micro_tests =
         (Staged.stage (fun () -> ignore (Pylex.tokenize sample_flask)));
       Test.make ~name:"pyast-parse (substrate)"
         (Staged.stage (fun () -> ignore (Pyast.parse sample_flask)));
+      Test.make ~name:"rx-pike-compile (substrate)"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (r : Patchitpy.Rule.t) ->
+                 ignore (Rx.compile_linear r.Patchitpy.Rule.pattern))
+               Patchitpy.Catalog.all));
       Test.make ~name:"scanner-compile-catalog"
         (Staged.stage (fun () ->
              ignore (Patchitpy.Scanner.compile Patchitpy.Catalog.all)));
+      Test.make ~name:"scanner-compile-catalog (parallel)"
+        (Staged.stage (fun () ->
+             ignore (Experiments.compile_catalog_parallel ())));
       Test.make ~name:"scanner-scan-per-sample"
         (Staged.stage (fun () ->
              ignore (Patchitpy.Scanner.scan catalog_scanner sample_flask)));

@@ -51,7 +51,15 @@ let insert b idx pattern =
   b.bout.(!st) <- idx :: b.bout.(!st)
 
 let build patterns =
-  let b = { next = [||]; bout = [||]; nstates = 0 } in
+  (* The trie can never exceed one state per pattern byte plus the root,
+     so preallocating that bound makes every growth copy in [new_state]
+     dead code on this path. *)
+  let cap =
+    1 + List.fold_left (fun acc p -> acc + String.length p) 0 patterns
+  in
+  let b =
+    { next = Array.make cap [||]; bout = Array.make cap []; nstates = 0 }
+  in
   ignore (new_state b) (* root *);
   List.iteri (insert b) patterns;
   let n = b.nstates in
@@ -85,17 +93,31 @@ let build patterns =
     npat = List.length patterns;
   }
 
-let search_mask t subject =
-  let mask = Array.make t.npat false in
+let search_mask_into t mask subject ~pos ~stop =
   let mark st = Array.iter (fun id -> mask.(id) <- true) t.out.(st) in
   let st = ref 0 in
   mark 0 (* empty patterns end at the root *);
-  String.iter
-    (fun c ->
-      st := t.delta.(!st).(Char.code c);
-      if t.out.(!st) <> [||] then mark !st)
-    subject;
+  for i = pos to stop - 1 do
+    st := t.delta.(!st).(Char.code (String.unsafe_get subject i));
+    if t.out.(!st) <> [||] then mark !st
+  done
+
+let search_hits_into t subject ~pos ~stop f =
+  Array.iter (fun id -> f id pos) t.out.(0) (* empty patterns end at the root *);
+  let st = ref 0 in
+  for i = pos to stop - 1 do
+    st := t.delta.(!st).(Char.code (String.unsafe_get subject i));
+    let outs = t.out.(!st) in
+    if outs <> [||] then Array.iter (fun id -> f id i) outs
+  done
+
+let search_mask_range t subject ~pos ~stop =
+  let mask = Array.make t.npat false in
+  search_mask_into t mask subject ~pos ~stop;
   mask
+
+let search_mask t subject =
+  search_mask_range t subject ~pos:0 ~stop:(String.length subject)
 
 let search t subject =
   let mask = search_mask t subject in

@@ -35,9 +35,13 @@ let render_fix (rule : Rule.t) (m : Rx.m) =
   | Rule.Replace_template template -> Some (Rx.expand_template m template)
   | Rule.Rewrite f -> Some (f m)
 
-(* Applies one round of fixes: every fixable, non-overlapping finding is
-   replaced, working right-to-left so offsets stay valid. *)
-let apply_round source findings =
+(* One round of fixes as an edit list: every fixable, non-overlapping
+   finding whose replacement differs from the matched text becomes one
+   {!Edit.t}.  The whole round then materializes in a single pass
+   through an edit buffer instead of one string splice per application.
+   Returned edits ascend by offset; applications descend, matching the
+   order the splicing patcher reported them in. *)
+let apply_round_edits source findings =
   let fixable =
     List.filter (fun (f : Engine.finding) -> Rule.fixable f.Engine.rule) findings
   in
@@ -51,37 +55,49 @@ let apply_round source findings =
            | _ -> f :: acc)
          [] fixable)
   in
-  let applied = ref [] in
-  let patched =
-    List.fold_left
-      (fun src (f : Engine.finding) ->
-        match render_fix f.Engine.rule f.Engine.m with
-        | None -> src
-        | Some replacement ->
-          let before = String.sub src f.Engine.offset (f.Engine.stop - f.Engine.offset) in
-          if replacement = before then src
-          else begin
-            applied :=
-              { rule = f.Engine.rule; line = f.Engine.line; before;
-                after = replacement }
-              :: !applied;
-            String.sub src 0 f.Engine.offset
-            ^ replacement
-            ^ String.sub src f.Engine.stop (String.length src - f.Engine.stop)
-          end)
-      source
-      (List.rev non_overlapping (* right-to-left *))
-  in
-  (patched, List.rev !applied)
+  let apps = ref [] and edits = ref [] in
+  List.iter
+    (fun (f : Engine.finding) ->
+      match render_fix f.Engine.rule f.Engine.m with
+      | None -> ()
+      | Some replacement ->
+        let before =
+          String.sub source f.Engine.offset (f.Engine.stop - f.Engine.offset)
+        in
+        if replacement <> before then begin
+          apps :=
+            { rule = f.Engine.rule; line = f.Engine.line; before;
+              after = replacement }
+            :: !apps;
+          edits :=
+            { Edit.start = f.Engine.offset; stop = f.Engine.stop;
+              repl = replacement }
+            :: !edits
+        end)
+    non_overlapping;
+  (List.rev !edits, !apps)
+
+(* Offsets of each line of [lines] in the string they were split from:
+   [starts.(i)] is where 0-based line [i] begins. *)
+let line_starts_of lines =
+  let n = Array.length lines in
+  let starts = Array.make (max n 1) 0 in
+  for i = 1 to n - 1 do
+    starts.(i) <- starts.(i - 1) + String.length lines.(i - 1) + 1
+  done;
+  starts
 
 let import_line_rx = Rx.compile {|^(?:import\s|from\s)|}
 
-let insert_imports source imports =
+(* The import-insertion edit: the missing import lines as one insertion
+   after the shebang, module docstring and leading import block.  [None]
+   when every needed import is already present. *)
+let insert_import_edit source imports =
   let lines = String.split_on_char '\n' source in
   let existing line = List.exists (fun l -> String.trim l = line) lines in
   let to_add = List.filter (fun imp -> not (existing imp)) imports in
   let to_add = List.sort_uniq compare to_add in
-  if to_add = [] then (source, [])
+  if to_add = [] then None
   else begin
     (* Insertion point: after shebang, module docstring and the leading
        import block. *)
@@ -141,18 +157,50 @@ let insert_imports source imports =
       | None -> ()
     in
     advance ();
-    let before = Array.to_list (Array.sub arr 0 !i) in
-    let after = Array.to_list (Array.sub arr !i (n - !i)) in
-    let patched = String.concat "\n" (before @ to_add @ after) in
-    (patched, to_add)
+    let block = String.concat "\n" to_add in
+    let edit =
+      if !i >= n then
+        (* append after the last line *)
+        let len = String.length source in
+        { Edit.start = len; stop = len; repl = "\n" ^ block }
+      else
+        let off = (line_starts_of arr).(!i) in
+        { Edit.start = off; stop = off; repl = block ^ "\n" }
+    in
+    Some (edit, to_add)
   end
+
+let insert_imports source imports =
+  match insert_import_edit source imports with
+  | None -> (source, [])
+  | Some (edit, added) -> (Edit.apply source [ edit ], added)
 
 (* After rewriting, imports whose module the code no longer references
    are stale (e.g. "import pickle" after pickle.loads became json.loads);
-   they are dropped so the patch leaves clean code behind. *)
+   they are dropped so the patch leaves clean code behind.  Each run of
+   consecutive stale lines becomes one deletion edit spanning the lines
+   and their newlines (the trailing run also consumes the newline before
+   it, so no dangling separator survives). *)
 let import_binding_rx = Rx.compile {|^import\s+([A-Za-z_][\w.]*)\s*$|}
 
-let remove_stale_imports_counted source =
+(* \b<name>\b usage probes, memoized: the same module roots (os, pickle,
+   yaml, ...) recur across every patched file, and compiling per call
+   put regex compilation on the per-sample hot path.  The table only
+   ever holds distinct import roots, so it stays small; the mutex makes
+   it safe under [Par.map_samples] domains. *)
+let word_rx_cache : (string, Rx.t) Hashtbl.t = Hashtbl.create 16
+let word_rx_lock = Mutex.create ()
+
+let word_rx name =
+  Mutex.protect word_rx_lock (fun () ->
+      match Hashtbl.find_opt word_rx_cache name with
+      | Some rx -> rx
+      | None ->
+        let rx = Rx.compile ("\\b" ^ name ^ "\\b") in
+        Hashtbl.add word_rx_cache name rx;
+        rx)
+
+let stale_import_edits source =
   let lines = String.split_on_char '\n' source in
   let binding_of line =
     let t = String.trim line in
@@ -176,26 +224,54 @@ let remove_stale_imports_counted source =
       bindings
   in
   let used name =
-    let rx = Rx.compile ("\\b" ^ name ^ "\\b") in
+    let rx = word_rx name in
     List.exists (fun line -> Rx.matches rx line) code_lines
   in
-  let removed = ref 0 in
-  let kept =
-    bindings
-    |> List.filter_map (fun (line, binding) ->
-           match binding with
-           | Some name ->
-             if used name then Some line
-             else begin
-               incr removed;
-               None
-             end
-           | None -> Some line)
-    |> String.concat "\n"
+  let stale =
+    Array.of_list
+      (List.map
+         (fun (_, binding) ->
+           match binding with Some name -> not (used name) | None -> false)
+         bindings)
   in
-  (kept, !removed)
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  let starts = line_starts_of arr in
+  let len = String.length source in
+  let edits = ref [] and removed = ref 0 in
+  let j = ref 0 in
+  while !j < n do
+    if stale.(!j) then begin
+      let a = !j in
+      while !j < n && stale.(!j) do
+        incr j;
+        incr removed
+      done;
+      let b = !j - 1 in
+      let e =
+        if b < n - 1 then
+          { Edit.start = starts.(a); stop = starts.(b + 1); repl = "" }
+        else if a > 0 then
+          { Edit.start = starts.(a) - 1; stop = len; repl = "" }
+        else { Edit.start = 0; stop = len; repl = "" }
+      in
+      edits := e :: !edits
+    end
+    else incr j
+  done;
+  (List.rev !edits, !removed)
 
 let default_rounds = 4
+
+(* Escape hatch: with PATCHITPY_FULL_RESCAN set, every round re-scans
+   the whole source instead of re-scanning dirty regions.  The two modes
+   are byte-identical by construction; the variable exists so a
+   suspected incremental-scan bug can be ruled out in the field (and so
+   CI can diff the two pipelines). *)
+let full_rescan_forced () =
+  match Sys.getenv_opt "PATCHITPY_FULL_RESCAN" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
 
 let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
   Telemetry.Span.record patch_span @@ fun () ->
@@ -205,48 +281,92 @@ let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
     | None -> Engine.default_scanner ()
     | Some rules -> Scanner.compile rules
   in
+  let full = full_rescan_forced () in
+  let advance st edits =
+    if full then
+      Scanner.scan_state scanner (Edit.apply (Scanner.state_source st) edits)
+    else Scanner.rescan scanner st edits
+  in
   (* [rev_acc] holds the applications newest-first; a single reverse at
      the end replaces the seed's quadratic [acc @ apps] per round.
      [used] counts rounds that applied at least one fix; [converged]
      tells a reached fixpoint (a round found nothing left to fix) from
      a run cut off by the round cap with fixable findings possibly
-     remaining. *)
-  let rec run src rev_acc used n =
-    if n = 0 then (src, List.rev rev_acc, used, false)
+     remaining.  Only the first round scans the whole source: each
+     round's edits advance the scan state incrementally, and the final
+     state's findings are the residue — no closing full scan. *)
+  let rec run st rev_acc used n =
+    if n = 0 then (st, List.rev rev_acc, used, false)
     else begin
-      let findings = Scanner.scan scanner src in
-      let patched, apps = apply_round src findings in
-      if apps = [] then (src, List.rev rev_acc, used, true)
+      let findings = Scanner.state_findings scanner st in
+      let edits, apps = apply_round_edits (Scanner.state_source st) findings in
+      if apps = [] then (st, List.rev rev_acc, used, true)
       else begin
         Telemetry.Histogram.observe applications_per_round_histogram
           (List.length apps);
-        run patched (List.rev_append apps rev_acc) (used + 1) (n - 1)
+        run (advance st edits) (List.rev_append apps rev_acc) (used + 1) (n - 1)
       end
     end
   in
-  let patched, applications, rounds_used, converged = run source [] 0 rounds in
+  let st, applications, rounds_used, converged =
+    run (Scanner.scan_state scanner source) [] 0 rounds
+  in
   Telemetry.Histogram.observe rounds_histogram rounds_used;
   Telemetry.Counter.incr applications_counter ~by:(List.length applications);
   Telemetry.Counter.incr (if converged then fixpoint_counter else round_cap_counter);
   let needed_imports =
     List.concat_map (fun a -> a.rule.Rule.imports) applications
   in
-  let patched, imports_added =
-    if applications = [] || not manage_imports then (patched, [])
+  let st, imports_added =
+    if applications = [] || not manage_imports then (st, [])
     else begin
-      let patched, removed = remove_stale_imports_counted patched in
+      (* Both import passes fold into ONE scan advance: the stale
+         deletions are computed on the current source, the insertion
+         point on the string with deletions applied (so the prologue
+         walk sees what the sequential pipeline saw), and the insert
+         edit is then mapped back through the deletions so all edits
+         share the current state's coordinates.  Byte-identical to
+         applying the two passes sequentially, at half the re-scans. *)
+      let src = Scanner.state_source st in
+      let stale_edits, removed = stale_import_edits src in
       Telemetry.Counter.incr imports_removed_counter ~by:removed;
-      insert_imports patched needed_imports
+      let deleted =
+        if stale_edits = [] then src else Edit.apply src stale_edits
+      in
+      let insert, added =
+        match insert_import_edit deleted needed_imports with
+        | None -> ([], [])
+        | Some (edit, added) ->
+          (* preimage of the insertion offset through the deletions: the
+             offset in [src] that lands where [edit.start] is in
+             [deleted] (at a collapsed deletion, its start — the insert
+             then sorts before the deletion and yields the same bytes) *)
+          let rec back shift = function
+            | [] -> edit.Edit.start - shift
+            | (e : Edit.t) :: rest ->
+              if e.Edit.start + shift < edit.Edit.start then
+                back (shift + Edit.delta e) rest
+              else edit.Edit.start - shift
+          in
+          let p = back 0 stale_edits in
+          ([ { edit with Edit.start = p; stop = p } ], added)
+      in
+      let combined =
+        List.sort
+          (fun (a : Edit.t) (b : Edit.t) ->
+            compare (a.Edit.start, a.Edit.stop) (b.Edit.start, b.Edit.stop))
+          (stale_edits @ insert)
+      in
+      ((if combined = [] then st else advance st combined), added)
     end
   in
   Telemetry.Counter.incr imports_added_counter ~by:(List.length imports_added);
-  let remaining = Scanner.scan scanner patched in
   {
     original = source;
-    patched;
+    patched = Scanner.state_source st;
     applications;
     imports_added;
-    remaining;
+    remaining = Scanner.state_findings scanner st;
     rounds_used;
     converged;
   }

@@ -37,11 +37,29 @@ type warning =
 type t
 (** A compiled scan plan.  Immutable and domain-safe. *)
 
-val compile : Rule.t list -> t
+type rule_meta = {
+  literals : string list;  (** {!Rx.required_literals} of the pattern *)
+  extent : (int * int) option;  (** {!Rx.newline_budget} of the pattern *)
+}
+(** The per-rule analysis {!compile} needs.  Deriving it walks the
+    pattern AST twice per rule; it is pure per rule, so callers may
+    compute it in parallel with {!derive_meta} and pass the results to
+    {!compile} via [?meta]. *)
+
+val derive_meta : Rule.t -> rule_meta
+(** The analysis of one rule's pattern: prefilter literals and newline
+    budget.  Pure and domain-safe. *)
+
+val compile : ?meta:rule_meta list -> Rule.t list -> t
 (** Derives every rule's prefilter literals and builds the shared
     automaton.  Rule order is preserved and ties in finding order break
     on it, so a compiled scanner reports findings exactly as a
-    rule-by-rule scan of the same list would. *)
+    rule-by-rule scan of the same list would.
+
+    [meta], when given, must be [List.map derive_meta rules] (same
+    order, same length — the length is checked); supplying it lets the
+    caller parallelize the per-rule analysis across domains while the
+    automaton build itself stays sequential and deterministic. *)
 
 val rules : t -> Rule.t list
 (** The rule list the scanner was compiled from, in order. *)
@@ -74,3 +92,47 @@ val telemetry_def : t -> Telemetry.Rules.def
 (** The telemetry registration of this plan's rule-id vector — the key
     for picking this scanner's per-rule block out of a
     {!Telemetry.Report}. *)
+
+(** {1 Scan states and incremental re-scanning}
+
+    The incremental patch pipeline scans a source once ({!scan_state}),
+    then after each patch round re-scans only the dirty regions around
+    the round's edits ({!rescan}), carrying every finding outside those
+    regions over with remapped offsets.  The carried/re-scanned split is
+    invisible in the result: {!state_findings} of a re-scanned state is
+    byte-identical to a full scan of the edited source (any situation
+    where regional exactness cannot be maintained — a budget exhaustion
+    mid-re-scan, a prior state with warnings — falls back to the full
+    scan internally). *)
+
+type state
+(** A scanned source with its findings and the bookkeeping {!rescan}
+    needs: the line index, the per-rule raw match lists (including
+    suppressed matches), and the source's maximal whitespace-run
+    newline count (which, with each rule's {!Rx.newline_budget},
+    bounds how many lines a dirty region must be widened by). *)
+
+val scan_state : t -> string -> state
+(** The full scan of {!scan_with_warnings}, retaining the state the
+    incremental re-scan builds on. *)
+
+val state_findings : t -> state -> finding list
+(** The findings of a state, sorted by offset then rule id — exactly
+    {!scan} of the state's source. *)
+
+val state_source : state -> string
+(** The source text the state describes. *)
+
+val state_warnings : state -> warning list
+(** The budget warnings of the scan that produced the state. *)
+
+val rescan : t -> state -> Edit.t list -> state
+(** [rescan t st edits] is the state of [Edit.apply (state_source st)
+    edits]: equivalent to [scan_state] of the edited source, but
+    re-running rules only over the dirty regions around the edits
+    whenever each rule's {!Rx.newline_budget} proves that safe.
+    [edits] must satisfy {!Edit.valid} against the state's source.
+    Records [scanner_rescans_total], [scanner_rescan_full_fallbacks_total],
+    [scanner_findings_reused_total], [scanner_findings_recomputed_total]
+    and the [scanner_dirty_region_pct] histogram when a telemetry sink
+    is installed. *)

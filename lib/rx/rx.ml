@@ -1,11 +1,84 @@
 exception Parse_error of string * int
 exception Budget_exceeded of string
 
-type t = { source : string; node : Rx_ast.node; ngroups : int }
+type t = {
+  source : string;
+  node : Rx_ast.node;
+  ngroups : int;
+  (* Search accelerators, derived once at compile time (see
+     [start_info]): the set of bytes a match can start with ([None] when
+     the pattern can match the empty string, which makes every offset a
+     valid start), and whether every match starts at a line start. *)
+  first_bytes : Bytes.t option;
+  bol_only : bool;
+}
+
+(* First-byte analysis.  [go] accumulates into [set] every byte some
+   match of [node] can start with and returns whether the node is
+   nullable (can match without consuming).  The traversal mirrors
+   standard FIRST-set computation: sequences keep contributing while the
+   prefix is nullable, alternations union all branches, zero-width
+   atoms contribute nothing and continue.  Back-references are
+   conservatively "any byte, maybe empty".  The result over-approximates
+   (extra bytes only cost skipped-attempt opportunities); it must never
+   under-approximate, or the search would miss matches. *)
+let start_info node =
+  let set = Bytes.make 256 '\000' in
+  let rec go node =
+    match node with
+    | Rx_ast.Empty -> true
+    | Rx_ast.Char c ->
+      Bytes.set set (Char.code c) '\001';
+      false
+    | Rx_ast.Any ->
+      for i = 0 to 255 do
+        if Char.chr i <> '\n' then Bytes.set set i '\001'
+      done;
+      false
+    | Rx_ast.Class cls ->
+      for i = 0 to 255 do
+        if Rx_ast.class_matches cls (Char.chr i) then Bytes.set set i '\001'
+      done;
+      false
+    | Rx_ast.Seq nodes ->
+      (* left-to-right, stopping at the first non-nullable element *)
+      List.for_all go nodes
+    | Rx_ast.Alt branches ->
+      (* no short-circuit: every branch must contribute its bytes *)
+      List.fold_left (fun nullable b -> go b || nullable) false branches
+    | Rx_ast.Group (_, inner) -> go inner
+    | Rx_ast.Rep (inner, min, _, _) ->
+      let n = go inner in
+      n || min = 0
+    | Rx_ast.Bol | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb | Rx_ast.Nwordb ->
+      true
+    | Rx_ast.Backref _ ->
+      Bytes.fill set 0 256 '\001';
+      true
+  in
+  let nullable = go node in
+  if nullable then None else Some set
+
+(* Whether every match must start at a line start: the pattern begins
+   with [^] through any nesting of sequences and groups, or every
+   alternative does. *)
+let rec bol_only_node = function
+  | Rx_ast.Bol -> true
+  | Rx_ast.Seq (n :: _) -> bol_only_node n
+  | Rx_ast.Group (_, inner) -> bol_only_node inner
+  | Rx_ast.Alt (_ :: _ as branches) -> List.for_all bol_only_node branches
+  | _ -> false
 
 let compile source =
   match Rx_parser.parse source with
-  | node, ngroups -> { source; node; ngroups }
+  | node, ngroups ->
+    {
+      source;
+      node;
+      ngroups;
+      first_bytes = start_info node;
+      bol_only = bol_only_node node;
+    }
   | exception Rx_parser.Error (msg, pos) -> raise (Parse_error (msg, pos))
 
 let compile_opt source =
@@ -91,6 +164,87 @@ let required_literals t =
   | Some set when List.for_all (fun s -> String.length s >= 2) set -> set
   | Some _ | None -> []
 
+(* Whether every character the node can consume is whitespace (the \s
+   set).  Zero-width nodes are vacuously pure.  Used by [newline_budget]:
+   an unbounded repetition over a whitespace-pure body matches one
+   contiguous whitespace substring of the subject, so its newline count
+   is bounded by the subject's longest whitespace run rather than being
+   statically unbounded. *)
+let rec whitespace_pure node =
+  match node with
+  | Rx_ast.Empty | Rx_ast.Bol | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb
+  | Rx_ast.Nwordb -> true
+  | Rx_ast.Char c -> Rx_ast.is_space_char c
+  | Rx_ast.Any -> false
+  | Rx_ast.Class cls ->
+    let ok = ref true in
+    for i = 0 to 255 do
+      let c = Char.chr i in
+      if Rx_ast.class_matches cls c && not (Rx_ast.is_space_char c) then
+        ok := false
+    done;
+    !ok
+  | Rx_ast.Seq nodes -> List.for_all whitespace_pure nodes
+  | Rx_ast.Alt branches -> List.for_all whitespace_pure branches
+  | Rx_ast.Group (_, inner) -> whitespace_pure inner
+  | Rx_ast.Rep (inner, _, _, _) -> whitespace_pure inner
+  | Rx_ast.Backref _ -> false
+
+(* The newline budget of a match, as [(fixed, runs)]: any match contains
+   at most [fixed] newlines from individually counted atoms plus the
+   newlines of at most [runs] maximal whitespace runs of the subject.
+   The split is what makes [\s*] (ubiquitous in the rule catalog, and
+   statically unbounded since \s matches '\n') usable for incremental
+   re-scanning: a star over a whitespace-pure body matches a contiguous
+   all-whitespace substring, hence at most one maximal whitespace run,
+   so the subject-dependent bound [fixed + runs * longest-run-newlines]
+   is finite and, on typical sources, small.  [None] means no finite
+   budget exists (a back-reference, or an unbounded repetition that can
+   consume non-whitespace newlines). *)
+let newline_budget t =
+  let cap = 1 lsl 20 (* keeps nested counted reps from overflowing *) in
+  let rec go node =
+    match node with
+    | Rx_ast.Char c -> Some ((if c = '\n' then 1 else 0), 0)
+    | Rx_ast.Any -> Some (0, 0) (* '.' never matches newline *)
+    | Rx_ast.Class cls ->
+      Some ((if Rx_ast.class_matches cls '\n' then 1 else 0), 0)
+    | Rx_ast.Empty | Rx_ast.Bol | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb
+    | Rx_ast.Nwordb -> Some (0, 0)
+    | Rx_ast.Seq nodes ->
+      List.fold_left
+        (fun acc n ->
+          match (acc, go n) with
+          | Some (fa, wa), Some (fb, wb) ->
+            Some (min cap (fa + fb), min cap (wa + wb))
+          | _ -> None)
+        (Some (0, 0)) nodes
+    | Rx_ast.Alt branches ->
+      (* componentwise max over-approximates each branch's bound *)
+      List.fold_left
+        (fun acc n ->
+          match (acc, go n) with
+          | Some (fa, wa), Some (fb, wb) -> Some (max fa fb, max wa wb)
+          | _ -> None)
+        (Some (0, 0)) branches
+    | Rx_ast.Group (_, inner) -> go inner
+    | Rx_ast.Rep (inner, _, max_count, _) -> (
+      match go inner with
+      | Some (0, 0) -> Some (0, 0)
+      | Some (f, w) -> (
+        match max_count with
+        | Some m -> Some (min cap (f * m), min cap (w * m))
+        | None -> if whitespace_pure inner then Some (0, 1) else None)
+      | None -> None)
+    | Rx_ast.Backref _ -> None
+  in
+  go t.node
+
+(* Purely static variant: finite only when no whitespace runs are
+   involved (a run's newline count depends on the subject). *)
+let max_newlines t =
+  match newline_budget t with Some (f, 0) -> Some f | Some _ | None -> None
+
 type m = { subject : string; res : Rx_match.result; ngroups : int }
 
 let m_start m = m.res.Rx_match.m_start
@@ -120,9 +274,12 @@ let wrap_budget f =
     Telemetry.Counter.incr budget_exhausted_counter;
     raise (Budget_exceeded msg)
 
-let exec ?(pos = 0) t subject =
+let exec ?(pos = 0) ?limit t subject =
   wrap_budget (fun () ->
-      match Rx_match.search t.node t.ngroups subject pos with
+      match
+        Rx_match.search ?limit ?first_bytes:t.first_bytes
+          ~bol_only:t.bol_only t.node t.ngroups subject pos
+      with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })
 
@@ -153,6 +310,11 @@ let matches_linear t subject =
   in
   Rx_pike.search prog subject
 
+let compile_linear t =
+  match Rx_pike.compile t.node with
+  | prog -> Some (Array.length prog)
+  | exception Rx_pike.Unsupported _ -> None
+
 let matches_whole t subject =
   wrap_budget (fun () -> Rx_match.match_whole t.node t.ngroups subject)
 
@@ -171,15 +333,18 @@ let find_all t subject =
 
 let search_steps_histogram = Telemetry.Histogram.make "rx_search_steps"
 
-let exec_steps ?(pos = 0) t subject ~steps =
+let exec_steps ?(pos = 0) ?limit t subject ~steps =
   wrap_budget (fun () ->
-      match Rx_match.search ~steps_acc:steps t.node t.ngroups subject pos with
+      match
+        Rx_match.search ~steps_acc:steps ?limit ?first_bytes:t.first_bytes
+          ~bol_only:t.bol_only t.node t.ngroups subject pos
+      with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })
 
-let exec_counted ?pos t subject ~steps =
+let exec_counted ?pos ?limit t subject ~steps =
   let before = !steps in
-  let result = exec_steps ?pos t subject ~steps in
+  let result = exec_steps ?pos ?limit t subject ~steps in
   Telemetry.Histogram.observe search_steps_histogram (!steps - before);
   result
 

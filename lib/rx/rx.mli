@@ -51,6 +51,25 @@ val required_literals : t -> string list
 val group_count : t -> int
 (** Number of capturing groups in the pattern. *)
 
+val newline_budget : t -> (int * int) option
+(** [newline_budget t] is [Some (fixed, runs)] when any match of [t]
+    contains at most [fixed] newline characters from individually
+    bounded atoms plus the newlines of at most [runs] maximal
+    whitespace runs of the subject; [None] when no such budget exists
+    (a back-reference, or an unbounded repetition able to consume
+    non-whitespace newlines).  The [runs] component is what keeps the
+    ubiquitous [\s*] finite: a star over a whitespace-only body matches
+    one contiguous whitespace run, so its newline count is bounded by
+    the subject's longest run rather than by the pattern.  Incremental
+    re-scanning widens dirty regions by
+    [fixed + runs * (longest whitespace-run newline count)] lines;
+    rules with no budget fall back to a full re-scan. *)
+
+val max_newlines : t -> int option
+(** The purely static specialisation of {!newline_budget}: an upper
+    bound on the newlines any match can contain regardless of subject,
+    or [None] when the bound is subject-dependent or infinite. *)
+
 (** {1 Matching} *)
 
 type m
@@ -74,9 +93,12 @@ val group : m -> int -> string option
 val group_span : m -> int -> (int * int) option
 (** Offsets of group [i] in the subject, if it participated. *)
 
-val exec : ?pos:int -> t -> string -> m option
+val exec : ?pos:int -> ?limit:int -> t -> string -> m option
 (** [exec t s] finds the leftmost match of [t] in [s] at or after [pos]
-    (default 0). *)
+    (default 0).  [limit], when given, restricts the {e start offsets}
+    attempted to at most [limit] — the match itself may extend beyond
+    it, and anchors and word boundaries still see the whole subject.
+    Incremental re-scanning uses it to fence a dirty-region scan. *)
 
 val matches : t -> string -> bool
 (** [matches t s] is [true] iff [t] matches somewhere in [s]. *)
@@ -90,6 +112,13 @@ val matches_linear : t -> string -> bool
     input.  @raise Unsupported_linear on patterns using back-references
     or counted repetitions beyond the expansion bound (the backtracking
     {!matches} handles those). *)
+
+val compile_linear : t -> int option
+(** Compiles the pattern into the Pike-VM program {!matches_linear}
+    executes, bypassing its process-wide cache, and returns the
+    instruction count — [None] for patterns the linear engine cannot
+    express.  Exists so the compile-cost benchmark can measure
+    compilation itself; {!matches_linear} callers never need this. *)
 
 val matches_whole : t -> string -> bool
 (** [matches_whole t s] is [true] iff [t] matches all of [s]. *)
@@ -108,7 +137,8 @@ val find_all : t -> string -> m list
     still reports the work it burned.  Every search observed this way
     also feeds the ["rx_search_steps"] telemetry histogram. *)
 
-val exec_counted : ?pos:int -> t -> string -> steps:int ref -> m option
+val exec_counted :
+  ?pos:int -> ?limit:int -> t -> string -> steps:int ref -> m option
 (** {!exec}, adding the steps consumed to [steps]. *)
 
 val find_all_counted : t -> string -> steps:int ref -> m list

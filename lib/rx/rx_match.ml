@@ -121,11 +121,34 @@ let match_whole ?(budget = default_budget) node ngroups subject =
   | Some r -> r.m_stop = len
   | None -> false
 
-(* Leftmost search: tries every start offset from [pos]. *)
-let search ?budget ?steps_acc node ngroups subject pos =
+(* Leftmost search: tries every start offset from [pos].  [limit], when
+   given, caps the start offsets attempted (a match may still extend past
+   it): incremental re-scanning uses this to fence a region scan without
+   disturbing anchors or context, which still see the whole subject.
+
+   [first_bytes], when given, is a 256-slot table of the bytes a match
+   can start with — derived by the caller from the pattern, and only
+   passed for patterns that cannot match the empty string.  [bol_only]
+   asserts every match starts at a line start.  Both let the loop skip
+   start offsets without paying a [match_at] attempt (and its groups
+   allocation); soundness of the derivation makes the skip invisible. *)
+let search ?budget ?steps_acc ?limit ?first_bytes ?(bol_only = false) node
+    ngroups subject pos =
   let len = String.length subject in
+  let last = match limit with Some l -> min l len | None -> len in
+  let can_try s =
+    (not bol_only || s = 0 || String.unsafe_get subject (s - 1) = '\n')
+    && (match first_bytes with
+       | None -> true
+       | Some fb ->
+         (* a non-empty match cannot start at end-of-subject *)
+         s < len
+         && Bytes.unsafe_get fb (Char.code (String.unsafe_get subject s))
+            <> '\000')
+  in
   let rec loop start =
-    if start > len then None
+    if start > last then None
+    else if not (can_try start) then loop (start + 1)
     else
       match match_at ?budget ?steps_acc node ngroups subject start with
       | Some _ as r -> r

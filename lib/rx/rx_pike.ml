@@ -25,15 +25,24 @@ type inst =
    program would bloat, so the caller falls back to backtracking. *)
 let max_counted_expansion = 64
 
+(* Instructions are emitted into a growable array so a back-patch is a
+   single in-place store; the previous list representation rewrote the
+   whole program with [List.mapi] per patch, making compilation
+   quadratic in program size. *)
 let compile node =
-  let prog = ref [] in
+  let prog = ref (Array.make 64 I_match) in
   let len = ref 0 in
   let emit inst =
-    prog := inst :: !prog;
+    if !len = Array.length !prog then begin
+      let grown = Array.make (2 * !len) I_match in
+      Array.blit !prog 0 grown 0 !len;
+      prog := grown
+    end;
+    !prog.(!len) <- inst;
     incr len;
     !len - 1
   in
-  let patch idx inst = prog := List.mapi (fun i x -> if !len - 1 - i = idx then inst else x) !prog in
+  let patch idx inst = !prog.(idx) <- inst in
   let rec go node =
     match node with
     | Rx_ast.Empty -> ()
@@ -103,7 +112,7 @@ let compile node =
   in
   go node;
   ignore (emit I_match);
-  Array.of_list (List.rev !prog)
+  Array.sub !prog 0 !len
 
 let at_word_boundary subject pos =
   let len = String.length subject in

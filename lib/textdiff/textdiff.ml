@@ -18,14 +18,21 @@ let create ?(autojunk = true) a b =
       Hashtbl.replace b2j x (j :: prev))
     b;
   (* positions were accumulated in reverse *)
-  Hashtbl.iter (fun _ _ -> ()) b2j;
   let keys = Hashtbl.fold (fun k v acc -> (k, v) :: acc) b2j [] in
   List.iter (fun (k, v) -> Hashtbl.replace b2j k (List.rev v)) keys;
   let n = Array.length b in
   if autojunk && n >= 200 then begin
     let ntest = (n / 100) + 1 in
+    (* [longer_than] stops counting at the threshold, so the popularity
+       test is O(ntest) per key and building b2j stays linear overall
+       (a full [List.length] per key made it quadratic on sequences
+       dominated by one element). *)
+    let rec longer_than n = function
+      | [] -> false
+      | _ :: tl -> n = 0 || longer_than (n - 1) tl
+    in
     List.iter
-      (fun (k, v) -> if List.length v > ntest then Hashtbl.remove b2j k)
+      (fun (k, v) -> if longer_than ntest v then Hashtbl.remove b2j k)
       keys
   end;
   { a; b; b2j }
