@@ -227,13 +227,14 @@ let scan_cmd =
 (* --- patch --------------------------------------------------------------- *)
 
 let patch_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let in_place =
     Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite $(docv) itself.")
   in
   let output =
     Arg.(value & opt (some string) None
-         & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the patched file to $(docv).")
+         & info [ "o"; "output" ] ~docv:"OUT"
+             ~doc:"Write the patched file to $(docv) (single input only).")
   in
   let diff_only =
     Arg.(value & flag & info [ "diff" ] ~doc:"Print the diff, do not write anything.")
@@ -242,53 +243,121 @@ let patch_cmd =
     Arg.(value & opt (some string) None
          & info [ "patch-file" ] ~docv:"OUT"
              ~doc:"Write a unified diff with ---/+++ headers to $(docv), \
-                   consumable by patch(1) or git apply.")
+                   consumable by patch(1) or git apply (single input only).")
   in
-  let run file in_place output diff_only lang json rules_file only exclude
+  let run files in_place output diff_only lang json rules_file only exclude
       patch_file stats trace =
-    let source = read_file file in
+    let files = List.concat_map (collect_sources lang) files in
+    (* -o and --patch-file name one output; with several inputs the later
+       files would silently overwrite the earlier ones' results. *)
+    if List.length files > 1 && (output <> None || patch_file <> None) then begin
+      prerr_endline
+        "error: --output/--patch-file need a single input file; use \
+         --in-place for batches";
+      exit 2
+    end;
     let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
-    let r =
-      with_telemetry ~stats ~trace @@ fun () ->
-      Patchitpy.Patcher.patch ~rules source
-    in
-    (match patch_file with
-    | Some out ->
-      let body = Textdiff.unified source r.Patchitpy.Patcher.patched in
-      if body <> "" then
-        write_file out
-          (Printf.sprintf "--- %s\n+++ %s\n%s" file file body)
-    | None -> ());
-    if json then begin
-      print_endline (Patchitpy.Jsonout.patch_to_json ~file r);
-      match (in_place, output) with
-      | true, _ -> write_file file r.Patchitpy.Patcher.patched
-      | false, Some out -> write_file out r.Patchitpy.Patcher.patched
-      | false, None -> ()
-    end
-    else if diff_only then print_string (Patchitpy.Report.render_patch r)
-    else begin
-      print_string (Patchitpy.Report.render_patch r);
-      (match (in_place, output) with
-      | true, _ -> write_file file r.Patchitpy.Patcher.patched
-      | false, Some out -> write_file out r.Patchitpy.Patcher.patched
-      | false, None -> ());
-      if r.Patchitpy.Patcher.remaining <> [] then begin
-        Printf.printf "still unresolved (advice only):\n";
-        List.iter
-          (fun (f : Patchitpy.Engine.finding) ->
-            Printf.printf "  line %d: %s — %s\n" f.Patchitpy.Engine.line
-              f.Patchitpy.Engine.rule.Patchitpy.Rule.id
-              f.Patchitpy.Engine.rule.Patchitpy.Rule.note)
-          r.Patchitpy.Patcher.remaining
-      end
-    end
+    (* One compiled scan plan for the whole batch, like scan: plan
+       compilation dominates per-file work on small files. *)
+    let scanner = Patchitpy.Scanner.compile rules in
+    with_telemetry ~stats ~trace @@ fun () ->
+    List.iter
+      (fun file ->
+        let source = read_file file in
+        let r = Patchitpy.Patcher.patch ~scanner source in
+        (match patch_file with
+        | Some out ->
+          let body = Textdiff.unified source r.Patchitpy.Patcher.patched in
+          if body <> "" then
+            write_file out
+              (Printf.sprintf "--- %s\n+++ %s\n%s" file file body)
+        | None -> ());
+        if json then begin
+          print_endline (Patchitpy.Jsonout.patch_to_json ~file r);
+          match (in_place, output) with
+          | true, _ -> write_file file r.Patchitpy.Patcher.patched
+          | false, Some out -> write_file out r.Patchitpy.Patcher.patched
+          | false, None -> ()
+        end
+        else if diff_only then print_string (Patchitpy.Report.render_patch r)
+        else begin
+          print_string (Patchitpy.Report.render_patch r);
+          (match (in_place, output) with
+          | true, _ -> write_file file r.Patchitpy.Patcher.patched
+          | false, Some out -> write_file out r.Patchitpy.Patcher.patched
+          | false, None -> ());
+          if r.Patchitpy.Patcher.remaining <> [] then begin
+            Printf.printf "still unresolved (advice only):\n";
+            List.iter
+              (fun (f : Patchitpy.Engine.finding) ->
+                Printf.printf "  line %d: %s — %s\n" f.Patchitpy.Engine.line
+                  f.Patchitpy.Engine.rule.Patchitpy.Rule.id
+                  f.Patchitpy.Engine.rule.Patchitpy.Rule.note)
+              r.Patchitpy.Patcher.remaining
+          end
+        end)
+      files
   in
   let doc = "Detect and patch vulnerable patterns, inserting needed imports." in
   Cmd.v (Cmd.info "patch" ~doc)
-    Term.(const run $ file $ in_place $ output $ diff_only $ lang_arg
+    Term.(const run $ files $ in_place $ output $ diff_only $ lang_arg
           $ json_arg $ rules_file_arg $ only_arg $ exclude_arg $ patch_file_arg
           $ stats_arg $ trace_arg)
+
+(* --- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Also listen on a Unix-domain socket at $(docv) (removed \
+                   on exit).  Without it the daemon serves stdin/stdout \
+                   only and exits once stdin closes and every request is \
+                   answered.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains executing requests (default 1).  All \
+                   workers share one compiled scan plan.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Submission queue capacity (default 64).  A full queue \
+                   answers $(b,overloaded) immediately instead of \
+                   buffering without bound.")
+  in
+  let drain_timeout =
+    Arg.(value & opt float 10.
+         & info [ "drain-timeout" ] ~docv:"SECONDS"
+             ~doc:"On SIGTERM/SIGINT, wait up to $(docv) seconds for \
+                   in-flight requests before exiting (default 10).")
+  in
+  let run socket jobs queue drain_timeout lang rules_file only exclude =
+    if jobs < 1 then begin
+      prerr_endline "error: --jobs must be >= 1";
+      exit 2
+    end;
+    if queue < 1 then begin
+      prerr_endline "error: --queue must be >= 1";
+      exit 2
+    end;
+    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
+    let scanner = Patchitpy.Scanner.compile rules in
+    exit
+      (Server.Serve.run ~scanner
+         { Server.Serve.socket; jobs; queue_capacity = queue; drain_timeout })
+  in
+  let doc =
+    "Run a long-lived scan/patch service: newline-delimited JSON requests \
+     (schema patchitpy-serve/1) over stdin/stdout and an optional Unix \
+     socket, answered by a pool of worker domains sharing one compiled \
+     scan plan."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket $ jobs $ queue $ drain_timeout $ lang_arg
+          $ rules_file_arg $ only_arg $ exclude_arg)
 
 (* --- rules --------------------------------------------------------------- *)
 
@@ -470,5 +539,5 @@ let () =
   let doc = "pattern-based vulnerability detection and patching for Python" in
   let info = Cmd.info "patchitpy" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ scan_cmd; patch_cmd; rules_cmd; derive_cmd; corpus_cmd; profile_cmd;
-         eval_cmd ]))
+       [ scan_cmd; patch_cmd; serve_cmd; rules_cmd; derive_cmd; corpus_cmd;
+         profile_cmd; eval_cmd ]))

@@ -133,7 +133,15 @@ let parse_number st =
   | Some f -> f
   | None -> fail st (Printf.sprintf "invalid number %S" text)
 
-let rec parse_value st =
+(* Nesting bound: the parser recurses once per container level, so an
+   adversarial payload of a few hundred thousand '[' bytes would
+   otherwise turn into a stack overflow — fatal in a server accepting
+   untrusted requests.  255 levels is far beyond any document this
+   project produces or consumes. *)
+let max_depth = 255
+
+let rec parse_value st depth =
+  if depth > max_depth then fail st "nesting too deep";
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
@@ -151,7 +159,7 @@ let rec parse_value st =
         let key = parse_string st in
         skip_ws st;
         expect st ':';
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -173,7 +181,7 @@ let rec parse_value st =
     end
     else begin
       let rec items acc =
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -195,7 +203,7 @@ let rec parse_value st =
 let parse source =
   let st = { src = source; pos = 0 } in
   match
-    let v = parse_value st in
+    let v = parse_value st 0 in
     skip_ws st;
     (match peek st with
     | Some _ -> fail st "trailing garbage"
@@ -204,6 +212,9 @@ let parse source =
   with
   | v -> Ok v
   | exception Err (msg, pos) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
+  (* The depth bound should make this unreachable; kept as a last line
+     of defense so no input can crash a caller. *)
+  | exception Stack_overflow -> Error "at offset 0: nesting too deep"
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields

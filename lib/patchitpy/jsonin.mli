@@ -13,7 +13,10 @@ type value =
   | Obj of (string * value) list
 
 val parse : string -> (value, string) result
-(** Parses one JSON document.  Errors carry the byte offset. *)
+(** Parses one JSON document.  Errors carry the byte offset.  Total on
+    arbitrary input: malformed, truncated, or adversarial payloads
+    (including pathological nesting, bounded at 255 container levels)
+    return [Error], never raise — the server feeds it untrusted bytes. *)
 
 (** {1 Accessors} *)
 

@@ -273,13 +273,17 @@ let full_rescan_forced () =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
-let patch ?rules ?(rounds = default_rounds) ?(manage_imports = true) source =
+let patch ?scanner ?rules ?(rounds = default_rounds) ?(manage_imports = true)
+    source =
   Telemetry.Span.record patch_span @@ fun () ->
-  (* One scan plan for every fix round and the final residue scan. *)
+  (* One scan plan for every fix round and the final residue scan.  An
+     explicit [scanner] wins: batch callers (multi-file CLI, the serve
+     worker pool) compile once and thread the plan through every file. *)
   let scanner =
-    match rules with
-    | None -> Engine.default_scanner ()
-    | Some rules -> Scanner.compile rules
+    match (scanner, rules) with
+    | Some scanner, _ -> scanner
+    | None, None -> Engine.default_scanner ()
+    | None, Some rules -> Scanner.compile rules
   in
   let full = full_rescan_forced () in
   let advance st edits =

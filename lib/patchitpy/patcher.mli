@@ -25,10 +25,18 @@ type result = {
 }
 
 val patch :
-  ?rules:Rule.t list -> ?rounds:int -> ?manage_imports:bool -> string -> result
+  ?scanner:Scanner.t ->
+  ?rules:Rule.t list ->
+  ?rounds:int ->
+  ?manage_imports:bool ->
+  string ->
+  result
 (** Detects and patches until no fixable finding remains (bounded number
     of [rounds], default 4, since a fix can expose or displace another
-    pattern).  [manage_imports] (default [true]) controls the
+    pattern).  [scanner], when given, is the compiled plan to use and
+    takes precedence over [rules] — batch callers compile once and reuse
+    it across files; otherwise [rules] is compiled, or the process-wide
+    default plan is used.  [manage_imports] (default [true]) controls the
     insert-required/drop-stale import pass; disabling it exists for the
     ablation study. *)
 

@@ -28,7 +28,13 @@ type t = {
   tele : Telemetry.Rules.def;  (* per-rule telemetry registration *)
 }
 
+(* Plan compilation is the expensive setup step callers are expected to
+   amortize (one plan across a batch, or one per daemon).  The counter
+   lets a test assert the amortization actually happens. *)
+let compiles_counter = Telemetry.Counter.make "scanner_compiles_total"
+
 let compile ?meta rule_list =
+  Telemetry.Counter.incr compiles_counter;
   let rule_arr = Array.of_list rule_list in
   let metas =
     match meta with

@@ -268,16 +268,83 @@ let group m i =
    swallowed the exception.  Cost on the non-exceptional path: none. *)
 let budget_exhausted_counter = Telemetry.Counter.make "rx_budget_exhausted_total"
 
+(* --- cooperative step deadlines ------------------------------------------ *)
+
+(* A deadline is a per-domain allowance of matcher steps shared by every
+   search performed while it is installed — the deterministic cost unit
+   the profile subsystem established, reused as a request-level budget.
+   Enforcement piggybacks on the per-attempt budget check: each search
+   runs with an absolute cap on its step accumulator
+   ([Rx_match.match_at ?cap]), so a request that burns its allowance
+   raises out of whatever search it is in, at tick granularity, with no
+   extra cost on the tick path.  The cell lives in domain-local storage:
+   concurrent server workers each carry their own request's deadline. *)
+
+exception Deadline_exceeded
+
+type deadline = { mutable remaining : int }
+
+let deadline_slot : deadline option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let deadline_exceeded_counter =
+  Telemetry.Counter.make "rx_deadline_exceeded_total"
+
+let with_step_deadline ~steps f =
+  if steps <= 0 then invalid_arg "Rx.with_step_deadline: steps must be > 0";
+  let cell = Domain.DLS.get deadline_slot in
+  let previous = !cell in
+  cell := Some { remaining = steps };
+  Fun.protect ~finally:(fun () -> cell := previous) f
+
+let deadline_remaining () =
+  match !(Domain.DLS.get deadline_slot) with
+  | None -> None
+  | Some d -> Some (max 0 d.remaining)
+
+let raise_deadline () =
+  Telemetry.Counter.incr deadline_exceeded_counter;
+  raise Deadline_exceeded
+
 let wrap_budget f =
   try f ()
   with Rx_match.Budget_exceeded msg ->
     Telemetry.Counter.incr budget_exhausted_counter;
     raise (Budget_exceeded msg)
 
+(* Runs one search/match under the installed deadline (if any): the
+   accumulator is capped at the remaining allowance, consumed steps are
+   charged back whatever happens, and a budget trip that coincides with
+   an exhausted allowance surfaces as [Deadline_exceeded] rather than
+   [Budget_exceeded] (the attempt was cut by the cap, not its own
+   budget). *)
+let guarded ?steps_acc (run : ?cap:int -> ?steps_acc:int ref -> unit -> 'a) =
+  match !(Domain.DLS.get deadline_slot) with
+  | None -> wrap_budget (fun () -> run ?cap:None ?steps_acc ())
+  | Some d ->
+    if d.remaining <= 0 then raise_deadline ();
+    let acc = match steps_acc with Some acc -> acc | None -> ref 0 in
+    let before = !acc in
+    let cap =
+      if d.remaining > max_int - before then max_int else before + d.remaining
+    in
+    let charge () = d.remaining <- d.remaining - (!acc - before) in
+    (match run ~cap ~steps_acc:acc () with
+    | result ->
+      charge ();
+      result
+    | exception Rx_match.Budget_exceeded msg ->
+      charge ();
+      if d.remaining <= 0 then raise_deadline ()
+      else begin
+        Telemetry.Counter.incr budget_exhausted_counter;
+        raise (Budget_exceeded msg)
+      end)
+
 let exec ?(pos = 0) ?limit t subject =
-  wrap_budget (fun () ->
+  guarded (fun ?cap ?steps_acc () ->
       match
-        Rx_match.search ?limit ?first_bytes:t.first_bytes
+        Rx_match.search ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
           ~bol_only:t.bol_only t.node t.ngroups subject pos
       with
       | None -> None
@@ -316,7 +383,8 @@ let compile_linear t =
   | exception Rx_pike.Unsupported _ -> None
 
 let matches_whole t subject =
-  wrap_budget (fun () -> Rx_match.match_whole t.node t.ngroups subject)
+  guarded (fun ?cap ?steps_acc () ->
+      Rx_match.match_whole ?cap ?steps_acc t.node t.ngroups subject)
 
 let find_all t subject =
   let len = String.length subject in
@@ -334,10 +402,12 @@ let find_all t subject =
 let search_steps_histogram = Telemetry.Histogram.make "rx_search_steps"
 
 let exec_steps ?(pos = 0) ?limit t subject ~steps =
-  wrap_budget (fun () ->
+  guarded ~steps_acc:steps (fun ?cap ?steps_acc () ->
+      let steps = match steps_acc with Some acc -> acc | None -> steps in
       match
-        Rx_match.search ~steps_acc:steps ?limit ?first_bytes:t.first_bytes
-          ~bol_only:t.bol_only t.node t.ngroups subject pos
+        Rx_match.search ?cap ~steps_acc:steps ?limit
+          ?first_bytes:t.first_bytes ~bol_only:t.bol_only t.node t.ngroups
+          subject pos
       with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })

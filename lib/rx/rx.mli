@@ -144,6 +144,41 @@ val exec_counted :
 val find_all_counted : t -> string -> steps:int ref -> m list
 (** {!find_all}, adding the steps consumed to [steps]. *)
 
+(** {1 Step deadlines}
+
+    A deadline is a cumulative allowance of matcher steps shared by
+    every search performed while it is installed — the same
+    deterministic cost unit the profile subsystem uses, repurposed as a
+    request-level budget.  The server wraps each request in
+    {!with_step_deadline} so one pathological payload cannot pin a
+    worker: the allowance runs out, the innermost search raises
+    {!Deadline_exceeded}, and the worker moves on.  Deadlines are
+    per-domain (domain-local storage), so concurrent workers are
+    independent; they nest, the innermost winning for its dynamic
+    extent.  Enforcement is folded into the existing per-attempt budget
+    comparison, so matching under a deadline costs nothing extra per
+    step. *)
+
+exception Deadline_exceeded
+(** The installed step deadline was exhausted.  Distinct from
+    {!Budget_exceeded}: a budget trip blames the pattern (pathological
+    backtracking within one attempt), a deadline trip blames the
+    request (cumulative work across all its searches). *)
+
+val with_step_deadline : steps:int -> (unit -> 'a) -> 'a
+(** [with_step_deadline ~steps f] runs [f] with an allowance of [steps]
+    matcher steps shared by every search [f] performs on this domain.
+    When the allowance runs out, the active search raises
+    {!Deadline_exceeded} (also counted in the
+    ["rx_deadline_exceeded_total"] telemetry counter).  The previous
+    deadline, if any, is restored when [f] returns or raises.
+    @raise Invalid_argument when [steps <= 0]. *)
+
+val deadline_remaining : unit -> int option
+(** Steps left in this domain's installed deadline ([None] when no
+    deadline is installed).  A timeout responder uses it to report how
+    much of the allowance a request burned. *)
+
 (** {1 Rewriting} *)
 
 val replace : ?count:int -> t -> template:string -> string -> string

@@ -25,8 +25,16 @@ let at_word_boundary subject pos =
    [steps_acc], when given, accumulates the steps this attempt consumed
    (including attempts cut short by the budget) — the telemetry hook
    behind per-rule backtracking cost.  The budget itself stays
-   per-attempt, so accounting never changes matching semantics. *)
-let match_at ?(budget = default_budget) ?steps_acc node ngroups subject start =
+   per-attempt, so accounting never changes matching semantics.
+
+   [cap], when given, is an absolute ceiling on the accumulator itself:
+   the attempt raises [Budget_exceeded] once [!steps] passes [cap],
+   whatever the per-attempt budget allows.  It is folded into the
+   per-attempt bound below, so enforcing it costs nothing on the tick
+   path; [Rx.with_step_deadline] uses it to spread one cumulative step
+   allowance across every attempt of every search of a request. *)
+let match_at ?(budget = default_budget) ?(cap = max_int) ?steps_acc node
+    ngroups subject start =
   let len = String.length subject in
   let groups = Array.make (ngroups + 1) None in
   (* With an accumulator the attempt ticks it directly — no per-attempt
@@ -35,6 +43,10 @@ let match_at ?(budget = default_budget) ?steps_acc node ngroups subject start =
      changes matching semantics (the budget stays per attempt). *)
   let steps = match steps_acc with Some acc -> acc | None -> ref 0 in
   let base = !steps in
+  (* steps - base > budget' triggers exactly at min (base + budget) cap:
+     both the per-attempt budget and the absolute cap in the one
+     existing comparison. *)
+  let budget = if cap - base < budget then cap - base else budget in
   let tick () =
     incr steps;
     if !steps - base > budget then
@@ -113,10 +125,13 @@ let match_at ?(budget = default_budget) ?steps_acc node ngroups subject start =
 (* Anchored full match: accepts only when the whole subject is consumed
    (Python's fullmatch) — the matcher backtracks into other alternatives
    if the preferred one stops short. *)
-let match_whole ?(budget = default_budget) node ngroups subject =
+let match_whole ?(budget = default_budget) ?cap ?steps_acc node ngroups
+    subject =
   let len = String.length subject in
   match
-    match_at ~budget (Rx_ast.Seq [ node; Rx_ast.Eos ]) ngroups subject 0
+    match_at ~budget ?cap ?steps_acc
+      (Rx_ast.Seq [ node; Rx_ast.Eos ])
+      ngroups subject 0
   with
   | Some r -> r.m_stop = len
   | None -> false
@@ -132,8 +147,8 @@ let match_whole ?(budget = default_budget) node ngroups subject =
    asserts every match starts at a line start.  Both let the loop skip
    start offsets without paying a [match_at] attempt (and its groups
    allocation); soundness of the derivation makes the skip invisible. *)
-let search ?budget ?steps_acc ?limit ?first_bytes ?(bol_only = false) node
-    ngroups subject pos =
+let search ?budget ?cap ?steps_acc ?limit ?first_bytes ?(bol_only = false)
+    node ngroups subject pos =
   let len = String.length subject in
   let last = match limit with Some l -> min l len | None -> len in
   let can_try s =
@@ -150,7 +165,7 @@ let search ?budget ?steps_acc ?limit ?first_bytes ?(bol_only = false) node
     if start > last then None
     else if not (can_try start) then loop (start + 1)
     else
-      match match_at ?budget ?steps_acc node ngroups subject start with
+      match match_at ?budget ?cap ?steps_acc node ngroups subject start with
       | Some _ as r -> r
       | None -> loop (start + 1)
   in

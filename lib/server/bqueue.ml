@@ -1,0 +1,56 @@
+(* A bounded multi-producer/multi-consumer queue.
+
+   The backpressure primitive of the server: producers never block (a
+   full queue is an immediate [`Full], which the front-end turns into an
+   [overloaded] error response), consumers block until an item arrives
+   or the queue is closed and drained.  Memory is bounded by
+   construction — capacity is fixed at creation and [push] refuses
+   beyond it. *)
+
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    items = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let try_push t x =
+  Mutex.protect t.mutex (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.capacity then `Full
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  Mutex.protect t.mutex (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      t.closed <- true;
+      (* every blocked consumer must wake to observe the close *)
+      Condition.broadcast t.nonempty)
+
+let length t = Mutex.protect t.mutex (fun () -> Queue.length t.items)

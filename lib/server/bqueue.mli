@@ -1,0 +1,28 @@
+(** A bounded blocking queue — the server's backpressure primitive.
+
+    Producers never block: {!try_push} on a full queue returns [`Full]
+    immediately, which the server surfaces as an [overloaded] error
+    response instead of buffering without bound.  Consumers ({!pop})
+    block until an item arrives or the queue is closed and drained.
+    Safe for any number of producer and consumer domains or threads. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Never blocks.  [`Full] when the queue holds [capacity] items;
+    [`Closed] after {!close}. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available and returns it; [None] once the
+    queue is closed {e and} drained (remaining items are still handed
+    out after {!close}). *)
+
+val close : 'a t -> unit
+(** Rejects further pushes and wakes every blocked consumer.  Items
+    already queued are still delivered. *)
+
+val length : 'a t -> int
+(** Current occupancy (racy by nature; used for observability). *)

@@ -1,0 +1,184 @@
+(* The worker pool: OCaml 5 domains executing requests against one
+   shared compiled scan plan.
+
+   The plan ([Scanner.t]) is immutable and domain-safe, so workers share
+   it without copying or locking — the whole point of the daemon is to
+   pay catalog compilation once.  Jobs flow through a [Bqueue]; each job
+   carries its own delivery callback so responses go back to whichever
+   front-end (stdio, socket connection) submitted the request, in
+   completion order, not submission order.
+
+   Robustness contract, per request:
+   - an exhausted step deadline is a [Timeout] error response;
+   - any other exception is an [Internal] error response;
+   in both cases the worker survives and takes the next job. *)
+
+type job = {
+  request : Protocol.request;
+  deliver : Protocol.response -> unit;
+}
+
+type t = {
+  scanner : Patchitpy.Scanner.t;
+  queue : job Bqueue.t;
+  jobs : int;
+  queue_capacity : int;
+  in_flight : int Atomic.t;  (* queued + executing, across front-ends *)
+  mutable workers : unit Domain.t array;
+}
+
+(* --- instruments ---------------------------------------------------------- *)
+
+let requests_counter = Telemetry.Counter.make "server_requests_total"
+let overloaded_counter = Telemetry.Counter.make "server_overloaded_total"
+let timeouts_counter = Telemetry.Counter.make "server_timeouts_total"
+let errors_counter = Telemetry.Counter.make "server_errors_total"
+let queue_depth_histogram = Telemetry.Histogram.make "server_queue_depth"
+
+let latency_histogram =
+  Telemetry.Histogram.make "server_request_latency_ns"
+
+(* --- request execution ---------------------------------------------------- *)
+
+let health_body t =
+  Printf.sprintf
+    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d}"
+    Protocol.schema t.jobs (Bqueue.length t.queue)
+    (Atomic.get t.in_flight)
+
+let stats_body fmt =
+  match Telemetry.installed () with
+  | None -> (
+    match fmt with
+    | Protocol.Stats_json -> "{\"enabled\":false}"
+    | Protocol.Stats_prometheus -> "\"\"")
+  | Some sink -> (
+    let report = Telemetry.Report.of_sink sink in
+    match fmt with
+    | Protocol.Stats_json -> Telemetry.Report.to_json report
+    | Protocol.Stats_prometheus ->
+      (* multi-line text, embedded as a JSON string to keep framing *)
+      "\""
+      ^ Telemetry.Report.escape (Telemetry.Report.to_prometheus report)
+      ^ "\"")
+
+let execute t (req : Protocol.request) =
+  Telemetry.Counter.incr requests_counter;
+  let start = Telemetry.now_ns () in
+  let reply body =
+    Protocol.Reply { id = req.id; kind = Protocol.kind_name req.kind; body }
+  in
+  let run () =
+    match req.kind with
+    | Protocol.Scan { file; source } ->
+      let findings, warnings =
+        Patchitpy.Scanner.scan_with_warnings t.scanner source
+      in
+      reply (Patchitpy.Jsonout.findings_to_json ~warnings ~file findings)
+    | Protocol.Patch { file; source } ->
+      reply
+        (Patchitpy.Jsonout.patch_to_json ~file
+           (Patchitpy.Patcher.patch ~scanner:t.scanner source))
+    | Protocol.Health -> reply (health_body t)
+    | Protocol.Stats fmt -> reply (stats_body fmt)
+  in
+  let outcome =
+    match
+      match req.deadline_steps with
+      | None -> run ()
+      | Some steps -> Rx.with_step_deadline ~steps run
+    with
+    | resp -> resp
+    | exception Rx.Deadline_exceeded ->
+      Telemetry.Counter.incr timeouts_counter;
+      Protocol.Error_reply
+        {
+          id = Some req.id;
+          error = Protocol.Timeout;
+          message =
+            Printf.sprintf
+              "request exceeded its deadline of %d matcher steps \
+               (partial per-rule telemetry was recorded)"
+              (Option.value req.deadline_steps ~default:0);
+        }
+    | exception e ->
+      Telemetry.Counter.incr errors_counter;
+      Protocol.Error_reply
+        {
+          id = Some req.id;
+          error = Protocol.Internal;
+          message = Printexc.to_string e;
+        }
+  in
+  Telemetry.Histogram.observe latency_histogram
+    (Int64.to_int (Int64.sub (Telemetry.now_ns ()) start));
+  outcome
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let rec worker_loop t =
+  match Bqueue.pop t.queue with
+  | None -> ()
+  | Some job ->
+    let response = execute t job.request in
+    (* A dead connection must not kill the worker. *)
+    (try job.deliver response with _ -> ());
+    Atomic.decr t.in_flight;
+    worker_loop t
+
+let create ~jobs ~queue_capacity ~scanner =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      scanner;
+      queue = Bqueue.create ~capacity:queue_capacity;
+      jobs;
+      queue_capacity;
+      in_flight = Atomic.make 0;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t request ~deliver =
+  Telemetry.Histogram.observe queue_depth_histogram (Bqueue.length t.queue);
+  Atomic.incr t.in_flight;
+  match Bqueue.try_push t.queue { request; deliver } with
+  | `Ok -> ()
+  | (`Full | `Closed) as why ->
+    Atomic.decr t.in_flight;
+    Telemetry.Counter.incr overloaded_counter;
+    (* [requests_total] counts work executed; a rejected submission only
+       shows up in [overloaded_total]. *)
+    deliver
+      (Protocol.Error_reply
+         {
+           id = Some request.id;
+           error = Protocol.Overloaded;
+           message =
+             (match why with
+             | `Full ->
+               Printf.sprintf "submission queue full (capacity %d); retry"
+                 t.queue_capacity
+             | `Closed -> "server is draining; not accepting requests");
+         })
+
+let pending t = Atomic.get t.in_flight
+
+let shutdown ?(drain_timeout = 10.) t =
+  Bqueue.close t.queue;
+  let deadline = Unix.gettimeofday () +. drain_timeout in
+  let rec wait () =
+    if Atomic.get t.in_flight = 0 then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.005;
+      wait ()
+    end
+  in
+  let drained = wait () in
+  (* Joining a worker stuck in an over-deadline request would hang past
+     the drain budget; the caller exits the process instead. *)
+  if drained then Array.iter Domain.join t.workers;
+  drained

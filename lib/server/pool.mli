@@ -1,0 +1,51 @@
+(** The serve worker pool: OCaml 5 domains sharing one compiled scan
+    plan.
+
+    Requests enter through {!submit} into a bounded {!Bqueue}; workers
+    pop, execute, and hand the response to the job's own delivery
+    callback, so completion order is independent of submission order
+    (responses are correlated by id, not position).  Every submission
+    eventually produces exactly one callback invocation: queued work is
+    executed, a full or closed queue delivers an [overloaded] error
+    immediately on the caller's thread.
+
+    Robustness, per request: a {!Rx.Deadline_exceeded} becomes a
+    [timeout] error response, any other exception an [error] response;
+    the worker survives both and takes the next job.
+
+    Instruments (live in {!Telemetry}, reported by the [stats] request):
+    [server_requests_total], [server_overloaded_total],
+    [server_timeouts_total], [server_errors_total],
+    [server_queue_depth] (occupancy observed at each submission) and
+    [server_request_latency_ns] (per-request span). *)
+
+type t
+
+val create :
+  jobs:int -> queue_capacity:int -> scanner:Patchitpy.Scanner.t -> t
+(** Spawns [jobs] worker domains over a queue of [queue_capacity]
+    slots.  The scanner is shared by reference — compiled scan plans
+    are immutable and domain-safe. *)
+
+val submit : t -> Protocol.request -> deliver:(Protocol.response -> unit) -> unit
+(** Never blocks.  [deliver] is invoked exactly once per call: from a
+    worker domain with the request's response, or synchronously with an
+    [overloaded] error when the queue is full or the pool draining.
+    [deliver] must be thread-safe against other deliveries to the same
+    destination; exceptions it raises are swallowed. *)
+
+val execute : t -> Protocol.request -> Protocol.response
+(** Executes one request synchronously on the calling domain, with the
+    same deadline/exception envelope as a worker.  The differential
+    tests and the bench driver use it to exercise request semantics
+    without queue scheduling. *)
+
+val pending : t -> int
+(** Requests accepted but not yet delivered (queued + executing). *)
+
+val shutdown : ?drain_timeout:float -> t -> bool
+(** Closes the queue (subsequent {!submit}s deliver [overloaded]) and
+    waits up to [drain_timeout] seconds (default 10) for in-flight work
+    to finish.  [true] when fully drained (workers joined); [false]
+    when the timeout cut the drain short — the caller is expected to
+    exit the process, as stuck workers cannot be joined. *)

@@ -1,0 +1,213 @@
+(* The serve wire protocol: one JSON document per line, both directions.
+
+   Encoding and decoding are deliberately independent of any socket or
+   process machinery so framing is testable (and fuzzable) on plain
+   strings.  Two invariants carry the rest of the subsystem:
+
+   - No encoded document contains a raw newline: every string field is
+     RFC 8259-escaped (Jsonout), so NDJSON framing survives arbitrary
+     payloads, including sources with embedded newlines.
+
+   - A success envelope places [body] {e last}, holding the payload's
+     raw bytes.  Clients that care about byte-identity with the one-shot
+     CLI (the differential tests, the CI smoke) can slice the body out
+     of the line without re-serializing: the body marker byte sequence
+     (comma, quoted body key, colon) cannot occur earlier in the
+     envelope, because inside every encoded string field the quote
+     character is backslash-escaped. *)
+
+let schema = "patchitpy-serve/1"
+
+type stats_format = Stats_json | Stats_prometheus
+
+type kind =
+  | Scan of { file : string; source : string }
+  | Patch of { file : string; source : string }
+  | Health
+  | Stats of stats_format
+
+type request = { id : string; deadline_steps : int option; kind : kind }
+
+type error_kind = Invalid | Overloaded | Timeout | Internal
+
+type response =
+  | Reply of { id : string; kind : string; body : string }
+  | Error_reply of { id : string option; error : error_kind; message : string }
+
+let error_kind_to_string = function
+  | Invalid -> "invalid"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Internal -> "error"
+
+let error_kind_of_string = function
+  | "invalid" -> Some Invalid
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "error" -> Some Internal
+  | _ -> None
+
+let kind_name = function
+  | Scan _ -> "scan"
+  | Patch _ -> "patch"
+  | Health -> "health"
+  | Stats _ -> "stats"
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let str s = "\"" ^ Patchitpy.Jsonout.escape_string s ^ "\""
+
+let encode_request r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":%s,\"id\":%s,\"kind\":\"%s\"" (str schema)
+       (str r.id) (kind_name r.kind));
+  (match r.deadline_steps with
+  | Some n -> Buffer.add_string buf (Printf.sprintf ",\"deadlineSteps\":%d" n)
+  | None -> ());
+  (match r.kind with
+  | Scan { file; source } | Patch { file; source } ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"file\":%s,\"source\":%s" (str file) (str source))
+  | Health -> ()
+  | Stats fmt ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"format\":\"%s\""
+         (match fmt with Stats_json -> "json" | Stats_prometheus -> "prometheus")));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let encode_response = function
+  | Reply { id; kind; body } ->
+    Printf.sprintf "{\"schema\":%s,\"id\":%s,\"ok\":true,\"kind\":%s,\"body\":%s}"
+      (str schema) (str id) (str kind) body
+  | Error_reply { id; error; message } ->
+    Printf.sprintf "{\"schema\":%s,\"id\":%s,\"ok\":false,\"error\":\"%s\",\"message\":%s}"
+      (str schema)
+      (match id with Some id -> str id | None -> "null")
+      (error_kind_to_string error) (str message)
+
+(* --- decoding ------------------------------------------------------------- *)
+
+let versioned msg = Printf.sprintf "%s (expected schema %s)" msg schema
+
+let field_string json key =
+  Option.bind (Patchitpy.Jsonin.member key json) Patchitpy.Jsonin.to_string
+
+let decode_request line =
+  let module J = Patchitpy.Jsonin in
+  match J.parse line with
+  | Error msg -> Error (None, versioned ("malformed JSON: " ^ msg))
+  | Ok json -> (
+    (* Recover the id first so even a rejected request gets an error
+       response the client can correlate. *)
+    let id = Option.bind (J.member "id" json) J.to_string in
+    let fail msg = Error (id, msg) in
+    match Option.bind (J.member "schema" json) J.to_string with
+    | None -> fail (versioned "missing \"schema\"")
+    | Some s when s <> schema ->
+      fail (versioned (Printf.sprintf "unsupported schema %S" s))
+    | Some _ -> (
+      match id with
+      | None -> fail (versioned "missing string \"id\"")
+      | Some id -> (
+        let fail msg = Error (Some id, msg) in
+        let deadline_steps =
+          match Option.bind (J.member "deadlineSteps" json) J.to_number with
+          | Some f when Float.is_integer f && f >= 1. && f <= 1e15 ->
+            Ok (Some (int_of_float f))
+          | Some _ -> Error ()
+          | None -> (
+            match J.member "deadlineSteps" json with
+            | Some _ -> Error ()
+            | None -> Ok None)
+        in
+        match deadline_steps with
+        | Error () -> fail "\"deadlineSteps\" must be a positive integer"
+        | Ok deadline_steps -> (
+          let with_payload make =
+            match
+              ( Option.bind (J.member "file" json) J.to_string,
+                Option.bind (J.member "source" json) J.to_string )
+            with
+            | Some file, Some source ->
+              Ok { id; deadline_steps; kind = make ~file ~source }
+            | None, _ -> fail "missing string \"file\""
+            | _, None -> fail "missing string \"source\""
+          in
+          match Option.bind (J.member "kind" json) J.to_string with
+          | None -> fail (versioned "missing string \"kind\"")
+          | Some "scan" ->
+            with_payload (fun ~file ~source -> Scan { file; source })
+          | Some "patch" ->
+            with_payload (fun ~file ~source -> Patch { file; source })
+          | Some "health" -> Ok { id; deadline_steps; kind = Health }
+          | Some "stats" -> (
+            match field_string json "format" with
+            | None | Some "json" ->
+              Ok { id; deadline_steps; kind = Stats Stats_json }
+            | Some "prometheus" ->
+              Ok { id; deadline_steps; kind = Stats Stats_prometheus }
+            | Some other ->
+              fail
+                (Printf.sprintf
+                   "unknown stats format %S (json or prometheus)" other))
+          | Some other ->
+            fail
+              (versioned
+                 (Printf.sprintf
+                    "unknown request kind %S (scan, patch, health or stats)"
+                    other))))))
+
+(* The raw bytes of a success envelope's body: everything between the
+   first [,"body":] and the closing brace.  See the module comment for
+   why the first occurrence is necessarily the envelope's own field. *)
+let body_marker = ",\"body\":"
+
+let raw_body line =
+  let mlen = String.length body_marker in
+  let len = String.length line in
+  let rec find i =
+    if i + mlen > len then None
+    else if String.sub line i mlen = body_marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some start when len > start && line.[len - 1] = '}' ->
+    Some (String.sub line start (len - start - 1))
+  | Some _ | None -> None
+
+let decode_response line =
+  let module J = Patchitpy.Jsonin in
+  match J.parse line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok json -> (
+    match Option.bind (J.member "schema" json) J.to_string with
+    | Some s when s <> schema ->
+      Error (versioned (Printf.sprintf "unsupported schema %S" s))
+    | None -> Error (versioned "missing \"schema\"")
+    | Some _ -> (
+      match Option.bind (J.member "ok" json) J.to_bool with
+      | None -> Error "missing boolean \"ok\""
+      | Some true -> (
+        match
+          ( Option.bind (J.member "id" json) J.to_string,
+            Option.bind (J.member "kind" json) J.to_string,
+            raw_body line )
+        with
+        | Some id, Some kind, Some body -> Ok (Reply { id; kind; body })
+        | None, _, _ -> Error "missing string \"id\""
+        | _, None, _ -> Error "missing string \"kind\""
+        | _, _, None -> Error "missing \"body\"")
+      | Some false -> (
+        let id = Option.bind (J.member "id" json) J.to_string in
+        match
+          ( Option.bind (J.member "error" json) J.to_string,
+            Option.bind (J.member "message" json) J.to_string )
+        with
+        | Some e, Some message -> (
+          match error_kind_of_string e with
+          | Some error -> Ok (Error_reply { id; error; message })
+          | None -> Error (Printf.sprintf "unknown error kind %S" e))
+        | None, _ -> Error "missing string \"error\""
+        | _, None -> Error "missing string \"message\"")))

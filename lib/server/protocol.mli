@@ -1,0 +1,79 @@
+(** The [patchitpy serve] wire protocol.
+
+    Newline-delimited JSON, one document per line in both directions,
+    versioned by a [schema] field ({!schema}).  Requests carry a
+    client-chosen [id]; responses echo it, and may arrive in any order
+    relative to submission — the pool completes requests as workers
+    free up.  All encoding/decoding is pure string-to-value, so framing
+    can be tested (and fuzzed) without sockets or processes.
+
+    Framing invariants:
+    - encoded documents never contain a raw newline (string fields are
+      RFC 8259-escaped), so sources with embedded newlines are safe;
+    - a success envelope's [body] field comes last and holds the
+      payload's raw bytes — for [scan] these are byte-identical to the
+      one-shot [patchitpy scan --json] line for the same file, and
+      {!raw_body} recovers them exactly. *)
+
+val schema : string
+(** ["patchitpy-serve/1"]. *)
+
+type stats_format = Stats_json | Stats_prometheus
+
+type kind =
+  | Scan of { file : string; source : string }
+      (** [file] is a label for the report; [source] the code to scan. *)
+  | Patch of { file : string; source : string }
+  | Health  (** liveness + queue occupancy *)
+  | Stats of stats_format
+      (** the telemetry report: the [--trace] JSON document, or the
+          Prometheus text exposition as a JSON string *)
+
+type request = {
+  id : string;  (** client-chosen correlation key, echoed in the response *)
+  deadline_steps : int option;
+      (** per-request matcher-step allowance ({!Rx.with_step_deadline});
+          exhausting it yields a [Timeout] error response *)
+  kind : kind;
+}
+
+type error_kind =
+  | Invalid  (** malformed or unsupported request; never enqueued *)
+  | Overloaded  (** submission queue full; retry later *)
+  | Timeout  (** the request's step deadline was exhausted *)
+  | Internal  (** the request raised; the worker survived *)
+
+type response =
+  | Reply of { id : string; kind : string; body : string }
+      (** [body] is raw JSON (already encoded), embedded verbatim. *)
+  | Error_reply of { id : string option; error : error_kind; message : string }
+      (** [id] is [None] only when the request was too malformed to
+          recover one. *)
+
+val kind_name : kind -> string
+(** ["scan"], ["patch"], ["health"] or ["stats"]. *)
+
+val error_kind_to_string : error_kind -> string
+val error_kind_of_string : string -> error_kind option
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val encode_response : response -> string
+(** One line, no trailing newline.  For {!Reply}, [body] must itself be
+    valid single-line JSON (the server only embeds {!Patchitpy.Jsonout}
+    and {!Telemetry.Report} output, which is). *)
+
+val decode_request : string -> (request, string option * string) result
+(** Decodes one request line.  The error carries the client id when one
+    could be recovered from the document (so the error response can be
+    correlated) and a message that names the expected schema. *)
+
+val decode_response : string -> (response, string) result
+(** Decodes one response line; {!Reply.body} gets the raw body bytes
+    ({!raw_body}). *)
+
+val raw_body : string -> string option
+(** The exact bytes of a success envelope's [body] field, with no
+    re-serialization — what the differential tests byte-compare against
+    one-shot CLI output. *)

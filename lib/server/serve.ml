@@ -1,0 +1,173 @@
+(* The daemon: front-ends, signals and the drain state machine.
+
+   Two front-ends feed one pool.  The stdio front-end reads request
+   lines from stdin and writes responses to stdout (behind a mutex —
+   workers complete out of order).  The socket front-end accepts
+   connections on a Unix-domain socket, one reader thread per
+   connection, responses written back to the submitting connection.
+   Threads do the blocking I/O; domains do the scanning — OCaml 5 runs
+   both side by side, and a blocked thread costs no worker time.
+
+   Lifecycle:
+
+     accepting --SIGTERM/SIGINT--> draining --in-flight done--> exit 0
+                                       \--drain-timeout-------> exit 0
+
+   Draining closes the listener (no new connections), closes the pool
+   queue (late submissions get an [overloaded] error), and waits for
+   in-flight work up to [drain_timeout].  On a stdio-only server, EOF
+   on stdin is a batch-mode drain trigger: every submitted request is
+   answered, then the process exits 0. *)
+
+type config = {
+  socket : string option;
+  jobs : int;
+  queue_capacity : int;
+  drain_timeout : float;
+}
+
+let is_blank line = String.trim line = ""
+
+let handle_line pool line ~deliver =
+  match Protocol.decode_request line with
+  | Ok req -> Pool.submit pool req ~deliver
+  | Error (id, message) ->
+    deliver (Protocol.Error_reply { id; error = Protocol.Invalid; message })
+
+let write_all fd s =
+  let bytes = Bytes.unsafe_of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then go (off + Unix.write fd bytes off (len - off))
+  in
+  go 0
+
+(* --- stdio front-end ------------------------------------------------------ *)
+
+let stdio_loop pool ~stdout_mutex ~stdin_eof =
+  let deliver response =
+    Mutex.protect stdout_mutex (fun () ->
+        print_string (Protocol.encode_response response);
+        print_newline ();
+        flush stdout)
+  in
+  (try
+     while true do
+       let line = input_line stdin in
+       if not (is_blank line) then handle_line pool line ~deliver
+     done
+   with End_of_file -> ());
+  Atomic.set stdin_eof true
+
+(* --- socket front-end ----------------------------------------------------- *)
+
+let connection_loop pool fd =
+  (* Responses may still be in flight when the client half-closes; the
+     fd stays open until every accepted request has been answered. *)
+  let pending = Atomic.make 0 in
+  let out_mutex = Mutex.create () in
+  let deliver response =
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr pending)
+      (fun () ->
+        let line = Protocol.encode_response response ^ "\n" in
+        try Mutex.protect out_mutex (fun () -> write_all fd line)
+        with Unix.Unix_error _ -> ())
+  in
+  let process line =
+    if not (is_blank line) then begin
+      Atomic.incr pending;
+      handle_line pool line ~deliver
+    end
+  in
+  let leftover = ref "" in
+  let chunk = Bytes.create 65536 in
+  let rec read_loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      let data = !leftover ^ Bytes.sub_string chunk 0 n in
+      let rec split = function
+        | [] -> leftover := ""
+        | [ tail ] -> leftover := tail (* no newline yet: incomplete *)
+        | line :: rest ->
+          process line;
+          split rest
+      in
+      split (String.split_on_char '\n' data);
+      read_loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  read_loop ();
+  process !leftover;
+  let rec await_deliveries () =
+    if Atomic.get pending > 0 then begin
+      Unix.sleepf 0.005;
+      await_deliveries ()
+    end
+  in
+  await_deliveries ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listener_loop pool lfd =
+  let rec loop () =
+    match Unix.accept ~cloexec:true lfd with
+    | fd, _ ->
+      ignore (Thread.create (fun () -> connection_loop pool fd) ());
+      loop ()
+    | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed: drain started *)
+  in
+  loop ()
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let run ~scanner config =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = Atomic.make false in
+  let on_signal _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (* The daemon always collects: the [stats] request is the whole
+     observability story, and per-domain collectors keep the cost off
+     the worker hot path. *)
+  Telemetry.install (Telemetry.create ());
+  let pool =
+    Pool.create ~jobs:config.jobs ~queue_capacity:config.queue_capacity
+      ~scanner
+  in
+  let stdin_eof = Atomic.make false in
+  let stdout_mutex = Mutex.create () in
+  ignore (Thread.create (fun () -> stdio_loop pool ~stdout_mutex ~stdin_eof) ());
+  let listener =
+    match config.socket with
+    | None -> None
+    | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let lfd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.bind lfd (ADDR_UNIX path);
+      Unix.listen lfd 64;
+      ignore (Thread.create (fun () -> listener_loop pool lfd) ());
+      Some (path, lfd)
+  in
+  let rec serve_until_stop () =
+    if Atomic.get stop then ()
+    else if listener = None && Atomic.get stdin_eof && Pool.pending pool = 0
+    then () (* stdio batch mode: all input answered *)
+    else begin
+      (try Unix.sleepf 0.05 with Unix.Unix_error (EINTR, _, _) -> ());
+      serve_until_stop ()
+    end
+  in
+  serve_until_stop ();
+  (match listener with
+  | Some (path, lfd) ->
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    (try Sys.remove path with Sys_error _ -> ())
+  | None -> ());
+  let (_drained : bool) =
+    Pool.shutdown ~drain_timeout:config.drain_timeout pool
+  in
+  Telemetry.uninstall ();
+  0

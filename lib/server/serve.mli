@@ -1,0 +1,25 @@
+(** The [patchitpy serve] daemon loop.
+
+    Accepts {!Protocol} request lines over stdin/stdout and, when
+    configured, a Unix-domain socket; dispatches them to a {!Pool} of
+    worker domains sharing one compiled scan plan; and writes framed
+    responses back to the submitting front-end as requests complete
+    (out-of-order relative to submission — correlate by id).
+
+    Shutdown: SIGTERM or SIGINT stops accepting (listener closed,
+    socket unlinked, queue closed) and drains in-flight work for up to
+    [drain_timeout] seconds before returning 0.  With no socket
+    configured, EOF on stdin triggers the same drain once every
+    submitted request has been answered — one-shot batch mode. *)
+
+type config = {
+  socket : string option;  (** Unix-domain socket path, unlinked on exit *)
+  jobs : int;  (** worker domains *)
+  queue_capacity : int;  (** bounded submission queue slots *)
+  drain_timeout : float;  (** seconds to wait for in-flight work on shutdown *)
+}
+
+val run : scanner:Patchitpy.Scanner.t -> config -> int
+(** Blocks until shutdown; returns the process exit code (0 after a
+    graceful or timed-out drain).  Installs a process-wide telemetry
+    sink and SIGTERM/SIGINT/SIGPIPE handlers. *)
