@@ -60,7 +60,14 @@ let with_telemetry ~stats ~trace f =
     (match trace with
     | Some path -> write_file path (Telemetry.Report.to_json report)
     | None -> ());
-    if stats then prerr_string (Experiments.Profile.summary report);
+    if stats then begin
+      prerr_string (Experiments.Profile.summary report);
+      (* The regex compile memo fills at module initialisation, before
+         any sink exists, so its counter never reaches the report —
+         read it directly. *)
+      let hits, entries = Rx.compile_cache_stats () in
+      Printf.eprintf "rx compile cache: %d hits, %d entries\n" hits entries
+    end;
     result
   end
 

@@ -93,22 +93,35 @@ let build patterns =
     npat = List.length patterns;
   }
 
+(* The scan loops avoid two per-byte costs: bounds checks on the nested
+   delta lookup (state ids and bytes are in range by construction), and
+   the former [<> [||]] emptiness test, which compiled to a polymorphic
+   structural comparison per input byte — [Array.length] is one load. *)
+
 let search_mask_into t mask subject ~pos ~stop =
   let mark st = Array.iter (fun id -> mask.(id) <- true) t.out.(st) in
+  let delta = t.delta and out = t.out in
   let st = ref 0 in
   mark 0 (* empty patterns end at the root *);
   for i = pos to stop - 1 do
-    st := t.delta.(!st).(Char.code (String.unsafe_get subject i));
-    if t.out.(!st) <> [||] then mark !st
+    st :=
+      Array.unsafe_get
+        (Array.unsafe_get delta !st)
+        (Char.code (String.unsafe_get subject i));
+    if Array.length (Array.unsafe_get out !st) > 0 then mark !st
   done
 
 let search_hits_into t subject ~pos ~stop f =
   Array.iter (fun id -> f id pos) t.out.(0) (* empty patterns end at the root *);
+  let delta = t.delta and out = t.out in
   let st = ref 0 in
   for i = pos to stop - 1 do
-    st := t.delta.(!st).(Char.code (String.unsafe_get subject i));
-    let outs = t.out.(!st) in
-    if outs <> [||] then Array.iter (fun id -> f id i) outs
+    st :=
+      Array.unsafe_get
+        (Array.unsafe_get delta !st)
+        (Char.code (String.unsafe_get subject i));
+    let outs = Array.unsafe_get out !st in
+    if Array.length outs > 0 then Array.iter (fun id -> f id i) outs
   done
 
 let search_mask_range t subject ~pos ~stop =
@@ -131,11 +144,15 @@ let mem t subject =
   if t.npat = 0 then false
   else if t.out.(0) <> [||] then true
   else begin
+    let delta = t.delta and out = t.out in
     let st = ref 0 and i = ref 0 and len = String.length subject in
     let hit = ref false in
     while (not !hit) && !i < len do
-      st := t.delta.(!st).(Char.code subject.[!i]);
-      if t.out.(!st) <> [||] then hit := true;
+      st :=
+        Array.unsafe_get
+          (Array.unsafe_get delta !st)
+          (Char.code (String.unsafe_get subject !i));
+      if Array.length (Array.unsafe_get out !st) > 0 then hit := true;
       incr i
     done;
     !hit

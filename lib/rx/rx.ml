@@ -10,7 +10,35 @@ type t = {
      the pattern can match the empty string, which makes every offset a
      valid start), and whether every match starts at a line start. *)
   first_bytes : Bytes.t option;
+  (* [first_bytes] narrowed to a single byte when the FIRST set is a
+     singleton — the common fixed-literal-prefix case — letting the DFA
+     tier skip dead stretches with [String.index_from] (memchr) instead
+     of a byte-at-a-time table walk. *)
+  first_byte : char option;
+  (* Small set of literals such that every match starts with one of
+     them ([||] when none could be derived), each paired with the
+     offset of its rarest byte; the DFA tier's skip loop memchrs that
+     anchor byte and verifies the whole literal in place before
+     re-entering the state machine.  Usually a singleton (a fixed
+     literal prefix); leading alternations contribute one literal per
+     branch. *)
+  start_prefixes : (string * int) array;
   bol_only : bool;
+  (* Derived analyses, computed eagerly at compile time: [t] values are
+     shared across domains, so memoizing them lazily would need a lock
+     on every read — and the scanner wants them for every rule anyway. *)
+  req_literals : string list;
+  nl_budget : (int * int) option;
+  (* The lazy-DFA execution tier (see [Rx_dfa]): [None] when the
+     pattern needs features only the backtracker has (back-references,
+     counted repetitions beyond the expansion bound), when the compiled
+     program is too large to determinize profitably, or when
+     [PATCHITPY_RX_TIER=backtrack] forces the legacy engine.  The tier
+     decision is made at compile time so runtime semantics never hinge
+     on it: both tiers produce byte-identical matches. *)
+  dfa : Rx_dfa.static option;
+  (* Key for the per-domain transition-cache table. *)
+  uid : int;
 }
 
 (* First-byte analysis.  [go] accumulates into [set] every byte some
@@ -69,33 +97,121 @@ let rec bol_only_node = function
   | Rx_ast.Alt (_ :: _ as branches) -> List.for_all bol_only_node branches
   | _ -> false
 
-let compile source =
-  match Rx_parser.parse source with
-  | node, ngroups ->
-    {
-      source;
-      node;
-      ngroups;
-      first_bytes = start_info node;
-      bol_only = bol_only_node node;
-    }
-  | exception Rx_parser.Error (msg, pos) -> raise (Parse_error (msg, pos))
+(* Literal start set: a few strings such that every match must start
+   with one of them ([||] when none can be proven).  Zero-width
+   assertions contribute nothing and allow the walk to continue — they
+   constrain context, not the matched bytes.  A leading alternation
+   forks the walk, one literal per branch, so patterns like
+   [(?:requests\.(?:get|post)|urlopen)\(] — whose FIRST set spans
+   several bytes and whose common prefix is empty — still get a usable
+   skip.  The walk stops extending a branch at the first node that is
+   not an exact literal (class, repetition, back-reference) and gives
+   up entirely past [max_width] branches: more memchr lanes per skip
+   detour than that stops paying for itself.  Branches that share a
+   head byte collapse to their longest common prefix — two lanes
+   hunting the same byte would find every occurrence twice.  The DFA
+   tier's skip loop verifies one of these literals at every candidate
+   offset before waking the machine up, which is what makes FIRST-byte
+   hits inside unrelated words (the ['r'] of ["request"] against
+   [return\s+...]) nearly free. *)
+(* Relative byte frequency in Python-ish source text, 0..255 (measured
+   once over the evaluation corpus; only the ordering matters, and it
+   is stable across code corpora: whitespace and [e r t s a n o i] on
+   top, capitals, digits and most punctuation near the bottom; bytes
+   never seen rank rarest).  The skip loop memchrs the *rarest* byte of
+   a required literal rather than its first: hunting ['y'] instead of
+   ['o'] for ["os.system("] surfaces ~14x fewer false candidates, each
+   of which costs a verify detour. *)
+let byte_freq =
+  [|
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 70; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    255; 0; 49; 0; 0; 0; 0; 0; 33; 33; 0; 0; 12; 0; 20; 3;
+    4; 1; 0; 1; 2; 0; 2; 0; 0; 2; 15; 0; 0; 14; 2; 0;
+    2; 1; 0; 1; 1; 8; 5; 2; 0; 0; 0; 0; 1; 0; 3; 2;
+    1; 0; 1; 3; 2; 0; 3; 0; 0; 0; 0; 2; 0; 2; 0; 28;
+    0; 67; 5; 24; 30; 124; 29; 12; 13; 56; 2; 12; 40; 34; 63; 62;
+    43; 6; 94; 68; 74; 39; 3; 4; 4; 6; 0; 1; 0; 1; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+    0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+  |]
 
-let compile_opt source =
-  match compile source with
-  | t -> Ok t
-  | exception Parse_error (msg, pos) ->
-    Error (Printf.sprintf "at offset %d: %s" pos msg)
+let rarest_byte_offset p =
+  let best = ref 0 in
+  for j = 1 to String.length p - 1 do
+    if byte_freq.(Char.code p.[j]) < byte_freq.(Char.code p.[!best]) then
+      best := j
+  done;
+  !best
 
-let pattern t = t.source
-let group_count t = t.ngroups
+let start_prefixes_node node0 =
+  let max_len = 16 and max_width = 4 in
+  let exception Give_up in
+  (* [go buf nodes] = every literal a match of [Seq nodes] can start
+     with, each already prefixed by the fixed [buf]. *)
+  let rec go buf nodes =
+    if String.length buf >= max_len then [ buf ]
+    else
+      match nodes with
+      | [] -> [ buf ]
+      | n :: tl -> (
+        match n with
+        | Rx_ast.Char c -> go (buf ^ String.make 1 c) tl
+        | Rx_ast.Empty | Rx_ast.Bol | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb
+        | Rx_ast.Nwordb ->
+          go buf tl
+        | Rx_ast.Seq l -> go buf (l @ tl)
+        | Rx_ast.Group (_, inner) -> go buf (inner :: tl)
+        | Rx_ast.Alt branches ->
+          let all = List.concat_map (fun b -> go buf (b :: tl)) branches in
+          if List.length all > max_width then raise Give_up;
+          all
+        | Rx_ast.Class _ | Rx_ast.Any | Rx_ast.Rep _ | Rx_ast.Backref _ ->
+          [ buf ])
+  in
+  match go "" [ node0 ] with
+  | exception Give_up -> [||]
+  | raw ->
+    if List.exists (fun p -> String.length p = 0) raw then [||]
+    else begin
+      let lcp a b =
+        let n = min (String.length a) (String.length b) in
+        let i = ref 0 in
+        while !i < n && a.[!i] = b.[!i] do
+          incr i
+        done;
+        String.sub a 0 !i
+      in
+      let merged =
+        List.fold_left
+          (fun acc p ->
+            let rec ins = function
+              | [] -> [ p ]
+              | q :: rest -> if q.[0] = p.[0] then lcp p q :: rest else q :: ins rest
+            in
+            ins acc)
+          [] raw
+      in
+      (* The skip shape needs at least two bytes per lane to verify —
+         a one-byte literal is just the FIRST-byte memchr the engine
+         already has. *)
+      if List.exists (fun p -> String.length p < 2) merged then [||]
+      else
+        Array.of_list (List.map (fun p -> (p, rarest_byte_offset p)) merged)
+    end
 
 (* Derives the "required literal" prefilter: a set of strings such that
    any match must contain at least one of them.
    - a literal char run in a Seq is mandatory;
    - for Alt, every branch must contribute (the union is returned);
    - Rep with min = 0 and optional branches contribute nothing. *)
-let required_literals t =
+let derive_literals node0 =
   (* Longest mandatory literal of a node, or None when the node can match
      without any fixed literal.  [None] propagates up conservatively. *)
   let rec literals node : string list option =
@@ -160,7 +276,7 @@ let required_literals t =
     | [] -> 0
     | set -> List.fold_left (fun acc s -> min acc (String.length s)) max_int set
   in
-  match literals t.node with
+  match literals node0 with
   | Some set when List.for_all (fun s -> String.length s >= 2) set -> set
   | Some _ | None -> []
 
@@ -201,7 +317,7 @@ let rec whitespace_pure node =
    is finite and, on typical sources, small.  [None] means no finite
    budget exists (a back-reference, or an unbounded repetition that can
    consume non-whitespace newlines). *)
-let newline_budget t =
+let derive_newline_budget node0 =
   let cap = 1 lsl 20 (* keeps nested counted reps from overflowing *) in
   let rec go node =
     match node with
@@ -238,12 +354,193 @@ let newline_budget t =
       | None -> None)
     | Rx_ast.Backref _ -> None
   in
-  go t.node
+  go node0
+
+(* --- execution-tier selection -------------------------------------------- *)
+
+(* Beyond this many Pike instructions the DFA's per-state closures and
+   rows stop paying for themselves; such patterns stay on the
+   backtracker.  Also keeps interned state keys within 16 bits per pc. *)
+let max_dfa_program = 4096
+
+let backtrack_forced () =
+  match Sys.getenv_opt "PATCHITPY_RX_TIER" with
+  | Some "backtrack" -> true
+  | Some _ | None -> false
+
+(* Whether the pattern runs on the DFA tier, decided once at compile
+   time: patterns the Pike compiler cannot express (back-references,
+   oversized counted repetitions) fall back wholly to the backtracking
+   engine, as does anything the operator pins with
+   [PATCHITPY_RX_TIER=backtrack]. *)
+let build_dfa node =
+  if backtrack_forced () then None
+  else
+    match Rx_pike.compile node with
+    | exception Rx_pike.Unsupported _ -> None
+    | fwd ->
+      if Array.length fwd > max_dfa_program then None
+      else (
+        match Rx_pike.compile (Rx_dfa.reverse_node node) with
+        | exception Rx_pike.Unsupported _ -> None
+        | rev -> Some (Rx_dfa.build ~fwd ~rev))
+
+let uid_source = Atomic.make 0
+
+let single_first_byte = function
+  | None -> None
+  | Some fb ->
+    let found = ref '\000' and count = ref 0 in
+    for b = 0 to 255 do
+      if Bytes.get fb b <> '\000' then begin
+        incr count;
+        found := Char.chr b
+      end
+    done;
+    if !count = 1 then Some !found else None
+
+let compile_uncached source =
+  match Rx_parser.parse source with
+  | node, ngroups ->
+    let first_bytes = start_info node in
+    {
+      source;
+      node;
+      ngroups;
+      first_bytes;
+      first_byte = single_first_byte first_bytes;
+      start_prefixes = start_prefixes_node node;
+      bol_only = bol_only_node node;
+      req_literals = derive_literals node;
+      nl_budget = derive_newline_budget node;
+      dfa = build_dfa node;
+      uid = Atomic.fetch_and_add uid_source 1;
+    }
+  | exception Rx_parser.Error (msg, pos) -> raise (Parse_error (msg, pos))
+
+(* --- compile memo --------------------------------------------------------- *)
+
+(* Identical pattern sources compile once: [t] is immutable after
+   construction (the per-domain DFA caches live outside it), so one
+   value can safely be shared by every rule, domain and caller that
+   names the same source.  The catalog compiles dozens of rules whose
+   suppress/context patterns repeat, and the parallel compile path
+   previously re-derived every analysis per copy.  The key carries the
+   tier tag — the only compile-time "flag" in this dialect — so a
+   [PATCHITPY_RX_TIER] switch mid-process cannot alias entries.  Parse
+   errors are not cached (raising is cheap and rare). *)
+let compile_cache : (string, t) Hashtbl.t = Hashtbl.create 64
+let compile_cache_lock = Mutex.create ()
+let compile_cache_hits = Atomic.make 0
+
+let compile_cache_hits_counter =
+  Telemetry.Counter.make "rx_compile_cache_hits_total"
+
+let max_compile_cache_entries = 8192
+
+let compile source =
+  let key = if backtrack_forced () then "B\x00" ^ source else source in
+  let cached =
+    Mutex.protect compile_cache_lock (fun () ->
+        Hashtbl.find_opt compile_cache key)
+  in
+  match cached with
+  | Some t ->
+    Atomic.incr compile_cache_hits;
+    Telemetry.Counter.incr compile_cache_hits_counter;
+    t
+  | None ->
+    let t = compile_uncached source in
+    Mutex.protect compile_cache_lock (fun () ->
+        if Hashtbl.length compile_cache >= max_compile_cache_entries then
+          Hashtbl.reset compile_cache;
+        Hashtbl.replace compile_cache key t);
+    t
+
+let compile_cache_stats () =
+  ( Atomic.get compile_cache_hits,
+    Mutex.protect compile_cache_lock (fun () -> Hashtbl.length compile_cache) )
+
+let compile_opt source =
+  match compile source with
+  | t -> Ok t
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let pattern t = t.source
+let group_count t = t.ngroups
+let required_literals t = t.req_literals
+let start_literals t = Array.map fst t.start_prefixes
+let newline_budget t = t.nl_budget
 
 (* Purely static variant: finite only when no whitespace runs are
    involved (a run's newline count depends on the subject). *)
 let max_newlines t =
-  match newline_budget t with Some (f, 0) -> Some f | Some _ | None -> None
+  match t.nl_budget with Some (f, 0) -> Some f | Some _ | None -> None
+
+let tier t = match t.dfa with None -> `Backtrack | Some _ -> `Dfa
+
+let backtrack_tier t =
+  match t.dfa with
+  | None -> t
+  | Some _ -> { t with dfa = None; uid = Atomic.fetch_and_add uid_source 1 }
+
+(* --- per-domain DFA transition caches ------------------------------------- *)
+
+(* Transition caches are mutable and unsynchronized, so each domain owns
+   its own set, keyed by the pattern's [uid] — a compiled scanner shared
+   by several server workers grows one cache per (pattern, domain)
+   without any locking on the match path.  The one-slot memo in front of
+   the table serves the common shape of a scan: many consecutive
+   searches with the same rule. *)
+type dfa_slot = {
+  tbl : (int, Rx_dfa.cache) Hashtbl.t;
+  mutable last_uid : int;
+  mutable last_cache : Rx_dfa.cache option;
+}
+
+let max_domain_caches = 1024
+
+let dfa_slot : dfa_slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { tbl = Hashtbl.create 32; last_uid = -1; last_cache = None })
+
+let get_cache t st =
+  let slot = Domain.DLS.get dfa_slot in
+  if slot.last_uid = t.uid then
+    match slot.last_cache with Some c -> c | None -> assert false
+  else begin
+    let c =
+      match Hashtbl.find_opt slot.tbl t.uid with
+      | Some c -> c
+      | None ->
+        if Hashtbl.length slot.tbl >= max_domain_caches then
+          Hashtbl.reset slot.tbl;
+        let c = Rx_dfa.make_cache st in
+        Hashtbl.replace slot.tbl t.uid c;
+        c
+    in
+    slot.last_uid <- t.uid;
+    slot.last_cache <- Some c;
+    c
+  end
+
+let dfa_cache_clear t =
+  let slot = Domain.DLS.get dfa_slot in
+  Hashtbl.remove slot.tbl t.uid;
+  if slot.last_uid = t.uid then begin
+    slot.last_uid <- -1;
+    slot.last_cache <- None
+  end
+
+let dfa_shrink_cache t ~max_states =
+  match t.dfa with
+  | None -> invalid_arg "Rx.dfa_shrink_cache: pattern runs on the backtracker"
+  | Some st ->
+    let slot = Domain.DLS.get dfa_slot in
+    let c = Rx_dfa.make_cache ~max_states st in
+    Hashtbl.replace slot.tbl t.uid c;
+    if slot.last_uid = t.uid then slot.last_cache <- Some c
 
 type m = { subject : string; res : Rx_match.result; ngroups : int }
 
@@ -273,6 +570,9 @@ let budget_exhausted_counter = Telemetry.Counter.make "rx_budget_exhausted_total
 (* A deadline is a per-domain allowance of matcher steps shared by every
    search performed while it is installed — the deterministic cost unit
    the profile subsystem established, reused as a request-level budget.
+   On the backtracking tier a step is one backtracker tick; on the DFA
+   tier it is one scanned byte — both are charged through the same
+   accumulator, so a request's allowance spans searches on either tier.
    Enforcement piggybacks on the per-attempt budget check: each search
    runs with an absolute cap on its step accumulator
    ([Rx_match.match_at ?cap]), so a request that burns its allowance
@@ -341,16 +641,86 @@ let guarded ?steps_acc (run : ?cap:int -> ?steps_acc:int ref -> unit -> 'a) =
         raise (Budget_exceeded msg)
       end)
 
+(* --- tiered search dispatch ----------------------------------------------- *)
+
+let exec_dfa_counter = Telemetry.Counter.make "rx_exec_dfa_total"
+let exec_backtrack_counter = Telemetry.Counter.make "rx_exec_backtrack_total"
+let dfa_fallback_counter = Telemetry.Counter.make "rx_dfa_fallback_total"
+let dfa_confirm_counter = Telemetry.Counter.make "rx_dfa_confirm_total"
+
+let bt_search ?cap ?steps_acc ?limit t subject pos =
+  Rx_match.search ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
+    ~bol_only:t.bol_only t.node t.ngroups subject pos
+
+(* DFA tier: one linear forward pass finds the match end, a backward
+   pass pins the leftmost start, and only then does the backtracker run
+   once, anchored at that start, to produce the authoritative spans and
+   capture groups — byte-identical to a backtracker-only search, which
+   would have found its first (hence identical) match at the same
+   start.  [Rx_dfa.Bail] (cache thrash) and any forward/confirm
+   disagreement fall back to the legacy search wholesale. *)
+let tier_search ?cap ?steps_acc ?limit t subject pos =
+  match t.dfa with
+  | None ->
+    Telemetry.Counter.incr exec_backtrack_counter;
+    bt_search ?cap ?steps_acc ?limit t subject pos
+  | Some st -> (
+    Telemetry.Counter.incr exec_dfa_counter;
+    let cache = get_cache t st in
+    match
+      Rx_dfa.search cache ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
+        ?first_byte:t.first_byte ~prefixes:t.start_prefixes
+        ~bol_only:t.bol_only subject pos
+    with
+    | exception Rx_dfa.Bail ->
+      Telemetry.Counter.incr dfa_fallback_counter;
+      bt_search ?cap ?steps_acc ?limit t subject pos
+    | None -> None
+    | Some (s, e) ->
+      if t.ngroups = 0 then
+        (* No captures to extract, and (s, e) already is the
+           leftmost-first span: the forward pass records the last match
+           flag under prune-after-match with start injection stopped,
+           which is exactly the end the backtracker's priority order
+           prefers.  The differential suite checks this equivalence on
+           every pattern it generates. *)
+        Some
+          { Rx_match.m_start = s; m_stop = e; m_groups = Array.make 1 None }
+      else begin
+        Telemetry.Counter.incr dfa_confirm_counter;
+        match Rx_match.match_at ?cap ?steps_acc t.node t.ngroups subject s with
+        | Some _ as r -> r
+        | None ->
+          (* impossible by construction; never let an engine bug change
+             results — re-run the whole search on the legacy tier *)
+          Telemetry.Counter.incr dfa_fallback_counter;
+          bt_search ?cap ?steps_acc ?limit t subject pos
+      end)
+
 let exec ?(pos = 0) ?limit t subject =
   guarded (fun ?cap ?steps_acc () ->
-      match
-        Rx_match.search ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
-          ~bol_only:t.bol_only t.node t.ngroups subject pos
-      with
+      match tier_search ?cap ?steps_acc ?limit t subject pos with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })
 
-let matches t subject = exec t subject <> None
+let matches t subject =
+  match t.dfa with
+  | None -> exec t subject <> None
+  | Some st ->
+    (* boolean query: forward pass only, stopping at the first match
+       flag — no backward pass, no capture confirmation *)
+    guarded (fun ?cap ?steps_acc () ->
+        Telemetry.Counter.incr exec_dfa_counter;
+        let cache = get_cache t st in
+        match
+          Rx_dfa.is_match cache ?cap ?steps_acc ?first_bytes:t.first_bytes
+            ?first_byte:t.first_byte ~prefixes:t.start_prefixes
+            ~bol_only:t.bol_only subject 0
+        with
+        | exception Rx_dfa.Bail ->
+          Telemetry.Counter.incr dfa_fallback_counter;
+          bt_search ?cap ?steps_acc t subject 0 <> None
+        | found -> found)
 
 exception Unsupported_linear of string
 
@@ -404,11 +774,7 @@ let search_steps_histogram = Telemetry.Histogram.make "rx_search_steps"
 let exec_steps ?(pos = 0) ?limit t subject ~steps =
   guarded ~steps_acc:steps (fun ?cap ?steps_acc () ->
       let steps = match steps_acc with Some acc -> acc | None -> steps in
-      match
-        Rx_match.search ?cap ~steps_acc:steps ?limit
-          ?first_bytes:t.first_bytes ~bol_only:t.bol_only t.node t.ngroups
-          subject pos
-      with
+      match tier_search ?cap ~steps_acc:steps ?limit t subject pos with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })
 

@@ -18,9 +18,22 @@
       ([*?] etc.).  A [{] that does not parse as a quantifier is a literal
       brace, which keeps patterns over Python dict syntax readable.
 
-    Matching is backtracking with a step budget; exceeding the budget
-    raises {!Budget_exceeded} (it indicates a pathological rule, never a
-    pathological subject in this codebase). *)
+    {2 Execution tiers}
+
+    Most patterns execute on a lazy DFA ({!Rx_dfa}): a linear forward
+    pass answers match/no-match and locates the match span, and only
+    confirmed spans are re-run through the backtracker to extract
+    capture groups — results are byte-identical to the backtracker,
+    without its budget exposure on the hot path.  Patterns the DFA
+    cannot express (back-references, counted repetitions beyond the
+    expansion bound, oversized programs) are detected at {!compile}
+    time and run wholly on the backtracking engine; setting the
+    environment variable [PATCHITPY_RX_TIER=backtrack] forces that
+    engine for every pattern compiled afterwards (the escape hatch for
+    suspected tier bugs).  Backtracking execution keeps its step
+    budget; exceeding it raises {!Budget_exceeded} (it indicates a
+    pathological rule, never a pathological subject in this
+    codebase). *)
 
 type t
 (** A compiled pattern. *)
@@ -38,8 +51,49 @@ val compile : string -> t
 val compile_opt : string -> (t, string) result
 (** Like {!compile} but returning an error message instead of raising. *)
 
+val compile_cache_stats : unit -> int * int
+(** [(hits, entries)] of the process-wide compile memo: {!compile}
+    returns the already-compiled [t] when the same source (under the
+    same forced-tier setting) was compiled before.  Hits are also
+    counted in the ["rx_compile_cache_hits_total"] telemetry counter;
+    this accessor exists because catalog compilation happens at module
+    initialisation, before any telemetry sink is installed. *)
+
+val tier : t -> [ `Dfa | `Backtrack ]
+(** Which engine executes this pattern — decided at {!compile} time,
+    never at match time. *)
+
+val backtrack_tier : t -> t
+(** A copy of [t] pinned to the backtracking engine.  Matching
+    behaviour is identical by construction; differential tests use the
+    pinned copy as the reference implementation. *)
+
+val dfa_cache_clear : t -> unit
+(** Drops the calling domain's DFA transition cache for [t], forcing
+    the next search to re-materialize states.  Benchmarks use it to
+    measure cache-cold cost; it is never needed for correctness. *)
+
+val dfa_shrink_cache : t -> max_states:int -> unit
+(** Replaces the calling domain's DFA transition cache for [t] with one
+    bounded to [max_states] interned states per direction, so tests can
+    force the clear-and-restart overflow path on ordinary patterns.
+    Matching results are unaffected by construction — that is the
+    property the stress tests check.
+    @raise Invalid_argument when [t] runs on the backtracker, or when
+    [max_states < 2]. *)
+
 val pattern : t -> string
 (** The source text the pattern was compiled from. *)
+
+val start_literals : t -> string array
+(** The compile-time start-literal analysis: when non-empty, every
+    match of the pattern starts with one of these literals (each at
+    least two bytes), and the DFA tier's skip loop hunts for them with
+    memchr-plus-verify instead of walking transition tables.  Usually a
+    singleton (a fixed literal prefix); a leading alternation
+    contributes one literal per branch.  [[||]] means the analysis
+    found no usable set and matching falls back to FIRST-byte skips.
+    Exposed so tests can pin the derivation on known patterns. *)
 
 val required_literals : t -> string list
 (** A prefilter: when non-empty, every match of the pattern contains at

@@ -101,15 +101,19 @@ let match_at ?(budget = default_budget) ?(cap = max_int) ?steps_acc node
         (within count
         && run inner pos (fun pos' ->
                (* Zero-width progress guard: stop expanding when the body
-                  matched the empty string, which would loop forever. *)
-               if pos' = pos then count + 1 >= min && k pos'
+                  matched the empty string, which would loop forever.  An
+                  empty iteration also satisfies any outstanding [min]:
+                  the body just matched empty here, so every remaining
+                  mandatory copy can too — Python's "attempt an empty
+                  repetition once" rule. *)
+               if pos' = pos then k pos'
                else go (count + 1) pos' k))
         || (count >= min && k pos)
       | Rx_ast.Lazy ->
         (count >= min && k pos)
         || within count
            && run inner pos (fun pos' ->
-                  if pos' = pos then false else go (count + 1) pos' k)
+                  if pos' = pos then k pos' else go (count + 1) pos' k)
     in
     go 0 pos k
   in

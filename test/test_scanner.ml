@@ -228,11 +228,15 @@ let test_selection_splits_multiline_match () =
 
 let test_budget_warning_surfaces () =
   (* Nested quantifiers over a long non-matching tail: classic
-     exponential backtracking, guaranteed to blow the step budget. *)
+     exponential backtracking, guaranteed to blow the step budget.  The
+     DFA tier runs this pattern in linear time without tripping any
+     budget, so the rule is pinned to the backtracking engine — the
+     warning path under test is a backtrack-tier behaviour. *)
   let rule =
     Rule.make ~id:"TEST-BOOM" ~title:"pathological pattern" ~cwe:1
       ~severity:Rule.Low ~pattern:{|(a+)+$|} ~note:"test only" ()
   in
+  let rule = { rule with Rule.pattern = Rx.backtrack_tier rule.Rule.pattern } in
   let scanner = Scanner.compile [ rule ] in
   let src = String.make 64 'a' ^ "b" in
   let findings, warnings = Scanner.scan_with_warnings scanner src in
