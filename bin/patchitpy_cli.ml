@@ -81,8 +81,8 @@ let lang_arg =
                  $(b,js) (the JavaScript pack).")
 
 let rules_for = function
-  | `Python -> Patchitpy.Catalog.all
-  | `Js -> Patchitpy.Catalog.javascript
+  | `Python -> Patchitpy.(Catalog.all ())
+  | `Js -> Patchitpy.(Catalog.javascript ())
 
 let json_arg =
   Arg.(value & flag
@@ -145,6 +145,50 @@ let filter_rules rules ~only ~exclude =
     (fun (r : Patchitpy.Rule.t) -> not (List.mem r.Patchitpy.Rule.id exclude))
     rules
 
+(* --- rule packs ----------------------------------------------------------- *)
+
+let rule_pack_arg =
+  Arg.(value & opt (some file) None
+       & info [ "rule-pack" ] ~docv:"FILE"
+           ~doc:"Load the compiled scan plan from a binary rule pack built \
+                 by $(b,rules pack), skipping catalog compilation at \
+                 startup.  Incompatible with \
+                 $(b,--rules-file)/$(b,--only)/$(b,--exclude), which edit \
+                 the rule set and therefore need rule sources.")
+
+let load_pack_or_die path =
+  match Rulepack.load ~path with
+  | Ok pack -> pack
+  | Error e ->
+    Printf.eprintf "error: %s: %s\n" path (Rulepack.error_to_string e);
+    exit 2
+
+(* Resolves the scan plan a command runs with: a loaded pack when
+   --rule-pack was given, source-compiled rules otherwise.  A pack
+   stores compiled plans, not an editable rule list, so the flags that
+   change the rule set conflict with it. *)
+let resolve_scanner ?(rules_file = None) ?(only = []) ?(exclude = []) ~lang
+    rule_pack =
+  match rule_pack with
+  | None ->
+    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
+    (Patchitpy.Scanner.compile rules, None)
+  | Some path ->
+    if rules_file <> None || only <> [] || exclude <> [] then begin
+      prerr_endline
+        "error: --rule-pack cannot be combined with \
+         --rules-file/--only/--exclude (a pack stores compiled plans, not \
+         an editable rule list)";
+      exit 2
+    end;
+    let pack = load_pack_or_die path in
+    (Rulepack.scanner pack lang, Some pack)
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      in_channel_length ic)
+
 let lines_arg =
   let range =
     let parse s =
@@ -166,11 +210,12 @@ let lines_arg =
 let scan_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
   let run files lang json sarif rules_file min_severity lines only exclude
-      stats trace =
-    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
-    (* One compiled scan plan for the whole invocation, shared by every
-       scanned file. *)
-    let scanner = Patchitpy.Scanner.compile rules in
+      rule_pack stats trace =
+    (* One scan plan for the whole invocation, shared by every scanned
+       file: compiled from the rule set, or decoded from a pack. *)
+    let scanner, _pack =
+      resolve_scanner ~rules_file ~only ~exclude ~lang rule_pack
+    in
     let total = ref 0 in
     let scans =
       with_telemetry ~stats ~trace @@ fun () ->
@@ -200,7 +245,7 @@ let scan_cmd =
     in
     if sarif then
       print_endline
-        (Patchitpy.Jsonout.to_sarif ~rules
+        (Patchitpy.Jsonout.to_sarif ~rules:(Patchitpy.Scanner.rules scanner)
            (List.map (fun (p, _, f, _) -> (p, f)) scans))
     else
       List.iter
@@ -228,8 +273,8 @@ let scan_cmd =
   in
   Cmd.v (Cmd.info "scan" ~doc)
     Term.(const run $ files $ lang_arg $ json_arg $ sarif_arg $ rules_file_arg
-          $ min_severity_arg $ lines_arg $ only_arg $ exclude_arg $ stats_arg
-          $ trace_arg)
+          $ min_severity_arg $ lines_arg $ only_arg $ exclude_arg
+          $ rule_pack_arg $ stats_arg $ trace_arg)
 
 (* --- patch --------------------------------------------------------------- *)
 
@@ -253,7 +298,7 @@ let patch_cmd =
                    consumable by patch(1) or git apply (single input only).")
   in
   let run files in_place output diff_only lang json rules_file only exclude
-      patch_file stats trace =
+      patch_file rule_pack stats trace =
     let files = List.concat_map (collect_sources lang) files in
     (* -o and --patch-file name one output; with several inputs the later
        files would silently overwrite the earlier ones' results. *)
@@ -263,10 +308,11 @@ let patch_cmd =
          --in-place for batches";
       exit 2
     end;
-    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
-    (* One compiled scan plan for the whole batch, like scan: plan
-       compilation dominates per-file work on small files. *)
-    let scanner = Patchitpy.Scanner.compile rules in
+    (* One scan plan for the whole batch, like scan: plan compilation
+       dominates per-file work on small files. *)
+    let scanner, _pack =
+      resolve_scanner ~rules_file ~only ~exclude ~lang rule_pack
+    in
     with_telemetry ~stats ~trace @@ fun () ->
     List.iter
       (fun file ->
@@ -309,7 +355,7 @@ let patch_cmd =
   Cmd.v (Cmd.info "patch" ~doc)
     Term.(const run $ files $ in_place $ output $ diff_only $ lang_arg
           $ json_arg $ rules_file_arg $ only_arg $ exclude_arg $ patch_file_arg
-          $ stats_arg $ trace_arg)
+          $ rule_pack_arg $ stats_arg $ trace_arg)
 
 (* --- serve --------------------------------------------------------------- *)
 
@@ -341,7 +387,8 @@ let serve_cmd =
              ~doc:"On SIGTERM/SIGINT, wait up to $(docv) seconds for \
                    in-flight requests before exiting (default 10).")
   in
-  let run socket jobs queue drain_timeout lang rules_file only exclude =
+  let run socket jobs queue drain_timeout lang rules_file only exclude
+      rule_pack =
     if jobs < 1 then begin
       prerr_endline "error: --jobs must be >= 1";
       exit 2
@@ -350,10 +397,18 @@ let serve_cmd =
       prerr_endline "error: --queue must be >= 1";
       exit 2
     end;
-    let rules = filter_rules (effective_rules lang rules_file) ~only ~exclude in
-    let scanner = Patchitpy.Scanner.compile rules in
+    let scanner, pack =
+      resolve_scanner ~rules_file ~only ~exclude ~lang rule_pack
+    in
+    (* Workers share the one plan; health replies carry the pack's
+       identity so clients can tell which rules the daemon runs. *)
+    let pack =
+      Option.map
+        (fun (p : Rulepack.t) -> (p.Rulepack.version, p.Rulepack.catalog_hash))
+        pack
+    in
     exit
-      (Server.Serve.run ~scanner
+      (Server.Serve.run ?pack ~scanner
          { Server.Serve.socket; jobs; queue_capacity = queue; drain_timeout })
   in
   let doc =
@@ -364,11 +419,11 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket $ jobs $ queue $ drain_timeout $ lang_arg
-          $ rules_file_arg $ only_arg $ exclude_arg)
+          $ rules_file_arg $ only_arg $ exclude_arg $ rule_pack_arg)
 
 (* --- rules --------------------------------------------------------------- *)
 
-let rules_cmd =
+let rules_list_term =
   let cwe =
     Arg.(value & opt (some int) None
          & info [ "cwe" ] ~docv:"N" ~doc:"Only rules for CWE-$(docv).")
@@ -377,14 +432,29 @@ let rules_cmd =
     Arg.(value & flag
          & info [ "markdown" ] ~doc:"Render the catalog as Markdown (docs/RULES.md).")
   in
-  let run cwe markdown lang =
+  let run cwe markdown json lang =
     let rules =
       match (lang, cwe) with
-      | `Js, _ -> Patchitpy.Catalog.javascript
+      | `Js, _ -> Patchitpy.(Catalog.javascript ())
       | `Python, Some c -> Patchitpy.Catalog.by_cwe c
-      | `Python, None -> Patchitpy.Catalog.all
+      | `Python, None -> Patchitpy.(Catalog.all ())
     in
-    if markdown then
+    if json then
+      print_endline
+        ("["
+        ^ String.concat ","
+            (List.map
+               (fun (r : Patchitpy.Rule.t) ->
+                 Printf.sprintf
+                   "{\"id\":\"%s\",\"title\":\"%s\",\"cwe\":%d,\"severity\":\"%s\",\"fixable\":%b}"
+                   (Patchitpy.Jsonout.escape_string r.Patchitpy.Rule.id)
+                   (Patchitpy.Jsonout.escape_string r.title)
+                   r.cwe
+                   (Patchitpy.Rule.severity_to_string r.severity)
+                   (Patchitpy.Rule.fixable r))
+               rules)
+        ^ "]")
+    else if markdown then
       print_string
         (Patchitpy.Report.catalog_markdown
            ~title:(match lang with
@@ -397,8 +467,70 @@ let rules_cmd =
         (List.length (List.filter Patchitpy.Rule.fixable rules))
     end
   in
-  let doc = "List the detection/patching rule catalog." in
-  Cmd.v (Cmd.info "rules" ~doc) Term.(const run $ cwe $ markdown $ lang_arg)
+  Term.(const run $ cwe $ markdown $ json_arg $ lang_arg)
+
+let rules_pack_cmd =
+  let output =
+    Arg.(value & opt string "patchitpy.pack"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the pack (default patchitpy.pack).")
+  in
+  let run output =
+    (* [create] compiles the catalog and validates every rewrite
+       program, so a malformed rule fails here, not at patch time. *)
+    let pack = Rulepack.create () in
+    Rulepack.save ~path:output pack;
+    Printf.printf "wrote %s: %d bytes, format v%d, catalog %s\n" output
+      (file_size output) pack.Rulepack.version pack.Rulepack.catalog_hash
+  in
+  let doc =
+    "Compile the full rule catalog (Python and JavaScript) into a \
+     versioned binary pack for $(b,--rule-pack) / $(b,PATCHITPY_RULE_PACK)."
+  in
+  Cmd.v (Cmd.info "pack" ~doc) Term.(const run $ output)
+
+let rules_inspect_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PACK")
+  in
+  let run file json =
+    let pack = load_pack_or_die file in
+    let count lang =
+      List.length (Patchitpy.Scanner.rules (Rulepack.scanner pack lang))
+    in
+    let python = count `Python and js = count `Js in
+    let catalog_matches =
+      match Rulepack.verify_catalog pack with Ok () -> true | Error _ -> false
+    in
+    if json then
+      Printf.printf
+        "{\"file\":\"%s\",\"bytes\":%d,\"formatVersion\":%d,\"catalogHash\":\"%s\",\"pythonRules\":%d,\"jsRules\":%d,\"matchesThisBuild\":%b}\n"
+        (Patchitpy.Jsonout.escape_string file)
+        (file_size file) pack.Rulepack.version pack.Rulepack.catalog_hash
+        python js catalog_matches
+    else begin
+      Printf.printf "%s: %d bytes\n" file (file_size file);
+      Printf.printf "format version: %d\n" pack.Rulepack.version;
+      Printf.printf "catalog: %s (%s)\n" pack.Rulepack.catalog_hash
+        (if catalog_matches then "matches this build"
+         else "DOES NOT match this build's catalog");
+      Printf.printf "rules: %d python, %d javascript\n" python js
+    end;
+    if not catalog_matches then exit 1
+  in
+  let doc =
+    "Validate a rule pack (magic, version, checksum, structure) and print \
+     its identity and rule counts.  Exits 1 when the pack was built from \
+     a different catalog than this binary's."
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file $ json_arg)
+
+let rules_cmd =
+  let doc = "List, pack or inspect the detection/patching rule catalog." in
+  let list_doc = "List the detection/patching rule catalog." in
+  Cmd.group ~default:rules_list_term (Cmd.info "rules" ~doc)
+    [ Cmd.v (Cmd.info "list" ~doc:list_doc) rules_list_term;
+      rules_pack_cmd; rules_inspect_cmd ]
 
 (* --- derive -------------------------------------------------------------- *)
 
@@ -543,6 +675,10 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc) Term.(const run $ jobs_arg)
 
 let () =
+  (* PATCHITPY_RULE_PACK: processes that only use the default engine
+     entry points (profile, library embedders) get pack-fast startup
+     without a flag. *)
+  Rulepack.use_env_pack ();
   let doc = "pattern-based vulnerability detection and patching for Python" in
   let info = Cmd.info "patchitpy" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info

@@ -64,7 +64,7 @@ let () =
   Printf.printf "\nloaded %d custom rule(s)\n" (List.length custom);
 
   (* Step 4: scan and patch new code with catalog + custom rules. *)
-  let rules = Patchitpy.Catalog.all @ custom in
+  let rules = Patchitpy.(Catalog.all ()) @ custom in
   let target =
     "import acme_http\n\n\
      def sync_inventory(feed):\n\

@@ -60,3 +60,25 @@ val search_hits_into :
 val mem : t -> string -> bool
 (** [mem t subject] is [true] iff any pattern occurs in [subject].
     Short-circuits on the first hit. *)
+
+(** {1 Binary codec}
+
+    Serialization for rule packs.  The wire form is the pattern trie —
+    a few kilobytes of (byte, child) edges — not the expanded
+    transition table; {!read} re-runs the same breadth-first squash
+    {!build} uses, so loading costs one table allocation and a blit
+    pass.  {!read} validates that the edges form a tree rooted at
+    state 0 and bounds-checks every index, raising {!Binio.Corrupt} /
+    {!Binio.Truncated} on malformed input; beyond that any tree is a
+    valid automaton, and the search loops mask every fetched state id
+    into the table's range — adversarial bytes can mis-transition but
+    never read out of bounds.  Content integrity is the containing
+    pack's checksum's job. *)
+
+val write : Buffer.t -> t -> unit
+(** Appends the serialized automaton. *)
+
+val read : Binio.r -> t
+(** Decodes an automaton written by {!write}.
+    @raise Binio.Corrupt on structurally invalid input.
+    @raise Binio.Truncated if the input ends early. *)

@@ -1,0 +1,120 @@
+/* XXH64 (xxHash, public-domain algorithm) over an OCaml string slice.
+ *
+ * Rule packs checksum their whole payload on every load, so the hash
+ * sits on the cold-start critical path: a few hundred kilobytes must
+ * verify in tens of microseconds.  Pure-OCaml 16-bit-word loops top
+ * out around 3 GB/s without flambda; this stub runs at memory speed.
+ *
+ * Reads are little-endian per the XXH64 spec (memcpy + bswap on
+ * big-endian hosts) so packs verify identically across endianness.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <stdint.h>
+#include <string.h>
+
+#define P1 11400714785074694791ULL
+#define P2 14029467366897019727ULL
+#define P3 1609587929392839161ULL
+#define P4 9650029242287828579ULL
+#define P5 2870177450012600261ULL
+
+static inline uint64_t rotl64(uint64_t x, int r)
+{
+  return (x << r) | (x >> (64 - r));
+}
+
+static inline uint64_t read64le(const unsigned char *p)
+{
+  uint64_t v;
+  memcpy(&v, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+static inline uint32_t read32le(const unsigned char *p)
+{
+  uint32_t v;
+  memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
+static inline uint64_t xxh_round(uint64_t acc, uint64_t input)
+{
+  acc += input * P2;
+  acc = rotl64(acc, 31);
+  return acc * P1;
+}
+
+static inline uint64_t xxh_merge(uint64_t acc, uint64_t val)
+{
+  acc ^= xxh_round(0, val);
+  return acc * P1 + P4;
+}
+
+static uint64_t xxh64(const unsigned char *p, size_t len)
+{
+  const unsigned char *end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    const unsigned char *limit = end - 32;
+    uint64_t v1 = P1 + P2;
+    uint64_t v2 = P2;
+    uint64_t v3 = 0;
+    uint64_t v4 = 0 - P1;
+    do {
+      v1 = xxh_round(v1, read64le(p)); p += 8;
+      v2 = xxh_round(v2, read64le(p)); p += 8;
+      v3 = xxh_round(v3, read64le(p)); p += 8;
+      v4 = xxh_round(v4, read64le(p)); p += 8;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = xxh_merge(h, v1);
+    h = xxh_merge(h, v2);
+    h = xxh_merge(h, v3);
+    h = xxh_merge(h, v4);
+  } else {
+    h = P5;
+  }
+
+  h += (uint64_t)len;
+
+  while (p + 8 <= end) {
+    h ^= xxh_round(0, read64le(p));
+    h = rotl64(h, 27) * P1 + P4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= (uint64_t)read32le(p) * P1;
+    h = rotl64(h, 23) * P2 + P3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (uint64_t)(*p) * P5;
+    h = rotl64(h, 11) * P1;
+    p++;
+  }
+
+  h ^= h >> 33;
+  h *= P2;
+  h ^= h >> 29;
+  h *= P3;
+  h ^= h >> 32;
+  return h;
+}
+
+CAMLprim value binio_xxh64_stub(value vs, value vpos, value vlen)
+{
+  CAMLparam1(vs);
+  const unsigned char *base = (const unsigned char *)String_val(vs);
+  uint64_t h = xxh64(base + Long_val(vpos), (size_t)Long_val(vlen));
+  CAMLreturn(caml_copy_int64((int64_t)h));
+}

@@ -27,7 +27,7 @@ let a1_suppression () =
     Patchitpy.Scanner.compile
       (List.map
          (fun r -> { r with Patchitpy.Rule.suppress = None })
-         Patchitpy.Catalog.all)
+         Patchitpy.(Catalog.all ()))
   in
   let full = overall_confusion Patchitpy.Engine.is_vulnerable in
   let without =
@@ -94,7 +94,7 @@ let a4_rule_sweep () =
     (fun n ->
       let scanner =
         Patchitpy.Scanner.compile
-          (List.filteri (fun i _ -> i < n) Patchitpy.Catalog.all)
+          (List.filteri (fun i _ -> i < n) Patchitpy.(Catalog.all ()))
       in
       let cm = overall_confusion (Patchitpy.Scanner.is_vulnerable scanner) in
       (n, C.recall cm, C.precision cm))

@@ -21,7 +21,7 @@ let compile_rules_parallel ?jobs rules =
   Patchitpy.Scanner.compile ~meta rules
 
 let compile_catalog_parallel ?jobs () =
-  compile_rules_parallel ?jobs Patchitpy.Catalog.all
+  compile_rules_parallel ?jobs Patchitpy.(Catalog.all ())
 
 let prompt_stats () =
   let toks = List.map float_of_int (Corpus.prompt_token_counts ()) in

@@ -31,7 +31,7 @@ let run ?jobs ?limit ?(patch = false) () =
     | None -> samples
     | Some n -> List.filteri (fun i _ -> i < n) samples
   in
-  let scanner = Patchitpy.Scanner.compile Patchitpy.Catalog.all in
+  let scanner = Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()) in
   let sink = Telemetry.create () in
   Telemetry.with_sink sink (fun () ->
       ignore

@@ -1,36 +1,51 @@
-let all =
-  Catalog_injection.rules @ Catalog_crypto.rules @ Catalog_misconfig.rules
-  @ Catalog_access.rules @ Catalog_integrity.rules @ Catalog_disclosure.rules
+(* The catalog compiles lazily: forcing [all] (or [javascript]) is what
+   runs [Rule.make] over the per-category rule lists, so a process that
+   gets its scanner from a rule pack never pays for source compilation.
+   The sanity checks run inside the same force — violations are
+   programming errors and surface the first time the catalog is
+   actually used (every test forces it). *)
 
-let () =
-  (* Catalog sanity: ids unique.  Violations are programming errors. *)
-  let seen = Hashtbl.create 128 in
-  List.iter
-    (fun (r : Rule.t) ->
-      if Hashtbl.mem seen r.Rule.id then
-        invalid_arg (Printf.sprintf "duplicate rule id %s" r.Rule.id);
-      Hashtbl.replace seen r.Rule.id ())
-    all
+let all_compiled =
+  lazy
+    (let all =
+       Catalog_injection.rules () @ Catalog_crypto.rules ()
+       @ Catalog_misconfig.rules () @ Catalog_access.rules ()
+       @ Catalog_integrity.rules () @ Catalog_disclosure.rules ()
+     in
+     (* Catalog sanity: ids unique. *)
+     let seen = Hashtbl.create 128 in
+     List.iter
+       (fun (r : Rule.t) ->
+         if Hashtbl.mem seen r.Rule.id then
+           invalid_arg (Printf.sprintf "duplicate rule id %s" r.Rule.id);
+         Hashtbl.replace seen r.Rule.id ())
+       all;
+     all)
 
-let count = List.length all
+let all () = Lazy.force all_compiled
 
-let find id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) all
+let count () = List.length (all ())
 
-let by_owasp cat = List.filter (fun r -> Rule.owasp r = Some cat) all
+let find id = List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) (all ())
 
-let by_cwe cwe = List.filter (fun (r : Rule.t) -> r.Rule.cwe = cwe) all
+let by_owasp cat = List.filter (fun r -> Rule.owasp r = Some cat) (all ())
 
-let covered_cwes =
-  List.sort_uniq compare (List.map (fun (r : Rule.t) -> r.Rule.cwe) all)
+let by_cwe cwe = List.filter (fun (r : Rule.t) -> r.Rule.cwe = cwe) (all ())
 
-let fixable_count = List.length (List.filter Rule.fixable all)
+let covered_cwes () =
+  List.sort_uniq compare (List.map (fun (r : Rule.t) -> r.Rule.cwe) (all ()))
 
-let javascript = Catalog_js.rules
+let fixable_count () = List.length (List.filter Rule.fixable (all ()))
 
-let () =
-  (* id namespaces must not collide *)
-  List.iter
-    (fun (r : Rule.t) ->
-      if find r.Rule.id <> None then
-        invalid_arg (Printf.sprintf "JS rule id %s collides" r.Rule.id))
-    javascript
+let js_compiled =
+  lazy
+    (let js = Catalog_js.rules () in
+     (* id namespaces must not collide *)
+     List.iter
+       (fun (r : Rule.t) ->
+         if find r.Rule.id <> None then
+           invalid_arg (Printf.sprintf "JS rule id %s collides" r.Rule.id))
+       js;
+     js)
+
+let javascript () = Lazy.force js_compiled

@@ -2,13 +2,17 @@
 
     The paper's tool executes 85 detection rules, each carrying its
     remediation; this module concatenates the per-category catalogs and
-    offers lookups.  The catalog is validated at load time: ids must be
-    unique and patterns compiled (compilation happens in {!Rule.make}). *)
+    offers lookups.  Compilation is lazy: the first call to {!all} (or
+    {!javascript}) runs {!Rule.make} over every declaration — id
+    uniqueness is validated in the same step — and later calls share
+    the result.  Laziness is what lets a process whose scanner comes
+    from a rule pack start without compiling a single source
+    pattern. *)
 
-val all : Rule.t list
+val all : unit -> Rule.t list
 (** All rules, in id order.  Length is 85, as in the paper (§II-A). *)
 
-val count : int
+val count : unit -> int
 
 val find : string -> Rule.t option
 (** Lookup by rule id, e.g. ["PIT-045"]. *)
@@ -17,13 +21,13 @@ val by_owasp : Owasp.category -> Rule.t list
 
 val by_cwe : int -> Rule.t list
 
-val covered_cwes : int list
+val covered_cwes : unit -> int list
 (** Distinct CWEs the rules detect, ascending. *)
 
-val fixable_count : int
+val fixable_count : unit -> int
 (** Number of rules that carry an automatic fix. *)
 
-val javascript : Rule.t list
+val javascript : unit -> Rule.t list
 (** The JavaScript rule pack — the paper's "support other programming
     languages" future work.  Not part of {!all} (the Python tool runs
     exactly 85 rules); pass it to [Engine.scan ~rules]. *)

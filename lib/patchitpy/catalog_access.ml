@@ -4,18 +4,23 @@
 
 let r = Rule.make
 
-let rules =
+let compiled =
+  lazy
   [
     r ~id:"PIT-061" ~title:"File opened from raw request data"
       ~cwe:22 ~severity:Rule.High
       ~pattern:{|open\(\s*(request\.[\w.\[\]'"()]+)\s*[,)]|}
       ~suppress:{|secure_filename|basename|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let arg = Option.value (Rx.group m 1) ~default:"" in
-          let matched = Rx.matched m in
-          let tail = String.sub matched (String.length matched - 1) 1 in
-          Printf.sprintf "open(secure_filename(%s)%s" arg
-            (if tail = ")" then ")" else ",")))
+      ~fix:
+        (Rule.Rewrite
+           Rewrite.
+             [ Lit "open(secure_filename(";
+               Str (Grp 1, []);
+               Lit ")";
+               Cond
+                 ( { subject = Whole; via = []; test = Ends_with ")" },
+                   [ Lit ")" ],
+                   [ Lit "," ] ) ])
       ~imports:[ "from werkzeug.utils import secure_filename" ]
       ~note:"Sanitize request-supplied file names before filesystem use." ();
     r ~id:"PIT-062" ~title:"Path joined with raw request data"
@@ -65,3 +70,5 @@ let rules =
       ~note:
         "Asserts vanish under python -O; raise an explicit error instead." ();
   ]
+
+let rules () = Lazy.force compiled

@@ -1,3 +1,3 @@
 (** Rule catalog: see {!Catalog} for the assembled rule set. *)
 
-val rules : Rule.t list
+val rules : unit -> Rule.t list

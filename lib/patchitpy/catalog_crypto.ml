@@ -4,7 +4,8 @@
 
 let r = Rule.make
 
-let rules =
+let compiled =
+  lazy
   [
     r ~id:"PIT-021" ~title:"MD5 is a broken hash algorithm"
       ~cwe:327 ~severity:Rule.High
@@ -143,13 +144,15 @@ let rules =
     r ~id:"PIT-044" ~title:"JWT accepted without signature verification"
       ~cwe:347 ~severity:Rule.High
       ~pattern:{|(jwt\.decode\([^)\n]*?)(verify\s*=\s*False|["']verify_signature["']\s*:\s*False)|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let prefix = Option.value (Rx.group m 1) ~default:"" in
-          let flag = Option.value (Rx.group m 2) ~default:"" in
-          let fixed =
-            if String.length flag > 0 && flag.[0] = 'v' then "verify=True"
-            else {|"verify_signature": True|}
-          in
-          prefix ^ fixed))
+      ~fix:
+        (Rule.Rewrite
+           Rewrite.
+             [ Str (Grp 1, []);
+               Cond
+                 ( { subject = Grp 2; via = []; test = Starts_with "v" },
+                   [ Lit "verify=True" ],
+                   [ Lit {|"verify_signature": True|} ] ) ])
       ~note:"Verify JWT signatures; unverified tokens are attacker input." ();
   ]
+
+let rules () = Lazy.force compiled

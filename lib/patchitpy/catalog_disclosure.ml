@@ -3,12 +3,16 @@
 
 let r = Rule.make
 
-(* Redacts any {..password..} interpolation inside a logged f-string. *)
-let redact_password m =
-  let interp = Rx.compile {|\{\s*\w*[Pp]assword\w*\s*\}|} in
-  Rx.replace interp ~template:"***" (Rx.matched m)
+open Rewrite
 
-let rules =
+(* Redacts any {..password..} interpolation inside a logged f-string. *)
+let redact_password =
+  [ Str
+      (Whole, [ Subst { pat = {|\{\s*\w*[Pp]assword\w*\s*\}|}; with_ = "***" } ])
+  ]
+
+let compiled =
+  lazy
   [
     r ~id:"PIT-077" ~title:"Timing-unsafe comparison of a secret"
       ~cwe:287 ~severity:Rule.Medium
@@ -51,12 +55,13 @@ let rules =
       ~cwe:400 ~severity:Rule.Low
       ~pattern:{|requests\.(?:get|post|put|delete|head)\(([^)\n]*)\)|}
       ~suppress:{|timeout\s*=|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let matched = Rx.matched m in
-          let body = String.sub matched 0 (String.length matched - 1) in
-          (match Rx.group m 1 with
-          | Some "" | None -> body ^ "timeout=10)"
-          | Some _ -> body ^ ", timeout=10)")))
+      ~fix:
+        (Rule.Rewrite
+           [ Str (Whole, [ Drop_last 1 ]);
+             Cond
+               ( { subject = Grp 1; via = []; test = Is_empty },
+                 [ Lit "timeout=10)" ],
+                 [ Lit ", timeout=10)" ] ) ])
       ~note:"A hung endpoint otherwise blocks the worker forever." ();
     r ~id:"PIT-085" ~title:"Outbound request URL taken from the request"
       ~cwe:918 ~severity:Rule.High
@@ -65,3 +70,5 @@ let rules =
         "Server-side request forgery: resolve the target against an \
          allowlist of hosts." ();
   ]
+
+let rules () = Lazy.force compiled

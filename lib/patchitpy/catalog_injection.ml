@@ -3,57 +3,68 @@
 
 let r = Rule.make
 
+open Rewrite
+
 (* Rewrites every "{ident}" interpolation in the matched f-string so the
-   value is escaped before rendering (CWE-79). *)
-let escape_interpolations m =
-  let interp = Rx.compile {|\{\s*([A-Za-z_][A-Za-z0-9_.()\[\]'"]*)\s*\}|} in
-  Rx.replace_f interp
-    ~f:(fun im ->
-      match Rx.group im 1 with
-      | Some inner when not (String.length inner > 6
-                             && String.sub inner 0 7 = "escape(") ->
-        "{escape(" ^ inner ^ ")}"
-      | Some _ | None -> Rx.matched im)
-    (Rx.matched m)
+   value is escaped before rendering (CWE-79); already-escaped
+   interpolations pass through unchanged. *)
+let escape_interpolations =
+  [ Str
+      ( Whole,
+        [ Subst_each
+            { pat = {|\{\s*([A-Za-z_][A-Za-z0-9_.()\[\]'"]*)\s*\}|};
+              body =
+                [ Cond
+                    ( { subject = Grp 1; via = [];
+                        test = Starts_with "escape(" },
+                      [ Str (Whole, []) ],
+                      [ Lit "{escape("; Str (Grp 1, []); Lit ")}" ] ) ] } ] )
+  ]
 
 (* Turns `.execute("... %s ..." % args)` into a parameterized query:
    placeholders become '?', args become a tuple second argument. *)
-let parameterize_percent m =
-  let query = Option.value (Rx.group m 1) ~default:"" in
-  let args = String.trim (Option.value (Rx.group m 2) ~default:"") in
-  let qmarks =
-    Rx.replace (Rx.compile {|'?%s'?|}) ~template:"?" query
-  in
-  let args_tuple =
-    if String.length args > 0 && args.[0] = '(' then args else "(" ^ args ^ ",)"
-  in
-  Printf.sprintf ".execute(%s, %s)" qmarks args_tuple
+let parameterize_percent =
+  [ Lit ".execute(";
+    Str (Grp 1, [ Subst { pat = {|'?%s'?|}; with_ = "?" } ]);
+    Lit ", ";
+    Cond
+      ( { subject = Grp 2; via = [ Trim ]; test = Starts_with "(" },
+        [ Str (Grp 2, [ Trim ]) ],
+        [ Lit "("; Str (Grp 2, [ Trim ]); Lit ",)" ] );
+    Lit ")" ]
 
-(* Turns `.execute(f"... {x} ...")` into `.execute("... ? ...", (x,))`. *)
-let parameterize_fstring m =
-  let body = Option.value (Rx.group m 1) ~default:"" in
-  let interp = Rx.compile {|\{\s*([^}]+?)\s*\}|} in
-  let args = ref [] in
-  let qmarks =
-    Rx.replace_f interp
-      ~f:(fun im ->
-        (match Rx.group im 1 with
-        | Some inner -> args := inner :: !args
-        | None -> ());
-        "?")
-      body
-  in
-  (* A quoted placeholder like '...{x}...' keeps its quotes: drop them. *)
-  let qmarks = Rx.replace (Rx.compile {|'\?'|}) ~template:"?" qmarks in
-  let tuple =
-    match List.rev !args with
-    | [] -> "()"
-    | [ a ] -> Printf.sprintf "(%s,)" a
-    | more -> "(" ^ String.concat ", " more ^ ")"
-  in
-  Printf.sprintf ".execute(\"%s\", %s)" qmarks tuple
+(* Turns `.execute(f"... {x} ...")` into `.execute("... ? ...", (x,))`:
+   each interpolation becomes '?' (a quoted placeholder like '...{x}...'
+   drops its quotes) and the interpolated expressions become the
+   parameter tuple, with the 1-element form keeping its trailing comma. *)
+let fstring_interp = {|\{\s*([^}]+?)\s*\}|}
 
-let rules =
+let parameterize_fstring =
+  let args_join =
+    Str
+      ( Grp 1,
+        [ Join_each
+            { pat = fstring_interp; body = [ Str (Grp 1, []) ]; sep = ", " }
+        ] )
+  in
+  [ Lit {|.execute("|};
+    Str
+      ( Grp 1,
+        [ Subst_each { pat = fstring_interp; body = [ Lit "?" ] };
+          Subst { pat = {|'\?'|}; with_ = "?" } ] );
+    Lit {|", |};
+    Cond
+      ( { subject = Grp 1; via = []; test = Min_matches (fstring_interp, 1) },
+        [ Cond
+            ( { subject = Grp 1; via = [];
+                test = Min_matches (fstring_interp, 2) },
+              [ Lit "("; args_join; Lit ")" ],
+              [ Lit "("; args_join; Lit ",)" ] ) ],
+        [ Lit "()" ] );
+    Lit ")" ]
+
+let compiled =
+  lazy
   [
     r ~id:"PIT-001" ~title:"os.system() enables shell command injection"
       ~cwe:78 ~severity:Rule.High
@@ -108,12 +119,14 @@ let rules =
     r ~id:"PIT-009" ~title:"SQL built with string concatenation"
       ~cwe:89 ~severity:Rule.Critical
       ~pattern:{|\.execute\(\s*"([^"\n]*)"\s*\+\s*([A-Za-z_][\w.\[\]'"()]*)\s*\)|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let query = Option.value (Rx.group m 1) ~default:"" in
-          let arg = Option.value (Rx.group m 2) ~default:"" in
-          (* Drop a trailing opening quote left in the literal ("... = '"). *)
-          let query = Rx.replace (Rx.compile {|'\s*$|}) ~template:"" query in
-          Printf.sprintf ".execute(\"%s?\", (%s,))" query arg))
+      ~fix:
+        (* Drops a trailing opening quote left in the literal ("... = '"). *)
+        (Rule.Rewrite
+           [ Lit {|.execute("|};
+             Str (Grp 1, [ Subst { pat = {|'\s*$|}; with_ = "" } ]);
+             Lit {|?", (|};
+             Str (Grp 2, []);
+             Lit ",))" ])
       ~note:"Use parameterized queries: execute(sql, params)." ();
     r ~id:"PIT-010" ~title:"SQL built with str.format()"
       ~cwe:89 ~severity:Rule.Critical
@@ -156,10 +169,14 @@ let rules =
       ~cwe:94 ~severity:Rule.Medium
       ~pattern:{|jinja2\.Environment\(([^)\n]*)\)|}
       ~suppress:{|autoescape\s*=|}
-      ~fix:(Rule.Rewrite (fun m ->
-          match Rx.group m 1 with
-          | Some "" | None -> "jinja2.Environment(autoescape=True)"
-          | Some args -> Printf.sprintf "jinja2.Environment(%s, autoescape=True)" args))
+      ~fix:
+        (Rule.Rewrite
+           [ Cond
+               ( { subject = Grp 1; via = []; test = Is_empty },
+                 [ Lit "jinja2.Environment(autoescape=True)" ],
+                 [ Lit "jinja2.Environment(";
+                   Str (Grp 1, []);
+                   Lit ", autoescape=True)" ] ) ])
       ~note:"Autoescape defaults to off in Jinja2; turn it on explicitly." ();
     r ~id:"PIT-017" ~title:"LDAP filter assembled from dynamic values"
       ~cwe:90 ~severity:Rule.High
@@ -184,3 +201,5 @@ let rules =
            {|.headers[$1] = $2.replace("\r", "").replace("\n", "")|})
       ~note:"Strip CR/LF from values placed into response headers." ();
   ]
+
+let rules () = Lazy.force compiled

@@ -3,7 +3,8 @@
 
 let r = Rule.make
 
-let rules =
+let compiled =
+  lazy
   [
     r ~id:"PIT-070" ~title:"pickle.loads on untrusted bytes executes code"
       ~cwe:502 ~severity:Rule.Critical
@@ -35,10 +36,15 @@ let rules =
       ~cwe:502 ~severity:Rule.High
       ~pattern:{|torch\.load\(([^)\n]*)\)|}
       ~suppress:{|weights_only\s*=\s*True|}
-      ~fix:(Rule.Rewrite (fun m ->
-          match Rx.group m 1 with
-          | Some "" | None -> "torch.load(weights_only=True)"
-          | Some args -> Printf.sprintf "torch.load(%s, weights_only=True)" args))
+      ~fix:
+        (Rule.Rewrite
+           Rewrite.
+             [ Cond
+                 ( { subject = Grp 1; via = []; test = Is_empty },
+                   [ Lit "torch.load(weights_only=True)" ],
+                   [ Lit "torch.load(";
+                     Str (Grp 1, []);
+                     Lit ", weights_only=True)" ] ) ])
       ~note:"torch.load unpickles; restrict it to tensor data." ();
     r ~id:"PIT-075" ~title:"Downloaded content executed directly"
       ~cwe:494 ~severity:Rule.Critical
@@ -49,3 +55,5 @@ let rules =
       ~pattern:{|(?:__import__|importlib\.import_module)\(\s*request\.|}
       ~note:"Import targets must come from a fixed allowlist." ();
   ]
+
+let rules () = Lazy.force compiled

@@ -2,12 +2,13 @@
    programming languages").  The engine is language-agnostic: rules are
    lexical patterns with attached remediation, so a second language is a
    second catalog.  Ids are namespaced PIT-JS-0xx and the pack is kept
-   out of {!Catalog.all} (the Python tool of the paper runs exactly 85
-   rules); select it with [Engine.scan ~rules:Catalog.javascript]. *)
+   out of {!(Catalog.all ())} (the Python tool of the paper runs exactly 85
+   rules); select it with [Engine.scan ~rules:(Catalog.javascript ())]. *)
 
 let r = Rule.make
 
-let rules =
+let compiled =
+  lazy
   [
     r ~id:"PIT-JS-001" ~title:"eval() on dynamic input"
       ~cwe:95 ~severity:Rule.Critical
@@ -65,11 +66,16 @@ let rules =
       ~cwe:798 ~severity:Rule.Critical
       ~pattern:{|\b(password|secret|apiKey|api_key)\s*[:=]\s*["'][^"'\n]+["']|}
       ~suppress:{|process\.env|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let name = Option.value (Rx.group m 1) ~default:"secret" in
-          let sep = if String.contains (Rx.matched m) ':' then ": " else " = " in
-          Printf.sprintf "%s%sprocess.env.%s" name sep
-            (String.uppercase_ascii name)))
+      ~fix:
+        (Rule.Rewrite
+           Rewrite.
+             [ Str (Grp 1, []);
+               Cond
+                 ( { subject = Whole; via = []; test = Contains ":" },
+                   [ Lit ": " ],
+                   [ Lit " = " ] );
+               Lit "process.env.";
+               Str (Grp 1, [ Uppercase ]) ])
       ~note:"Read credentials from the environment or a secret store." ();
     r ~id:"PIT-JS-013" ~title:"Deprecated unsafe Buffer constructor"
       ~cwe:20 ~severity:Rule.Medium
@@ -79,9 +85,9 @@ let rules =
     r ~id:"PIT-JS-014" ~title:"World-writable permissions"
       ~cwe:732 ~severity:Rule.High
       ~pattern:{|chmod(?:Sync)?\(([^,\n]+),\s*(?:0o777|511|"777")\s*\)|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let target = Option.value (Rx.group m 1) ~default:"path" in
-          Printf.sprintf "chmod(%s, 0o600)" target))
+      ~fix:
+        (Rule.Rewrite
+           Rewrite.[ Lit "chmod("; Str (Grp 1, []); Lit ", 0o600)" ])
       ~note:"Grant the minimum file mode the task needs." ();
     r ~id:"PIT-JS-015" ~title:"Cleartext HTTP endpoint"
       ~cwe:319 ~severity:Rule.Medium
@@ -94,3 +100,5 @@ let rules =
       ~pattern:{|algorithms\s*:\s*\[\s*["']none["']|}
       ~note:"Never accept unsigned tokens; pin a real algorithm list." ();
   ]
+
+let rules () = Lazy.force compiled

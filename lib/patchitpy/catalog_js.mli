@@ -1,3 +1,3 @@
 (** JavaScript rule pack: see {!Catalog.javascript}. *)
 
-val rules : Rule.t list
+val rules : unit -> Rule.t list

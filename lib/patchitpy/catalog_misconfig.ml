@@ -4,16 +4,17 @@
 
 let r = Rule.make
 
+open Rewrite
+
 (* Strips an explicit Loader=... argument when rewriting yaml.load to
    yaml.safe_load (safe_load chooses the loader itself). *)
-let safe_load_rewrite m =
-  let args = Option.value (Rx.group m 1) ~default:"" in
-  let args =
-    Rx.replace (Rx.compile {|\s*,\s*Loader\s*=\s*[\w.]+|}) ~template:"" args
-  in
-  Printf.sprintf "yaml.safe_load(%s)" args
+let safe_load_rewrite =
+  [ Lit "yaml.safe_load(";
+    Str (Grp 1, [ Subst { pat = {|\s*,\s*Loader\s*=\s*[\w.]+|}; with_ = "" } ]);
+    Lit ")" ]
 
-let rules =
+let compiled =
+  lazy
   [
     r ~id:"PIT-045" ~title:"Flask running in debug mode"
       ~cwe:489 ~severity:Rule.High
@@ -70,11 +71,14 @@ let rules =
       ~cwe:22 ~severity:Rule.High
       ~pattern:{|\b(\w*tar\w*)\.extractall\(([^)\n]*)\)|}
       ~suppress:{|filter\s*=|}
-      ~fix:(Rule.Rewrite (fun m ->
-          let recv = Option.value (Rx.group m 1) ~default:"tar" in
-          match Rx.group m 2 with
-          | Some "" | None -> Printf.sprintf {|%s.extractall(filter="data")|} recv
-          | Some args -> Printf.sprintf {|%s.extractall(%s, filter="data")|} recv args))
+      ~fix:
+        (Rule.Rewrite
+           [ Str (Grp 1, []);
+             Lit ".extractall(";
+             Cond
+               ( { subject = Grp 2; via = []; test = Is_empty },
+                 [ Lit {|filter="data")|} ],
+                 [ Str (Grp 2, []); Lit {|, filter="data")|} ] ) ])
       ~note:
         "extractall follows '..' members; pass filter=\"data\" (or validate \
          each member)." ();
@@ -107,3 +111,5 @@ let rules =
       ~fix:(Rule.Replace_template "$1DEBUG = False")
       ~note:"DEBUG leaks settings and stack traces in production." ();
   ]
+
+let rules () = Lazy.force compiled

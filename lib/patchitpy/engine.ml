@@ -14,11 +14,24 @@ type finding = Scanner.finding = {
    wins the CAS is equivalent. *)
 let default : Scanner.t option Atomic.t = Atomic.make None
 
+(* Alternative source for the default scanner — how rule packs plug in
+   without a dependency cycle (the pack library depends on this one and
+   registers here).  Consulted before compiling from source; a provider
+   returning [None] falls through to source compilation. *)
+let provider : (unit -> Scanner.t option) Atomic.t =
+  Atomic.make (fun () -> None)
+
+let set_default_provider f = Atomic.set provider f
+
 let default_scanner () =
   match Atomic.get default with
   | Some scanner -> scanner
   | None ->
-    let scanner = Scanner.compile Catalog.all in
+    let scanner =
+      match (Atomic.get provider) () with
+      | Some scanner -> scanner
+      | None -> Scanner.compile (Catalog.all ())
+    in
     if Atomic.compare_and_set default None (Some scanner) then scanner
     else (
       match Atomic.get default with

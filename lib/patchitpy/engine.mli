@@ -23,7 +23,17 @@ type finding = Scanner.finding = {
 
 val default_scanner : unit -> Scanner.t
 (** The shared scan plan for {!Catalog.all}, compiled on first use.
-    Domain-safe: concurrent first calls at worst duplicate the compile. *)
+    Domain-safe: concurrent first calls at worst duplicate the compile.
+    When a default provider is registered (see {!set_default_provider})
+    it is consulted first — this is how a rule pack named by
+    [PATCHITPY_RULE_PACK] replaces source compilation. *)
+
+val set_default_provider : (unit -> Scanner.t option) -> unit
+(** Registers an alternative source for {!default_scanner}.  The
+    provider runs when the default plan is first needed; returning
+    [None] falls back to compiling {!Catalog.all} from source.  Called
+    by the rule-pack library's environment hook; has no effect once
+    the default plan has been built. *)
 
 val scan : ?rules:Rule.t list -> string -> finding list
 (** All findings, sorted by offset then rule id.  A rule's [suppress]

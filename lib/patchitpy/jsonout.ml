@@ -152,7 +152,7 @@ let sarif_result file (f : Engine.finding) =
           ] );
     ]
 
-let to_sarif ?(rules = Catalog.all) scans =
+let to_sarif ?(rules = (Catalog.all ())) scans =
   let results =
     List.concat_map
       (fun (file, findings) -> List.map (sarif_result file) findings)

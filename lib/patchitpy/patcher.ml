@@ -33,7 +33,7 @@ let render_fix (rule : Rule.t) (m : Rx.m) =
   match rule.Rule.fix with
   | Rule.No_fix -> None
   | Rule.Replace_template template -> Some (Rx.expand_template m template)
-  | Rule.Rewrite f -> Some (f m)
+  | Rule.Rewrite ir -> Some (Rewrite.eval ir m)
 
 (* One round of fixes as an edit list: every fixable, non-overlapping
    finding whose replacement differs from the matched text becomes one

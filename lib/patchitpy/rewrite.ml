@@ -1,0 +1,418 @@
+(* A declarative rewrite IR: the computed part of a rule's fix expressed
+   as data instead of an OCaml closure, so rules can be serialized into
+   rule packs (DESIGN.md, "Rule IR and pack format") and inspected
+   without running code.
+
+   A template is a list of ops appended in order.  Every op draws on the
+   rule-pattern match: a literal, a (transformed) captured group, or a
+   conditional choosing between two sub-templates based on a test over a
+   (transformed) group.  The transform list covers exactly what the
+   catalog's rewrites need — trimming, case mapping, suffix dropping and
+   regex substitution — with [Subst_each]/[Join_each] recursing into a
+   sub-template evaluated against each inner match (placeholder-to-[?]
+   conversion, per-interpolation escaping). *)
+
+type src = Whole | Grp of int
+
+type xform =
+  | Trim
+  | Uppercase
+  | Lowercase
+  | Drop_last of int
+  | Subst of { pat : string; with_ : string }
+  | Subst_each of { pat : string; body : tmpl }
+  | Join_each of { pat : string; body : tmpl; sep : string }
+
+and test =
+  | Is_empty
+  | Starts_with of string
+  | Ends_with of string
+  | Contains of string
+  | Min_matches of string * int
+
+and cond = { subject : src; via : xform list; test : test }
+and op = Lit of string | Str of src * xform list | Cond of cond * tmpl * tmpl
+and tmpl = op list
+
+type t = tmpl
+
+(* --- evaluation ----------------------------------------------------------- *)
+
+(* [Rx.compile] memoizes per pattern source, so compiling an embedded
+   pattern at every evaluation is a table lookup after the first fix —
+   the same cost profile the closures had. *)
+
+let src_text m = function
+  | Whole -> Rx.matched m
+  | Grp i -> Option.value (Rx.group m i) ~default:""
+
+let contains_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  if lb = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= ls - lb do
+      if String.sub s !i lb = sub then found := true else incr i
+    done;
+    !found
+  end
+
+let rec apply_xform s = function
+  | Trim -> String.trim s
+  | Uppercase -> String.uppercase_ascii s
+  | Lowercase -> String.lowercase_ascii s
+  | Drop_last n ->
+    if String.length s <= n then "" else String.sub s 0 (String.length s - n)
+  | Subst { pat; with_ } -> Rx.replace (Rx.compile pat) ~template:with_ s
+  | Subst_each { pat; body } ->
+    Rx.replace_f (Rx.compile pat) ~f:(fun im -> eval body im) s
+  | Join_each { pat; body; sep } ->
+    String.concat sep
+      (List.map (fun im -> eval body im) (Rx.find_all (Rx.compile pat) s))
+
+and holds s = function
+  | Is_empty -> s = ""
+  | Starts_with p -> String.starts_with ~prefix:p s
+  | Ends_with p -> String.ends_with ~suffix:p s
+  | Contains p -> contains_sub s p
+  | Min_matches (pat, n) ->
+    List.length (Rx.find_all (Rx.compile pat) s) >= n
+
+and eval_op buf m = function
+  | Lit s -> Buffer.add_string buf s
+  | Str (src, xs) ->
+    Buffer.add_string buf (List.fold_left apply_xform (src_text m src) xs)
+  | Cond ({ subject; via; test }, then_, else_) ->
+    let s = List.fold_left apply_xform (src_text m subject) via in
+    List.iter (eval_op buf m) (if holds s test then then_ else else_)
+
+and eval t m =
+  let buf = Buffer.create 64 in
+  List.iter (eval_op buf m) t;
+  Buffer.contents buf
+
+(* --- validation ----------------------------------------------------------- *)
+
+(* Every embedded regex must compile: rule packs call this at load so a
+   corrupt IR is a typed error, not a later Parse_error mid-patch. *)
+
+let rec validate_xform = function
+  | Trim | Uppercase | Lowercase -> Ok ()
+  | Drop_last n -> if n >= 0 then Ok () else Error "drop-last: negative count"
+  | Subst { pat; _ } -> Result.map ignore (Rx.compile_opt pat)
+  | Subst_each { pat; body } ->
+    Result.bind (Result.map ignore (Rx.compile_opt pat)) (fun () ->
+        validate body)
+  | Join_each { pat; body; _ } ->
+    Result.bind (Result.map ignore (Rx.compile_opt pat)) (fun () ->
+        validate body)
+
+and validate_test = function
+  | Is_empty | Starts_with _ | Ends_with _ | Contains _ -> Ok ()
+  | Min_matches (pat, _) -> Result.map ignore (Rx.compile_opt pat)
+
+and validate_xforms xs =
+  List.fold_left
+    (fun acc x -> Result.bind acc (fun () -> validate_xform x))
+    (Ok ()) xs
+
+and validate_op = function
+  | Lit _ -> Ok ()
+  | Str (_, xs) -> validate_xforms xs
+  | Cond ({ via; test; _ }, then_, else_) ->
+    Result.bind (validate_xforms via) (fun () ->
+        Result.bind (validate_test test) (fun () ->
+            Result.bind (validate then_) (fun () -> validate else_)))
+
+and validate t =
+  List.fold_left
+    (fun acc o -> Result.bind acc (fun () -> validate_op o))
+    (Ok ()) t
+
+(* --- textual form ---------------------------------------------------------
+
+   A small s-expression syntax, used both as the IR's storage encoding
+   inside rule packs and for inspection ([rules inspect]).  Grammar:
+
+     tmpl  ::= (op ...)
+     op    ::= (lit S) | (str SRC XFORM ...)
+             | (cond SRC (XFORM ...) TEST tmpl tmpl)
+     src   ::= whole | (grp N)
+     xform ::= trim | upper | lower | (drop-last N)
+             | (subst S S) | (subst-each S tmpl) | (join-each S S tmpl)
+     test  ::= empty | (starts-with S) | (ends-with S) | (contains S)
+             | (min-matches S N)
+
+   where S is a double-quoted string (backslash escapes for the quote,
+   the backslash itself, n/t/r and \xHH for other bytes) and N a
+   decimal integer. *)
+
+let quote buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let render_src buf = function
+  | Whole -> Buffer.add_string buf "whole"
+  | Grp i -> Buffer.add_string buf (Printf.sprintf "(grp %d)" i)
+
+let rec render_xform buf = function
+  | Trim -> Buffer.add_string buf "trim"
+  | Uppercase -> Buffer.add_string buf "upper"
+  | Lowercase -> Buffer.add_string buf "lower"
+  | Drop_last n -> Buffer.add_string buf (Printf.sprintf "(drop-last %d)" n)
+  | Subst { pat; with_ } ->
+    Buffer.add_string buf "(subst ";
+    quote buf pat;
+    Buffer.add_char buf ' ';
+    quote buf with_;
+    Buffer.add_char buf ')'
+  | Subst_each { pat; body } ->
+    Buffer.add_string buf "(subst-each ";
+    quote buf pat;
+    Buffer.add_char buf ' ';
+    render_tmpl buf body;
+    Buffer.add_char buf ')'
+  | Join_each { pat; body; sep } ->
+    Buffer.add_string buf "(join-each ";
+    quote buf pat;
+    Buffer.add_char buf ' ';
+    quote buf sep;
+    Buffer.add_char buf ' ';
+    render_tmpl buf body;
+    Buffer.add_char buf ')'
+
+and render_test buf = function
+  | Is_empty -> Buffer.add_string buf "empty"
+  | Starts_with s ->
+    Buffer.add_string buf "(starts-with ";
+    quote buf s;
+    Buffer.add_char buf ')'
+  | Ends_with s ->
+    Buffer.add_string buf "(ends-with ";
+    quote buf s;
+    Buffer.add_char buf ')'
+  | Contains s ->
+    Buffer.add_string buf "(contains ";
+    quote buf s;
+    Buffer.add_char buf ')'
+  | Min_matches (pat, n) ->
+    Buffer.add_string buf "(min-matches ";
+    quote buf pat;
+    Buffer.add_string buf (Printf.sprintf " %d)" n)
+
+and render_op buf = function
+  | Lit s ->
+    Buffer.add_string buf "(lit ";
+    quote buf s;
+    Buffer.add_char buf ')'
+  | Str (src, xs) ->
+    Buffer.add_string buf "(str ";
+    render_src buf src;
+    List.iter
+      (fun x ->
+        Buffer.add_char buf ' ';
+        render_xform buf x)
+      xs;
+    Buffer.add_char buf ')'
+  | Cond ({ subject; via; test }, then_, else_) ->
+    Buffer.add_string buf "(cond ";
+    render_src buf subject;
+    Buffer.add_string buf " (";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ' ';
+        render_xform buf x)
+      via;
+    Buffer.add_string buf ") ";
+    render_test buf test;
+    Buffer.add_char buf ' ';
+    render_tmpl buf then_;
+    Buffer.add_char buf ' ';
+    render_tmpl buf else_;
+    Buffer.add_char buf ')'
+
+and render_tmpl buf t =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i o ->
+      if i > 0 then Buffer.add_char buf ' ';
+      render_op buf o)
+    t;
+  Buffer.add_char buf ')'
+
+let render t =
+  let buf = Buffer.create 128 in
+  render_tmpl buf t;
+  Buffer.contents buf
+
+(* --- parsing -------------------------------------------------------------- *)
+
+type sexp = Atom of string | Quoted of string | Node of sexp list
+
+exception Bad of string
+
+let parse_sexp s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t'
+                       || s.[!pos] = '\r') do
+      incr pos
+    done
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise (Bad "bad hex escape")
+  in
+  let read_string () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        if !pos + 1 >= n then raise (Bad "unterminated escape");
+        (match s.[!pos + 1] with
+        | '"' -> Buffer.add_char buf '"'; pos := !pos + 2
+        | '\\' -> Buffer.add_char buf '\\'; pos := !pos + 2
+        | 'n' -> Buffer.add_char buf '\n'; pos := !pos + 2
+        | 't' -> Buffer.add_char buf '\t'; pos := !pos + 2
+        | 'r' -> Buffer.add_char buf '\r'; pos := !pos + 2
+        | 'x' ->
+          if !pos + 3 >= n then raise (Bad "unterminated \\x escape");
+          Buffer.add_char buf
+            (Char.chr ((hex s.[!pos + 2] * 16) + hex s.[!pos + 3]));
+          pos := !pos + 4
+        | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+        go ()
+      | c -> Buffer.add_char buf c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec read_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Bad "unexpected end of input")
+    | Some '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | None -> raise (Bad "unbalanced parenthesis")
+        | Some ')' -> incr pos
+        | Some _ ->
+          items := read_one () :: !items;
+          loop ()
+      in
+      loop ();
+      Node (List.rev !items)
+    | Some ')' -> raise (Bad "unexpected ')'")
+    | Some '"' -> Quoted (read_string ())
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && not
+             (s.[!pos] = ' ' || s.[!pos] = '(' || s.[!pos] = ')'
+              || s.[!pos] = '"' || s.[!pos] = '\n' || s.[!pos] = '\t'
+              || s.[!pos] = '\r')
+      do
+        incr pos
+      done;
+      Atom (String.sub s start (!pos - start))
+  in
+  let e = read_one () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing input after template");
+  e
+
+let int_atom = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some i -> i
+    | None -> raise (Bad ("expected integer, got " ^ a)))
+  | _ -> raise (Bad "expected integer")
+
+let str_arg = function
+  | Quoted s -> s
+  | _ -> raise (Bad "expected quoted string")
+
+let src_of_sexp = function
+  | Atom "whole" -> Whole
+  | Node [ Atom "grp"; i ] -> Grp (int_atom i)
+  | _ -> raise (Bad "expected source (whole | (grp N))")
+
+let rec xform_of_sexp = function
+  | Atom "trim" -> Trim
+  | Atom "upper" -> Uppercase
+  | Atom "lower" -> Lowercase
+  | Node [ Atom "drop-last"; n ] -> Drop_last (int_atom n)
+  | Node [ Atom "subst"; p; w ] -> Subst { pat = str_arg p; with_ = str_arg w }
+  | Node [ Atom "subst-each"; p; body ] ->
+    Subst_each { pat = str_arg p; body = tmpl_of_sexp body }
+  | Node [ Atom "join-each"; p; sep; body ] ->
+    Join_each { pat = str_arg p; sep = str_arg sep; body = tmpl_of_sexp body }
+  | _ -> raise (Bad "expected transform")
+
+and test_of_sexp = function
+  | Atom "empty" -> Is_empty
+  | Node [ Atom "starts-with"; s ] -> Starts_with (str_arg s)
+  | Node [ Atom "ends-with"; s ] -> Ends_with (str_arg s)
+  | Node [ Atom "contains"; s ] -> Contains (str_arg s)
+  | Node [ Atom "min-matches"; p; n ] -> Min_matches (str_arg p, int_atom n)
+  | _ -> raise (Bad "expected test")
+
+and op_of_sexp = function
+  | Node (Atom "lit" :: [ s ]) -> Lit (str_arg s)
+  | Node (Atom "str" :: src :: xs) ->
+    Str (src_of_sexp src, List.map xform_of_sexp xs)
+  | Node [ Atom "cond"; subject; Node via; test; then_; else_ ] ->
+    Cond
+      ( { subject = src_of_sexp subject;
+          via = List.map xform_of_sexp via;
+          test = test_of_sexp test },
+        tmpl_of_sexp then_, tmpl_of_sexp else_ )
+  | _ -> raise (Bad "expected op ((lit S) | (str ...) | (cond ...))")
+
+and tmpl_of_sexp = function
+  | Node ops -> List.map op_of_sexp ops
+  | _ -> raise (Bad "expected template list")
+
+let parse s =
+  match tmpl_of_sexp (parse_sexp s) with
+  | t -> Ok t
+  | exception Bad msg -> Error msg
+
+(* --- builder shorthands ---------------------------------------------------
+
+   Used by the catalogs; they keep the ported rules close to the shape
+   of the closures they replace. *)
+
+let lit s = Lit s
+let grp ?(via = []) i = Str (Grp i, via)
+let whole ?(via = []) () = Str (Whole, via)
+
+let cond ?(via = []) subject test ~then_ ~else_ =
+  Cond ({ subject; via; test }, then_, else_)
+
+let subst pat with_ = Subst { pat; with_ }

@@ -1,0 +1,70 @@
+(** Declarative rewrite IR.
+
+    The computed part of a rule's fix as pure data: a template of
+    literal/group/conditional ops evaluated against the rule pattern's
+    match.  Because it contains no function values it serializes into
+    rule packs ({!Rulepack}) and renders to a textual form for
+    inspection. *)
+
+type src =
+  | Whole  (** the full matched substring *)
+  | Grp of int  (** captured group [i] (1-based), [""] when unset *)
+
+type xform =
+  | Trim  (** [String.trim] *)
+  | Uppercase
+  | Lowercase
+  | Drop_last of int  (** drop the last [n] bytes (clamped at empty) *)
+  | Subst of { pat : string; with_ : string }
+      (** replace every match of [pat] with the {!Rx.replace} template
+          [with_] *)
+  | Subst_each of { pat : string; body : tmpl }
+      (** replace every match of [pat] with [body] evaluated against
+          that inner match *)
+  | Join_each of { pat : string; body : tmpl; sep : string }
+      (** evaluate [body] against every match of [pat] and join the
+          results with [sep], discarding the rest of the subject *)
+
+and test =
+  | Is_empty
+  | Starts_with of string
+  | Ends_with of string
+  | Contains of string
+  | Min_matches of string * int
+      (** at least [n] matches of the pattern in the subject *)
+
+and cond = { subject : src; via : xform list; test : test }
+
+and op =
+  | Lit of string
+  | Str of src * xform list  (** source text piped through the transforms *)
+  | Cond of cond * tmpl * tmpl
+
+and tmpl = op list
+
+type t = tmpl
+
+val eval : t -> Rx.m -> string
+(** Evaluates the template against a match of the rule pattern.
+    Embedded patterns go through the {!Rx.compile} memo, so repeated
+    evaluation costs a table lookup, as the former closures did. *)
+
+val validate : t -> (unit, string) result
+(** Checks every embedded regex compiles.  Rule-pack loading runs this
+    so a corrupt IR surfaces as a typed load error, not a
+    [Rx.Parse_error] in the middle of a patch. *)
+
+val render : t -> string
+(** Canonical textual (s-expression) form; the storage encoding inside
+    rule packs. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!render}: [parse (render t) = Ok t]. *)
+
+(** Shorthands used by the rule catalogs. *)
+
+val lit : string -> op
+val grp : ?via:xform list -> int -> op
+val whole : ?via:xform list -> unit -> op
+val cond : ?via:xform list -> src -> test -> then_:tmpl -> else_:tmpl -> op
+val subst : string -> string -> xform

@@ -15,9 +15,11 @@ type fix =
   | Replace_template of string
       (** The matched span is rewritten with an {!Rx.replace} template
           ([$1] etc. refer to the rule pattern's groups). *)
-  | Rewrite of (Rx.m -> string)
+  | Rewrite of Rewrite.t
       (** Computed rewrite for fixes a template cannot express (e.g.
-          turning ['%s'] placeholders into parameterized-query [?]s). *)
+          turning ['%s'] placeholders into parameterized-query [?]s),
+          as a declarative {!Rewrite} template so it serializes into
+          rule packs. *)
 
 type t = {
   id : string;  (** stable identifier, ["PIT-042"] *)
@@ -57,3 +59,15 @@ val severity_to_string : severity -> string
 
 val fixable : t -> bool
 (** Whether the rule carries an automatic fix. *)
+
+(** {1 Binary codec}
+
+    Rule-pack serialization.  Patterns travel fully compiled
+    ({!Rx.write_compiled}); the rewrite IR travels rendered and is
+    re-parsed — and thereby re-validated — on read. *)
+
+val write : Buffer.t -> t -> unit
+
+val read : Binio.r -> t
+(** @raise Binio.Corrupt on structurally invalid input.
+    @raise Binio.Truncated if the input ends early. *)

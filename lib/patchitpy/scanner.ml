@@ -18,8 +18,31 @@ let derive_meta (rule : Rule.t) =
     extent = Rx.newline_budget rule.Rule.pattern;
   }
 
+(* A rule slot.  Compile-built plans hold their rules directly;
+   pack-loaded plans hold a decode thunk and materialize a rule the
+   first time a scan needs it — [candidates] prunes most rules for any
+   one source, so a short-lived process decodes only the rules it
+   actually runs, and pack cold start stays free of the per-rule decode
+   cost.  The slot is an [Atomic] rather than a [lazy] because one plan
+   is shared across serve worker domains (concurrent forcing of a lazy
+   is unsafe): concurrent first uses at worst decode twice, and
+   whichever value wins the CAS is served from then on. *)
+type cell = { filled : Rule.t option Atomic.t; decode : unit -> Rule.t }
+
+let cell_of_rule rule =
+  { filled = Atomic.make (Some rule); decode = (fun () -> rule) }
+
+let cell_rule cell =
+  match Atomic.get cell.filled with
+  | Some rule -> rule
+  | None ->
+    let rule = cell.decode () in
+    if Atomic.compare_and_set cell.filled None (Some rule) then rule
+    else (
+      match Atomic.get cell.filled with Some winner -> winner | None -> rule)
+
 type t = {
-  rule_arr : Rule.t array;  (* compilation order = reporting tie-break *)
+  rule_arr : cell array;  (* compilation order = reporting tie-break *)
   prefilter : Acsearch.t;  (* one automaton over every rule's literals *)
   owner : int array;  (* automaton pattern index -> rule index *)
   unconditional : int list;  (* rules with no derivable literal *)
@@ -35,18 +58,19 @@ let compiles_counter = Telemetry.Counter.make "scanner_compiles_total"
 
 let compile ?meta rule_list =
   Telemetry.Counter.incr compiles_counter;
-  let rule_arr = Array.of_list rule_list in
+  let rules_vec = Array.of_list rule_list in
+  let rule_arr = Array.map cell_of_rule rules_vec in
   let metas =
     match meta with
-    | None -> Array.map derive_meta rule_arr
+    | None -> Array.map derive_meta rules_vec
     | Some ms ->
       let arr = Array.of_list ms in
-      if Array.length arr <> Array.length rule_arr then
+      if Array.length arr <> Array.length rules_vec then
         invalid_arg "Scanner.compile: meta list does not match the rules";
       arr
   in
   let literals = ref [] and owners = ref [] and unconditional = ref [] in
-  let has_literals = Array.make (Array.length rule_arr) false in
+  let has_literals = Array.make (Array.length rules_vec) false in
   Array.iteri
     (fun i m ->
       match m.literals with
@@ -68,12 +92,12 @@ let compile ?meta rule_list =
     extent = Array.map (fun (m : rule_meta) -> m.extent) metas;
     tele =
       Telemetry.Rules.define
-        (Array.map (fun (r : Rule.t) -> r.Rule.id) rule_arr);
+        (Array.map (fun (r : Rule.t) -> r.Rule.id) rules_vec);
   }
 
 let telemetry_def t = t.tele
 
-let rules t = Array.to_list t.rule_arr
+let rules t = List.map cell_rule (Array.to_list t.rule_arr)
 
 (* The text window a suppress pattern is evaluated over: the lines the
    match spans, extended by one line on each side. *)
@@ -174,13 +198,16 @@ let scan_state t source =
   let warnings = ref [] in
   (* Chained timestamps: one clock read per candidate rule — each rule's
      end time is the next one's start, since nothing happens between
-     candidate rules. *)
+     candidate rules.  Raw ticks, not ns: the block is reported through
+     [Telemetry.Report], which converts at collection time, and a tick
+     read is several times cheaper than the monotonic clock. *)
   let t_prev =
-    ref (match block with Some _ -> Telemetry.now_ns () | None -> 0L)
+    ref (match block with Some _ -> Telemetry.now_ticks () | None -> 0)
   in
   Array.iteri
-    (fun i (rule : Rule.t) ->
+    (fun i cell ->
       if wanted.(i) then begin
+        let rule = cell_rule cell in
         let steps = ref 0 in
         let exhausted = ref false in
         (* A pathological input must never take the scanner down: a rule
@@ -225,9 +252,8 @@ let scan_state t source =
           b.B.steps.(i) <- b.B.steps.(i) + !steps;
           if !exhausted then
             b.B.budget_exhausted.(i) <- b.B.budget_exhausted.(i) + 1;
-          let t = Telemetry.now_ns () in
-          b.B.time_ns.(i) <-
-            b.B.time_ns.(i) + Int64.to_int (Int64.sub t !t_prev);
+          let t = Telemetry.now_ticks () in
+          b.B.time_ns.(i) <- b.B.time_ns.(i) + (t - !t_prev);
           t_prev := t
       end)
     t.rule_arr;
@@ -244,9 +270,11 @@ let state_findings t st =
   let out = ref [] in
   Array.iteri
     (fun i rule_raws ->
-      let rule = t.rule_arr.(i) in
+      (* only force a rule's decode if it actually has raw matches *)
+      let rule = lazy (cell_rule t.rule_arr.(i)) in
       List.iter
         (fun r ->
+          let rule = Lazy.force rule in
           if not r.raw_suppressed then begin
             let index = Lazy.force st.st_index in
             out :=
@@ -638,7 +666,7 @@ let rescan_exn t st edits new_source =
       Some b
   in
   let count = block <> None in
-  let t_prev = ref (if count then Telemetry.now_ns () else 0L) in
+  let t_prev = ref (if count then Telemetry.now_ticks () else 0) in
   let new_raws = Array.make nrules [] in
   let total_carried = ref 0 and total_fresh = ref 0 in
   let record i nraw dropped steps =
@@ -650,12 +678,12 @@ let rescan_exn t st edits new_source =
       b.B.suppressed.(i) <- b.B.suppressed.(i) + dropped;
       b.B.findings.(i) <- b.B.findings.(i) + (nraw - dropped);
       b.B.steps.(i) <- b.B.steps.(i) + steps;
-      let now = Telemetry.now_ns () in
-      b.B.time_ns.(i) <- b.B.time_ns.(i) + Int64.to_int (Int64.sub now !t_prev);
+      let now = Telemetry.now_ticks () in
+      b.B.time_ns.(i) <- b.B.time_ns.(i) + (now - !t_prev);
       t_prev := now
   in
   Array.iteri
-    (fun i (rule : Rule.t) ->
+    (fun i cell ->
       let olds = st.st_raw.(i) in
       match t.extent.(i) with
       | Some _ ->
@@ -693,6 +721,7 @@ let rescan_exn t st edits new_source =
             regions_for ~old_index ~old_len ~new_index ~new_source ~edits
               ~base_old ~pad ~bound:bound.(i)
           in
+          let rule = cell_rule cell in
           let steps = ref 0 in
           let merged, carried, fresh =
             try merge_rule rule olds edits new_source regions ~steps ~count
@@ -712,6 +741,7 @@ let rescan_exn t st edits new_source =
         (* no finite extent: full re-scan whenever the rule is a
            candidate anywhere in the new source *)
         if (Lazy.force full_wanted).(i) then begin
+          let rule = cell_rule cell in
           let steps = ref 0 in
           let matches =
             try
@@ -774,3 +804,100 @@ let rescan t st edits =
         scan_state t new_source
     end
   end
+
+(* --- binary codec ----------------------------------------------------------
+
+   Plan serialization for rule packs: the rules (fully compiled), the
+   prefilter automaton, and the derived tables travel verbatim, so
+   loading a plan does none of the work [compile] does.  Two pieces of
+   process-local identity are regenerated on read: the telemetry
+   registration (stamps are per-process) and each pattern's DFA-cache
+   uid (fresh inside [Rx.read_compiled]).  [read] cross-checks every
+   table length and index against the rule count, so adversarial bytes
+   fail with [Binio.Corrupt] instead of corrupting a scan.
+
+   Rules travel in two parts: their ids eagerly (the telemetry
+   registration needs every id before any rule runs), then one
+   length-prefixed blob per rule.  [read] does not decode the blobs —
+   it stores views into the payload and each [cell] decodes on first
+   use, so load time is independent of the rule count.  The deferral is
+   sound because the containing pack checksums the whole payload before
+   [read] runs: a blob that fails to decode later means the checksum
+   itself was forged, and the decode error (a [Binio] exception at
+   first use of that rule) is memory-safe, just no longer typed. *)
+
+let write buf t =
+  let rules_vec = Array.map cell_rule t.rule_arr in
+  Binio.w_array
+    (fun buf (r : Rule.t) -> Binio.w_str buf r.Rule.id)
+    buf rules_vec;
+  Binio.w_array
+    (fun buf rule ->
+      let blob = Buffer.create 512 in
+      Rule.write blob rule;
+      Binio.w_str buf (Buffer.contents blob))
+    buf rules_vec;
+  Acsearch.write buf t.prefilter;
+  Binio.w_array (fun buf i -> Binio.w_u32 buf i) buf t.owner;
+  Binio.w_list (fun buf i -> Binio.w_u32 buf i) buf t.unconditional;
+  Binio.w_array Binio.w_bool buf t.has_literals;
+  Binio.w_array
+    (Binio.w_opt (fun buf (f, w) ->
+         Binio.w_u32 buf f;
+         Binio.w_u32 buf w))
+    buf t.extent
+
+let read r =
+  let ids = Binio.r_array Binio.r_str r in
+  let nrules = Array.length ids in
+  let nblobs = Binio.r_count r in
+  if nblobs <> nrules then
+    raise (Binio.Corrupt "rule blob count does not match the id count");
+  let rule_arr =
+    Array.init nrules (fun i ->
+        let len = Binio.r_u32 r in
+        let view = Binio.r_view r len in
+        let id = ids.(i) in
+        {
+          filled = Atomic.make None;
+          decode =
+            (fun () ->
+              let r = Binio.sub_reader view in
+              let rule = Rule.read r in
+              if not (Binio.at_end r) then
+                raise (Binio.Corrupt "trailing bytes in rule blob");
+              if not (String.equal rule.Rule.id id) then
+                raise (Binio.Corrupt "rule blob id mismatch");
+              rule);
+        })
+  in
+  let check_rule i =
+    if i < 0 || i >= nrules then
+      raise (Binio.Corrupt (Printf.sprintf "rule index %d out of range" i));
+    i
+  in
+  let prefilter = Acsearch.read r in
+  let owner = Binio.r_array (fun r -> check_rule (Binio.r_u32 r)) r in
+  if Array.length owner <> Acsearch.pattern_count prefilter then
+    raise (Binio.Corrupt "owner table does not match the prefilter");
+  let unconditional = Binio.r_list (fun r -> check_rule (Binio.r_u32 r)) r in
+  let has_literals = Binio.r_array Binio.r_bool r in
+  let extent =
+    Binio.r_array
+      (Binio.r_opt (fun r ->
+           let f = Binio.r_u32 r in
+           let w = Binio.r_u32 r in
+           (f, w)))
+      r
+  in
+  if Array.length has_literals <> nrules || Array.length extent <> nrules then
+    raise (Binio.Corrupt "per-rule tables do not match the rule count");
+  {
+    rule_arr;
+    prefilter;
+    owner;
+    unconditional;
+    has_literals;
+    extent;
+    tele = Telemetry.Rules.define ids;
+  }

@@ -136,3 +136,18 @@ val rescan : t -> state -> Edit.t list -> state
     [scanner_findings_reused_total], [scanner_findings_recomputed_total]
     and the [scanner_dirty_region_pct] histogram when a telemetry sink
     is installed. *)
+
+(** {1 Binary codec}
+
+    Plan serialization for rule packs.  A plan read back performs no
+    compilation: rules, prefilter automaton and derived tables travel
+    verbatim; only process-local identity (telemetry registration,
+    DFA-cache keys) is regenerated.  Scanning with a decoded plan is
+    byte-identical to scanning with the [compile]-built one. *)
+
+val write : Buffer.t -> t -> unit
+
+val read : Binio.r -> t
+(** @raise Binio.Corrupt on structurally invalid input (indices and
+    table lengths are cross-checked against the rule count).
+    @raise Binio.Truncated if the input ends early. *)

@@ -648,6 +648,21 @@ let exec_backtrack_counter = Telemetry.Counter.make "rx_exec_backtrack_total"
 let dfa_fallback_counter = Telemetry.Counter.make "rx_dfa_fallback_total"
 let dfa_confirm_counter = Telemetry.Counter.make "rx_dfa_confirm_total"
 
+(* The search dispatch counts every dispatch decision, so each search
+   would otherwise pay a sink-and-collector lookup per counter.  The
+   entry points fetch the recorder once instead and record through it;
+   a sweep ([find_all_counted]) reuses one fetch across all its
+   searches. *)
+let rincr recorder c =
+  match recorder with
+  | None -> ()
+  | Some r -> Telemetry.Counter.record r c 1
+
+let robserve recorder h v =
+  match recorder with
+  | None -> ()
+  | Some r -> Telemetry.Histogram.record r h v
+
 let bt_search ?cap ?steps_acc ?limit t subject pos =
   Rx_match.search ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
     ~bol_only:t.bol_only t.node t.ngroups subject pos
@@ -659,21 +674,21 @@ let bt_search ?cap ?steps_acc ?limit t subject pos =
    would have found its first (hence identical) match at the same
    start.  [Rx_dfa.Bail] (cache thrash) and any forward/confirm
    disagreement fall back to the legacy search wholesale. *)
-let tier_search ?cap ?steps_acc ?limit t subject pos =
+let tier_search ~recorder ?cap ?steps_acc ?limit t subject pos =
   match t.dfa with
   | None ->
-    Telemetry.Counter.incr exec_backtrack_counter;
+    rincr recorder exec_backtrack_counter;
     bt_search ?cap ?steps_acc ?limit t subject pos
   | Some st -> (
-    Telemetry.Counter.incr exec_dfa_counter;
+    rincr recorder exec_dfa_counter;
     let cache = get_cache t st in
     match
-      Rx_dfa.search cache ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
-        ?first_byte:t.first_byte ~prefixes:t.start_prefixes
-        ~bol_only:t.bol_only subject pos
+      Rx_dfa.search cache ?recorder ?cap ?steps_acc ?limit
+        ?first_bytes:t.first_bytes ?first_byte:t.first_byte
+        ~prefixes:t.start_prefixes ~bol_only:t.bol_only subject pos
     with
     | exception Rx_dfa.Bail ->
-      Telemetry.Counter.incr dfa_fallback_counter;
+      rincr recorder dfa_fallback_counter;
       bt_search ?cap ?steps_acc ?limit t subject pos
     | None -> None
     | Some (s, e) ->
@@ -687,19 +702,20 @@ let tier_search ?cap ?steps_acc ?limit t subject pos =
         Some
           { Rx_match.m_start = s; m_stop = e; m_groups = Array.make 1 None }
       else begin
-        Telemetry.Counter.incr dfa_confirm_counter;
+        rincr recorder dfa_confirm_counter;
         match Rx_match.match_at ?cap ?steps_acc t.node t.ngroups subject s with
         | Some _ as r -> r
         | None ->
           (* impossible by construction; never let an engine bug change
              results — re-run the whole search on the legacy tier *)
-          Telemetry.Counter.incr dfa_fallback_counter;
+          rincr recorder dfa_fallback_counter;
           bt_search ?cap ?steps_acc ?limit t subject pos
       end)
 
 let exec ?(pos = 0) ?limit t subject =
+  let recorder = Telemetry.recorder () in
   guarded (fun ?cap ?steps_acc () ->
-      match tier_search ?cap ?steps_acc ?limit t subject pos with
+      match tier_search ~recorder ?cap ?steps_acc ?limit t subject pos with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })
 
@@ -709,16 +725,17 @@ let matches t subject =
   | Some st ->
     (* boolean query: forward pass only, stopping at the first match
        flag — no backward pass, no capture confirmation *)
+    let recorder = Telemetry.recorder () in
     guarded (fun ?cap ?steps_acc () ->
-        Telemetry.Counter.incr exec_dfa_counter;
+        rincr recorder exec_dfa_counter;
         let cache = get_cache t st in
         match
-          Rx_dfa.is_match cache ?cap ?steps_acc ?first_bytes:t.first_bytes
-            ?first_byte:t.first_byte ~prefixes:t.start_prefixes
-            ~bol_only:t.bol_only subject 0
+          Rx_dfa.is_match cache ?recorder ?cap ?steps_acc
+            ?first_bytes:t.first_bytes ?first_byte:t.first_byte
+            ~prefixes:t.start_prefixes ~bol_only:t.bol_only subject 0
         with
         | exception Rx_dfa.Bail ->
-          Telemetry.Counter.incr dfa_fallback_counter;
+          rincr recorder dfa_fallback_counter;
           bt_search ?cap ?steps_acc t subject 0 <> None
         | found -> found)
 
@@ -771,29 +788,31 @@ let find_all t subject =
 
 let search_steps_histogram = Telemetry.Histogram.make "rx_search_steps"
 
-let exec_steps ?(pos = 0) ?limit t subject ~steps =
+let exec_steps ~recorder ?(pos = 0) ?limit t subject ~steps =
   guarded ~steps_acc:steps (fun ?cap ?steps_acc () ->
       let steps = match steps_acc with Some acc -> acc | None -> steps in
-      match tier_search ?cap ~steps_acc:steps ?limit t subject pos with
+      match tier_search ~recorder ?cap ~steps_acc:steps ?limit t subject pos with
       | None -> None
       | Some res -> Some { subject; res; ngroups = t.ngroups })
 
 let exec_counted ?pos ?limit t subject ~steps =
+  let recorder = Telemetry.recorder () in
   let before = !steps in
-  let result = exec_steps ?pos ?limit t subject ~steps in
-  Telemetry.Histogram.observe search_steps_histogram (!steps - before);
+  let result = exec_steps ~recorder ?pos ?limit t subject ~steps in
+  robserve recorder search_steps_histogram (!steps - before);
   result
 
-let observe_sweep before steps =
-  Telemetry.Histogram.observe search_steps_histogram (!steps - before)
+let observe_sweep recorder before steps =
+  robserve recorder search_steps_histogram (!steps - before)
 
 let find_all_counted t subject ~steps =
+  let recorder = Telemetry.recorder () in
   let before = !steps in
   let len = String.length subject in
   let rec loop pos acc =
     if pos > len then List.rev acc
     else
-      match exec_steps ~pos t subject ~steps with
+      match exec_steps ~recorder ~pos t subject ~steps with
       | None -> List.rev acc
       | Some m ->
         let next = if m_stop m = m_start m then m_stop m + 1 else m_stop m in
@@ -804,10 +823,10 @@ let find_all_counted t subject ~steps =
      the documented <=2% overhead budget. *)
   match loop 0 [] with
   | result ->
-    observe_sweep before steps;
+    observe_sweep recorder before steps;
     result
   | exception e ->
-    observe_sweep before steps;
+    observe_sweep recorder before steps;
     raise e
 
 let expand_template m template =
@@ -892,3 +911,83 @@ let split t subject =
         loop (m_stop m) (m_stop m) (field :: acc)
   in
   loop 0 0 []
+
+(* --- compiled-pattern codec ------------------------------------------------
+
+   Serialization of a fully compiled pattern for rule packs: the AST
+   (the backtracking matcher executes it directly) and the compile-time
+   search accelerators.  Decoding does no parsing or analysis
+   derivation — it only validates.  The DFA tier is NOT serialized:
+   [build_dfa] redoes determinization from the decoded AST.  Rule packs
+   decode patterns lazily (a pattern is only decoded when a scan
+   actually runs its rule), so the rebuild is off the cold-start path
+   and amortizes to nothing, whereas shipping the DFA's programs and
+   class tables roughly doubled every pattern's wire size — and pack
+   load cost scales with bytes read, hashed and allocated.  It also
+   keeps decode trivially consistent with [compile] under
+   [PATCHITPY_RX_TIER].  Each decoded value gets a fresh [uid] so the
+   per-domain transition caches can never alias it with another
+   pattern. *)
+
+let max_serialized_groups = 512
+
+let write_compiled buf t =
+  Binio.w_str buf t.source;
+  Binio.w_u16 buf t.ngroups;
+  Rx_ast.w_node buf t.node;
+  Binio.w_opt (fun buf fb -> Buffer.add_bytes buf fb) buf t.first_bytes;
+  Binio.w_array
+    (fun buf (lit, anchor) ->
+      Binio.w_str buf lit;
+      Binio.w_u8 buf anchor)
+    buf t.start_prefixes;
+  Binio.w_bool buf t.bol_only;
+  Binio.w_list Binio.w_str buf t.req_literals;
+  Binio.w_opt
+    (fun buf (fixed, runs) ->
+      Binio.w_u32 buf fixed;
+      Binio.w_u32 buf runs)
+    buf t.nl_budget
+
+let read_compiled r =
+  let source = Binio.r_str r in
+  let ngroups = Binio.r_u16 r in
+  if ngroups > max_serialized_groups then
+    raise (Binio.Corrupt (Printf.sprintf "group count %d out of range" ngroups));
+  let node = Rx_ast.r_node ~ngroups r in
+  let first_bytes =
+    Binio.r_opt (fun r -> Bytes.of_string (Binio.r_raw r 256)) r
+  in
+  let start_prefixes =
+    Binio.r_array
+      (fun r ->
+        let lit = Binio.r_str r in
+        let anchor = Binio.r_u8 r in
+        if String.length lit < 2 || anchor >= String.length lit then
+          raise (Binio.Corrupt "bad start-literal lane");
+        (lit, anchor))
+      r
+  in
+  let bol_only = Binio.r_bool r in
+  let req_literals = Binio.r_list Binio.r_str r in
+  let nl_budget =
+    Binio.r_opt
+      (fun r ->
+        let fixed = Binio.r_u32 r in
+        let runs = Binio.r_u32 r in
+        (fixed, runs))
+      r
+  in
+  {
+    source;
+    node;
+    ngroups;
+    first_bytes;
+    first_byte = single_first_byte first_bytes;
+    start_prefixes;
+    bol_only;
+    req_literals;
+    nl_budget;
+    dfa = build_dfa node;
+    uid = Atomic.fetch_and_add uid_source 1;
+  }

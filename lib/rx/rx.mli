@@ -251,3 +251,21 @@ val split : t -> string -> string list
 val expand_template : m -> string -> string
 (** [expand_template m template] performs the [$n] expansion of
     {!replace} against a single match. *)
+
+(** {1 Binary codec}
+
+    Rule packs store patterns fully compiled — AST, search
+    accelerators, DFA-tier programs — so loading one does no parsing,
+    analysis or determinization.  {!read_compiled} validates every
+    structural invariant the matchers index by and raises
+    {!Binio.Corrupt} / {!Binio.Truncated} on malformed input; decoded
+    patterns get a fresh cache identity and honour
+    [PATCHITPY_RX_TIER=backtrack] like {!compile}. *)
+
+val write_compiled : Buffer.t -> t -> unit
+(** Appends the serialized compiled pattern. *)
+
+val read_compiled : Binio.r -> t
+(** Decodes a pattern written by {!write_compiled}.
+    @raise Binio.Corrupt on structurally invalid input.
+    @raise Binio.Truncated if the input ends early. *)

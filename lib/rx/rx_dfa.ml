@@ -245,16 +245,25 @@ let flushes_counter = Telemetry.Counter.make "rx_dfa_cache_flushes_total"
 
 (* [ticks] is the number of bytes the search scanned through live
    states; each one took a cached or freshly materialized transition,
-   so hits = ticks - misses up to the skip jumps and mode switches. *)
-let publish cache ~ticks =
-  if Telemetry.enabled () then begin
+   so hits = ticks - misses up to the skip jumps and mode switches.
+   [recorder] is the caller's pre-fetched recording handle — the search
+   entry points accept one so a whole scan sweep pays the sink lookup
+   once; callers that did not thread one through still get recorded via
+   a local fetch. *)
+let publish cache ~recorder ~ticks =
+  (match
+     (match recorder with Some _ as r -> r | None -> Telemetry.recorder ())
+   with
+  | None -> ()
+  | Some r ->
+    (* one write batch for the whole search, squarely on the
+       instrumented scan hot path *)
     let hits = ticks - cache.c_misses in
-    if hits > 0 then Telemetry.Counter.incr ~by:hits hits_counter;
+    if hits > 0 then Telemetry.Counter.record r hits_counter hits;
     if cache.c_misses > 0 then
-      Telemetry.Counter.incr ~by:cache.c_misses misses_counter;
+      Telemetry.Counter.record r misses_counter cache.c_misses;
     if cache.c_flushes > 0 then
-      Telemetry.Counter.incr ~by:cache.c_flushes flushes_counter
-  end;
+      Telemetry.Counter.record r flushes_counter cache.c_flushes);
   cache.c_misses <- 0;
   cache.c_flushes <- 0
 
@@ -844,8 +853,8 @@ let backward_start cache ~cap ~steps ~low ~e subject =
   done;
   !best
 
-let search cache ?(cap = max_int) ?steps_acc ?limit ?first_bytes ?first_byte
-    ?(prefixes = [||]) ~bol_only subject pos =
+let search cache ?recorder ?(cap = max_int) ?steps_acc ?limit ?first_bytes
+    ?first_byte ?(prefixes = [||]) ~bol_only subject pos =
   if pos < 0 then invalid_arg "Rx: negative position";
   let len = String.length subject in
   let last = match limit with Some l -> min l len | None -> len in
@@ -864,14 +873,14 @@ let search cache ?(cap = max_int) ?steps_acc ?limit ?first_bytes ?first_byte
     end
   with
   | result ->
-    publish cache ~ticks:(!steps - t0);
+    publish cache ~recorder ~ticks:(!steps - t0);
     result
   | exception ex ->
-    publish cache ~ticks:(!steps - t0);
+    publish cache ~recorder ~ticks:(!steps - t0);
     raise ex
 
-let is_match cache ?(cap = max_int) ?steps_acc ?limit ?first_bytes ?first_byte
-    ?(prefixes = [||]) ~bol_only subject pos =
+let is_match cache ?recorder ?(cap = max_int) ?steps_acc ?limit ?first_bytes
+    ?first_byte ?(prefixes = [||]) ~bol_only subject pos =
   if pos < 0 then invalid_arg "Rx: negative position";
   let len = String.length subject in
   let last = match limit with Some l -> min l len | None -> len in
@@ -882,10 +891,10 @@ let is_match cache ?(cap = max_int) ?steps_acc ?limit ?first_bytes ?first_byte
       ~first_byte ~prefixes ~bol_only subject pos
   with
   | e ->
-    publish cache ~ticks:(!steps - t0);
+    publish cache ~recorder ~ticks:(!steps - t0);
     e >= 0
   | exception ex ->
-    publish cache ~ticks:(!steps - t0);
+    publish cache ~recorder ~ticks:(!steps - t0);
     raise ex
 
 (* Introspection for benchmarks and tests. *)

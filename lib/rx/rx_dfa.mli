@@ -48,6 +48,7 @@ val make_cache : ?max_states:int -> static -> cache
 
 val search :
   cache ->
+  ?recorder:Telemetry.recorder ->
   ?cap:int ->
   ?steps_acc:int ref ->
   ?limit:int ->
@@ -76,10 +77,14 @@ val search :
     tables at all.
     Each scanned byte ticks [steps_acc] once and is checked against
     [cap] ({!Rx_match.Budget_exceeded} past it) — the deadline hook.
+    [recorder], when supplied, is the pre-fetched telemetry handle the
+    cache-pressure counters are flushed through; without it the flush
+    fetches its own, so counts are identical either way.
     @raise Bail when the engine gives up (cache thrash). *)
 
 val is_match :
   cache ->
+  ?recorder:Telemetry.recorder ->
   ?cap:int ->
   ?steps_acc:int ref ->
   ?limit:int ->

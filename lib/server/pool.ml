@@ -20,6 +20,10 @@ type job = {
 
 type t = {
   scanner : Patchitpy.Scanner.t;
+  pack : (int * string) option;
+      (* (format version, catalog hash) when the plan came from a rule
+         pack — surfaced by [health] so clients can tell which rules a
+         daemon is running without access to its command line *)
   queue : job Bqueue.t;
   jobs : int;
   queue_capacity : int;
@@ -41,10 +45,17 @@ let latency_histogram =
 (* --- request execution ---------------------------------------------------- *)
 
 let health_body t =
+  let pack =
+    match t.pack with
+    | None -> "null"
+    | Some (version, hash) ->
+      Printf.sprintf "{\"formatVersion\":%d,\"catalogHash\":\"%s\"}" version
+        hash
+  in
   Printf.sprintf
-    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d}"
+    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d,\"rulePack\":%s}"
     Protocol.schema t.jobs (Bqueue.length t.queue)
-    (Atomic.get t.in_flight)
+    (Atomic.get t.in_flight) pack
 
 let stats_body fmt =
   match Telemetry.installed () with
@@ -110,8 +121,7 @@ let execute t (req : Protocol.request) =
           message = Printexc.to_string e;
         }
   in
-  Telemetry.Histogram.observe latency_histogram
-    (Int64.to_int (Int64.sub (Telemetry.now_ns ()) start));
+  Telemetry.Histogram.observe latency_histogram (Telemetry.now_ns () - start);
   outcome
 
 (* --- lifecycle ------------------------------------------------------------ *)
@@ -126,11 +136,12 @@ let rec worker_loop t =
     Atomic.decr t.in_flight;
     worker_loop t
 
-let create ~jobs ~queue_capacity ~scanner =
+let create ?pack ~jobs ~queue_capacity ~scanner () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     {
       scanner;
+      pack;
       queue = Bqueue.create ~capacity:queue_capacity;
       jobs;
       queue_capacity;

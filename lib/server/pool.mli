@@ -22,10 +22,18 @@
 type t
 
 val create :
-  jobs:int -> queue_capacity:int -> scanner:Patchitpy.Scanner.t -> t
+  ?pack:int * string ->
+  jobs:int ->
+  queue_capacity:int ->
+  scanner:Patchitpy.Scanner.t ->
+  unit ->
+  t
 (** Spawns [jobs] worker domains over a queue of [queue_capacity]
     slots.  The scanner is shared by reference — compiled scan plans
-    are immutable and domain-safe. *)
+    are immutable and domain-safe.  [pack] is the (format version,
+    catalog hash) of the rule pack the plan was loaded from, if any;
+    the [health] reply reports it so clients can tell which rules a
+    daemon is running. *)
 
 val submit : t -> Protocol.request -> deliver:(Protocol.response -> unit) -> unit
 (** Never blocks.  [deliver] is invoked exactly once per call: from a

@@ -123,7 +123,7 @@ let listener_loop pool lfd =
 
 (* --- lifecycle ------------------------------------------------------------ *)
 
-let run ~scanner config =
+let run ?pack ~scanner config =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let stop = Atomic.make false in
   let on_signal _ = Atomic.set stop true in
@@ -134,8 +134,8 @@ let run ~scanner config =
      the worker hot path. *)
   Telemetry.install (Telemetry.create ());
   let pool =
-    Pool.create ~jobs:config.jobs ~queue_capacity:config.queue_capacity
-      ~scanner
+    Pool.create ?pack ~jobs:config.jobs ~queue_capacity:config.queue_capacity
+      ~scanner ()
   in
   let stdin_eof = Atomic.make false in
   let stdout_mutex = Mutex.create () in

@@ -19,7 +19,8 @@ type config = {
   drain_timeout : float;  (** seconds to wait for in-flight work on shutdown *)
 }
 
-val run : scanner:Patchitpy.Scanner.t -> config -> int
+val run :
+  ?pack:int * string -> scanner:Patchitpy.Scanner.t -> config -> int
 (** Blocks until shutdown; returns the process exit code (0 after a
     graceful or timed-out drain).  Installs a process-wide telemetry
     sink and SIGTERM/SIGINT/SIGPIPE handlers. *)

@@ -8,7 +8,27 @@
    around slot allocation (once per instrument) and collector
    registration (once per domain per sink), both off the hot path. *)
 
-let now_ns = Monotonic_clock.now
+external now_ns : unit -> (int[@untagged]) = "tele_now_ns" "tele_now_ns_unboxed"
+[@@noalloc]
+
+external now_ticks : unit -> (int[@untagged]) = "tele_ticks" "tele_ticks_unboxed"
+[@@noalloc]
+
+(* ns per tick, calibrated lazily: the conversion only happens at
+   report time, which can afford the 200 us spin; recording paths
+   store raw ticks.  On non-x86 hosts ticks already are ns and the
+   factor comes out ~1. *)
+let ns_per_tick =
+  lazy
+    (let t0 = now_ns () and c0 = now_ticks () in
+     while now_ns () - t0 < 200_000 do
+       ()
+     done;
+     let t1 = now_ns () and c1 = now_ticks () in
+     if c1 = c0 then 1.0 else float_of_int (t1 - t0) /. float_of_int (c1 - c0))
+
+let ticks_to_ns t =
+  int_of_float ((float_of_int t *. Lazy.force ns_per_tick) +. 0.5)
 
 (* --- instrument registry ------------------------------------------------- *)
 
@@ -117,6 +137,18 @@ let with_sink s f =
 
 let collector_of s = Domain.DLS.get s.key
 
+(* A recorder is this domain's collector for the installed sink,
+   fetched once and then written through directly: instrument sites
+   that record several values per event (the DFA publish path) pay the
+   [Atomic.get] + [Domain.DLS.get] entry cost once instead of per
+   value. *)
+type recorder = collector
+
+let recorder () =
+  match Atomic.get current with
+  | None -> None
+  | Some s -> Some (collector_of s)
+
 (* --- counters ------------------------------------------------------------ *)
 
 module Counter = struct
@@ -124,18 +156,20 @@ module Counter = struct
 
   let make name = { slot = intern counter_slots counter_names name }
 
+  let record (col : recorder) c by =
+    let n = Array.length col.c_counters in
+    if c.slot >= n then begin
+      let grown = Array.make (max (c.slot + 1) (2 * n)) 0 in
+      Array.blit col.c_counters 0 grown 0 n;
+      col.c_counters <- grown
+    end;
+    Array.unsafe_set col.c_counters c.slot
+      (Array.unsafe_get col.c_counters c.slot + by)
+
   let incr ?(by = 1) c =
     match Atomic.get current with
     | None -> ()
-    | Some s ->
-      let col = collector_of s in
-      let n = Array.length col.c_counters in
-      if c.slot >= n then begin
-        let grown = Array.make (max (c.slot + 1) (2 * n)) 0 in
-        Array.blit col.c_counters 0 grown 0 n;
-        col.c_counters <- grown
-      end;
-      col.c_counters.(c.slot) <- col.c_counters.(c.slot) + by
+    | Some s -> record (collector_of s) c by
 end
 
 (* --- histograms ---------------------------------------------------------- *)
@@ -150,39 +184,48 @@ module Histogram = struct
 
   let make name = { slot = intern histo_slots histo_names name }
 
+  (* floor(log2 v) by binary descent: six branches whatever the value,
+     where the shift-loop version cost one iteration per bit and showed
+     up in the instrumented scan path (steps histograms observe values
+     in the thousands). *)
   let bucket_of v =
     if v <= 1 then 0
     else begin
       let i = ref 0 and v = ref v in
-      while !v > 1 do
-        incr i;
-        v := !v lsr 1
-      done;
+      if !v >= 1 lsl 32 then begin i := !i + 32; v := !v lsr 32 end;
+      if !v >= 1 lsl 16 then begin i := !i + 16; v := !v lsr 16 end;
+      if !v >= 1 lsl 8 then begin i := !i + 8; v := !v lsr 8 end;
+      if !v >= 1 lsl 4 then begin i := !i + 4; v := !v lsr 4 end;
+      if !v >= 1 lsl 2 then begin i := !i + 2; v := !v lsr 2 end;
+      if !v >= 2 then incr i;
       min !i (n_buckets - 1)
     end
+
+  let record (col : recorder) h v =
+    let v = if v < 0 then 0 else v in
+    let n = Array.length col.c_histos in
+    if h.slot >= n then begin
+      let grown = Array.make (max (h.slot + 1) (2 * n)) [||] in
+      Array.blit col.c_histos 0 grown 0 n;
+      col.c_histos <- grown
+    end;
+    let data =
+      match Array.unsafe_get col.c_histos h.slot with
+      | [||] ->
+        let d = Array.make (n_buckets + 1) 0 in
+        col.c_histos.(h.slot) <- d;
+        d
+      | d -> d
+    in
+    (* data is always n_buckets + 1 long and bucket_of < n_buckets *)
+    let b = bucket_of v in
+    Array.unsafe_set data b (Array.unsafe_get data b + 1);
+    Array.unsafe_set data n_buckets (Array.unsafe_get data n_buckets + v)
 
   let observe h v =
     match Atomic.get current with
     | None -> ()
-    | Some s ->
-      let v = max 0 v in
-      let col = collector_of s in
-      let n = Array.length col.c_histos in
-      if h.slot >= n then begin
-        let grown = Array.make (max (h.slot + 1) (2 * n)) [||] in
-        Array.blit col.c_histos 0 grown 0 n;
-        col.c_histos <- grown
-      end;
-      let data =
-        match col.c_histos.(h.slot) with
-        | [||] ->
-          let d = Array.make (n_buckets + 1) 0 in
-          col.c_histos.(h.slot) <- d;
-          d
-        | d -> d
-      in
-      data.(bucket_of v) <- data.(bucket_of v) + 1;
-      data.(n_buckets) <- data.(n_buckets) + v
+    | Some s -> record (collector_of s) h v
 end
 
 module Span = struct
@@ -192,8 +235,7 @@ module Span = struct
     | Some _ ->
       let t0 = now_ns () in
       Fun.protect
-        ~finally:(fun () ->
-          Histogram.observe h (Int64.to_int (Int64.sub (now_ns ()) t0)))
+        ~finally:(fun () -> Histogram.observe h (now_ns () - t0))
         f
 end
 
@@ -301,6 +343,11 @@ module Report = struct
             add_into acc.budget_exhausted b.budget_exhausted)
           col.c_blocks)
       collectors;
+    (* recorded as raw ticks on the hot path; reports are in ns *)
+    Hashtbl.iter
+      (fun _ ((_ : Rules.def), (b : Rules.block)) ->
+        Array.iteri (fun i t -> b.time_ns.(i) <- ticks_to_ns t) b.time_ns)
+      merged;
     let rulesets =
       Hashtbl.fold (fun stamp (def, b) acc -> (stamp, def, b) :: acc) merged []
       |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

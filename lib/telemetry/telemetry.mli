@@ -51,9 +51,32 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 (** [with_sink s f] installs [s], runs [f], and restores the previously
     installed sink (or none) even if [f] raises. *)
 
-val now_ns : unit -> int64
+val now_ns : unit -> int
 (** The monotonic clock (CLOCK_MONOTONIC), in nanoseconds.  Never goes
     backwards; unrelated to wall time. *)
+
+val now_ticks : unit -> int
+(** The cheapest available time source (raw TSC on x86, the monotonic
+    clock elsewhere), for quantities that are only ever {e summed} and
+    reported later: readings are raw ticks, converted to ns at report
+    time against a lazily calibrated factor.  A read costs a few ns
+    where {!now_ns} costs ~30; never goes backwards on one core, not
+    comparable across hosts or reboots. *)
+
+val ticks_to_ns : int -> int
+(** Converts a {!now_ticks} difference to nanoseconds.  First call
+    calibrates (~200 us spin); report paths only. *)
+
+type recorder
+(** One domain's recording handle for the installed sink: fetch once
+    with {!recorder}, then {!Counter.record}/{!Histogram.record}
+    through it.  Instrument sites that record several values per event
+    pay the sink lookup once instead of per value.  Do not hold one
+    across domains or across sink changes. *)
+
+val recorder : unit -> recorder option
+(** The calling domain's recorder for the installed sink, or [None]
+    when telemetry is off. *)
 
 (** Monotone counters. *)
 module Counter : sig
@@ -68,6 +91,9 @@ module Counter : sig
   (** Adds [by] (default 1) to the counter in the current domain's
       collector of the installed sink; no-op when no sink is
       installed.  [by] must be non-negative (counters are monotone). *)
+
+  val record : recorder -> t -> int -> unit
+  (** [record r c by] adds [by] through an already-fetched recorder. *)
 end
 
 (** Latency/size histograms over fixed log-spaced (power-of-two)
@@ -85,6 +111,9 @@ module Histogram : sig
   val observe : t -> int -> unit
   (** Records one value (clamped to [0] below).  No-op when no sink is
       installed. *)
+
+  val record : recorder -> t -> int -> unit
+  (** [record r h v] observes [v] through an already-fetched recorder. *)
 end
 
 (** Monotonic-clock spans: time a region and record the elapsed

@@ -1,0 +1,48 @@
+/* Clocks for the instrumented hot paths.
+ *
+ * Both return unboxed OCaml ints: the per-candidate-rule timing chain
+ * reads a clock once per rule, and a boxed Int64 result would allocate
+ * on every read and push the telemetry-on overhead past its documented
+ * <= 2% budget.  62 bits of nanoseconds overflow after ~146 years.
+ *
+ * tele_ticks is the cheap time source for quantities that are only
+ * *summed* (per-rule attributed time): raw TSC on x86, where a read is
+ * a few ns against ~30 ns for clock_gettime, converted to ns at report
+ * time against a calibration run.  Elsewhere it falls back to the
+ * monotonic clock, making the calibration factor ~1. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+intnat tele_now_ns_unboxed(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec;
+}
+
+CAMLprim value tele_now_ns(value unit)
+{
+  (void)unit;
+  return Val_long(tele_now_ns_unboxed());
+}
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+
+intnat tele_ticks_unboxed(void)
+{
+  return (intnat)__rdtsc();
+}
+#else
+intnat tele_ticks_unboxed(void)
+{
+  return tele_now_ns_unboxed();
+}
+#endif
+
+CAMLprim value tele_ticks(value unit)
+{
+  (void)unit;
+  return Val_long(tele_ticks_unboxed());
+}

@@ -165,7 +165,7 @@ let test_fig3 () =
 (* Parallel scan-plan compilation must be indistinguishable from
    sequential: same findings on sources that exercise many rules. *)
 let test_parallel_compile_deterministic () =
-  let seq = Patchitpy.Scanner.compile Patchitpy.Catalog.all in
+  let seq = Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()) in
   let par = Experiments.compile_catalog_parallel ~jobs:4 () in
   let key (f : Patchitpy.Scanner.finding) =
     ( f.Patchitpy.Scanner.rule.Patchitpy.Rule.id,

@@ -14,7 +14,7 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
 
-let scanner = lazy (Scanner.compile Catalog.all)
+let scanner = lazy (Scanner.compile (Catalog.all ()))
 
 (* --- oracles ----------------------------------------------------------- *)
 

@@ -207,13 +207,13 @@ let pairs =
   ]
 
 let test_catalog_shape () =
-  check_int "85 rules as in the paper" 85 Catalog.count;
+  check_int "85 rules as in the paper" 85 (Catalog.count ());
   check_int "pairs cover every rule" 85 (List.length pairs);
-  check_bool "most rules carry a fix" true (Catalog.fixable_count >= 60);
+  check_bool "most rules carry a fix" true ((Catalog.fixable_count ()) >= 60);
   check_bool "all CWEs known" true
-    (List.for_all Cwe.is_known Catalog.covered_cwes);
+    (List.for_all Cwe.is_known (Catalog.covered_cwes ()));
   check_bool "all rules OWASP-mapped" true
-    (List.for_all (fun r -> Rule.owasp r <> None) Catalog.all);
+    (List.for_all (fun r -> Rule.owasp r <> None) (Catalog.all ()));
   check_bool "several categories populated" true
     (List.length
        (List.filter (fun c -> Catalog.by_owasp c <> []) Owasp.all)
@@ -447,11 +447,11 @@ let js_pairs =
 let js_fires id src =
   List.exists
     (fun (f : Engine.finding) -> f.Engine.rule.Rule.id = id)
-    (Engine.scan ~rules:Catalog.javascript src)
+    (Engine.scan ~rules:(Catalog.javascript ()) src)
 
 let test_js_pack () =
-  check_int "pack covers 16 rules" 16 (List.length Catalog.javascript);
-  check_int "pairs cover the pack" (List.length Catalog.javascript)
+  check_int "pack covers 16 rules" 16 (List.length (Catalog.javascript ()));
+  check_int "pairs cover the pack" (List.length (Catalog.javascript ()))
     (List.length js_pairs);
   List.iter
     (fun (id, vuln, safe) ->
@@ -464,10 +464,10 @@ let test_js_patching () =
   List.iter
     (fun (id, vuln, _) ->
       match
-        List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) Catalog.javascript
+        List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) (Catalog.javascript ())
       with
       | Some rule when Rule.fixable rule ->
-        let r = Patcher.patch ~rules:Catalog.javascript vuln in
+        let r = Patcher.patch ~rules:(Catalog.javascript ()) vuln in
         if js_fires id r.Patcher.patched then
           Alcotest.failf "%s still fires after patching" id
       | Some _ | None -> ())
@@ -478,7 +478,7 @@ let test_js_ids_disjoint () =
     (fun (r : Rule.t) ->
       if Catalog.find r.Rule.id <> None then
         Alcotest.failf "JS id %s collides with the Python catalog" r.Rule.id)
-    Catalog.javascript
+    (Catalog.javascript ())
 
 (* --- JSON output --------------------------------------------------------- *)
 
@@ -526,18 +526,18 @@ let test_sarif_shape () =
       {|"cwe":"CWE-078"|};
     ];
   (* driver metadata lists the whole catalog *)
-  check_int "one rule entry per catalog rule" Catalog.count
+  check_int "one rule entry per catalog rule" (Catalog.count ())
     (List.length (Rx.find_all (Rx.compile {|"shortDescription"|}) doc))
 
 let test_catalog_markdown () =
-  let md = Report.catalog_markdown Catalog.all in
+  let md = Report.catalog_markdown (Catalog.all ()) in
   check_bool "has injection section" true
     (Rx.matches (Rx.compile "A03:2021 Injection") md);
   check_bool "documents every rule" true
     (List.for_all
        (fun (r : Rule.t) -> Rx.matches (Rx.compile r.Rule.id) md)
-       Catalog.all);
-  let js = Report.catalog_markdown Catalog.javascript in
+       (Catalog.all ()));
+  let js = Report.catalog_markdown (Catalog.javascript ()) in
   check_bool "js pack renders" true (Rx.matches (Rx.compile "PIT-JS-001") js)
 
 (* --- JSON input / custom rule files -------------------------------------- *)
@@ -580,7 +580,7 @@ let test_rule_file_load () =
     Alcotest.(check string) "id" "ACME-001" rule.Rule.id;
     check_bool "fixable" true (Rule.fixable rule);
     (* custom rules run through the ordinary engine *)
-    let rules = Catalog.all @ [ rule ] in
+    let rules = (Catalog.all ()) @ [ rule ] in
     let src = "data = acme_http.fetch(url)\n" in
     check_bool "detects" true (Patchitpy.Engine.is_vulnerable ~rules src);
     let r = Patcher.patch ~rules src in

@@ -274,7 +274,7 @@ let finding_key (f : Patchitpy.Scanner.finding) =
    f.Patchitpy.Scanner.stop)
 
 let test_corpus_differential () =
-  let rules = Patchitpy.Catalog.all in
+  let rules = Patchitpy.(Catalog.all ()) in
   let pinned =
     List.map
       (fun (r : Patchitpy.Rule.t) ->

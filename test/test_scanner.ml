@@ -104,12 +104,12 @@ let same_findings label reference (actual : Scanner.finding list) =
 (* The headline equivalence property: over the whole 609-sample corpus,
    the compiled plan reproduces the seed algorithm byte for byte. *)
 let test_corpus_equivalence () =
-  let scanner = Scanner.compile Catalog.all in
+  let scanner = Scanner.compile (Catalog.all ()) in
   List.iter
     (fun (s : G.sample) ->
       let label = G.model_name s.G.model ^ "/" ^ s.G.scenario.Corpus.Scenario.sid in
       same_findings label
-        (reference_scan Catalog.all s.G.code)
+        (reference_scan (Catalog.all ()) s.G.code)
         (Scanner.scan scanner s.G.code))
     (G.all_samples ())
 
@@ -117,7 +117,7 @@ let test_engine_delegates () =
   (* Engine.scan is the scanner behind a compatibility signature. *)
   let src = "import os\nos.system(cmd)\napp.run(debug=True)\n" in
   let via_engine = Engine.scan src in
-  let via_scanner = Scanner.scan (Scanner.compile Catalog.all) src in
+  let via_scanner = Scanner.scan (Scanner.compile (Catalog.all ())) src in
   check_int "same count" (List.length via_scanner) (List.length via_engine);
   List.iter2
     (fun (a : Scanner.finding) (b : Scanner.finding) ->
@@ -127,9 +127,9 @@ let test_engine_delegates () =
   check_bool "found something" true (via_engine <> [])
 
 let test_js_catalog_equivalence () =
-  let scanner = Scanner.compile Catalog.javascript in
+  let scanner = Scanner.compile (Catalog.javascript ()) in
   let src = "const q = `SELECT * FROM t WHERE id = ${id}`;\neval(payload);\n" in
-  same_findings "js" (reference_scan Catalog.javascript src) (Scanner.scan scanner src)
+  same_findings "js" (reference_scan (Catalog.javascript ()) src) (Scanner.scan scanner src)
 
 (* --- scan_selection ------------------------------------------------------ *)
 
@@ -142,7 +142,7 @@ let sel_src =
    y = 2\n\
    eval(payload)"
 
-let sel_scanner = lazy (Scanner.compile Catalog.all)
+let sel_scanner = lazy (Scanner.compile (Catalog.all ()))
 
 let ids findings =
   List.map (fun (f : Scanner.finding) -> f.Scanner.rule.Rule.id) findings

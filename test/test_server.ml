@@ -7,7 +7,7 @@ module Protocol = Server.Protocol
 module Bqueue = Server.Bqueue
 module Pool = Server.Pool
 
-let catalog_scanner = lazy (Patchitpy.Scanner.compile Patchitpy.Catalog.all)
+let catalog_scanner = lazy (Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()))
 
 (* --- generators ----------------------------------------------------------- *)
 
@@ -257,7 +257,7 @@ let collector () =
 
 let test_pool_differential () =
   let scanner = Lazy.force catalog_scanner in
-  let pool = Pool.create ~jobs:1 ~queue_capacity:4 ~scanner in
+  let pool = Pool.create ~jobs:1 ~queue_capacity:4 ~scanner () in
   let mismatches = ref 0 and total = ref 0 in
   List.iter
     (fun (sample : Corpus.Generator.sample) ->
@@ -288,27 +288,32 @@ let test_pool_differential () =
     (Printf.sprintf "byte-identical scan bodies over %d samples" !total)
     0 !mismatches
 
+(* A fix whose rewrite IR embeds an unparseable regex: evaluation raises
+   Rx.Parse_error inside the worker, standing in for any exception a
+   request can throw. *)
 let poison_rule =
   Patchitpy.Rule.make ~id:"TST-666" ~title:"poison pill" ~cwe:20
     ~severity:Patchitpy.Rule.Low ~pattern:"poison_me\\(\\)"
-    ~fix:(Patchitpy.Rule.Rewrite (fun _ -> failwith "poisoned payload"))
-    ~note:"test-only" ()
-
-let slow_rule delay =
-  Patchitpy.Rule.make ~id:"TST-777" ~title:"slow fix" ~cwe:20
-    ~severity:Patchitpy.Rule.Low ~pattern:"slow_call\\(\\)"
     ~fix:
       (Patchitpy.Rule.Rewrite
-         (fun _ ->
-           Unix.sleepf delay;
-           "fast_call()"))
+         [ Patchitpy.Rewrite.Str
+             ( Patchitpy.Rewrite.Whole,
+               [ Patchitpy.Rewrite.Subst { pat = "(poisoned"; with_ = "" } ] )
+         ])
     ~note:"test-only" ()
+
+(* Keeps a worker occupied for [delay] seconds after a request: delivery
+   runs on the worker domain, so a sleeping [deliver] holds the domain
+   exactly as a slow fix closure used to. *)
+let slow_deliver delay deliver resp =
+  Unix.sleepf delay;
+  deliver resp
 
 let test_pool_poison_isolation () =
   (* one worker: the request after the poisoned one runs on the same
      domain, proving the worker survived the exception *)
-  let scanner = Patchitpy.Scanner.compile (poison_rule :: Patchitpy.Catalog.all) in
-  let pool = Pool.create ~jobs:1 ~queue_capacity:8 ~scanner in
+  let scanner = Patchitpy.Scanner.compile (poison_rule :: Patchitpy.(Catalog.all ())) in
+  let pool = Pool.create ~jobs:1 ~queue_capacity:8 ~scanner () in
   let deliver, await = collector () in
   Pool.submit pool (patch_request ~id:"bad" "x = poison_me()\n") ~deliver;
   Pool.submit pool
@@ -322,7 +327,7 @@ let test_pool_poison_isolation () =
     Alcotest.(check string) "error kind" "error"
       (Protocol.error_kind_to_string error);
     Alcotest.(check bool) "carries the exception" true
-      (contains_substring message "poisoned payload");
+      (contains_substring message "Parse_error");
     Alcotest.(check string) "next request answered" "good" id2;
     Alcotest.(check string) "as a scan" "scan" kind
   | _ -> Alcotest.failf "unexpected responses (%d)" (List.length responses));
@@ -331,6 +336,7 @@ let test_pool_poison_isolation () =
 let test_pool_deadline_timeout () =
   let pool =
     Pool.create ~jobs:1 ~queue_capacity:4 ~scanner:(Lazy.force catalog_scanner)
+      ()
   in
   let source =
     String.concat "\n"
@@ -354,12 +360,13 @@ let test_pool_deadline_timeout () =
   ignore (Pool.shutdown ~drain_timeout:5. pool)
 
 let test_pool_backpressure () =
-  let scanner = Patchitpy.Scanner.compile (slow_rule 0.3 :: Patchitpy.Catalog.all) in
-  let pool = Pool.create ~jobs:1 ~queue_capacity:2 ~scanner in
+  let scanner = Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()) in
+  let pool = Pool.create ~jobs:1 ~queue_capacity:2 ~scanner () in
   let deliver, await = collector () in
-  let slow id = patch_request ~id "y = slow_call()\n" in
+  let deliver = slow_deliver 0.3 deliver in
+  let slow id = patch_request ~id "y = fast_call()\n" in
   Pool.submit pool (slow "s1") ~deliver;
-  Unix.sleepf 0.05; (* the worker is now asleep inside s1's fix *)
+  Unix.sleepf 0.05; (* the worker is now asleep delivering s1 *)
   Pool.submit pool (slow "s2") ~deliver;
   Pool.submit pool (slow "s3") ~deliver;
   Pool.submit pool (slow "s4") ~deliver; (* queue holds s2+s3: full *)
@@ -388,11 +395,12 @@ let test_pool_backpressure () =
   ignore (Pool.shutdown ~drain_timeout:5. pool)
 
 let test_pool_drain () =
-  let scanner = Patchitpy.Scanner.compile (slow_rule 0.1 :: Patchitpy.Catalog.all) in
-  let pool = Pool.create ~jobs:1 ~queue_capacity:8 ~scanner in
+  let scanner = Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()) in
+  let pool = Pool.create ~jobs:1 ~queue_capacity:8 ~scanner () in
   let deliver, await = collector () in
-  Pool.submit pool (patch_request ~id:"d1" "y = slow_call()\n") ~deliver;
-  Pool.submit pool (patch_request ~id:"d2" "y = slow_call()\n") ~deliver;
+  let deliver = slow_deliver 0.1 deliver in
+  Pool.submit pool (patch_request ~id:"d1" "y = fast_call()\n") ~deliver;
+  Pool.submit pool (patch_request ~id:"d2" "y = fast_call()\n") ~deliver;
   (* drain must finish the in-flight work within the budget... *)
   Alcotest.(check bool) "drained" true (Pool.shutdown ~drain_timeout:10. pool);
   Alcotest.(check int) "nothing pending" 0 (Pool.pending pool);
@@ -408,10 +416,11 @@ let test_pool_drain () =
   | _ -> Alcotest.fail "late submission must be refused"
 
 let test_pool_drain_timeout () =
-  let scanner = Patchitpy.Scanner.compile (slow_rule 1.5 :: Patchitpy.Catalog.all) in
-  let pool = Pool.create ~jobs:1 ~queue_capacity:4 ~scanner in
+  let scanner = Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()) in
+  let pool = Pool.create ~jobs:1 ~queue_capacity:4 ~scanner () in
   let deliver, await = collector () in
-  Pool.submit pool (patch_request ~id:"stuck" "y = slow_call()\n") ~deliver;
+  let deliver = slow_deliver 1.5 deliver in
+  Pool.submit pool (patch_request ~id:"stuck" "y = fast_call()\n") ~deliver;
   Unix.sleepf 0.05;
   let t0 = Unix.gettimeofday () in
   Alcotest.(check bool) "drain cut short" false
@@ -435,7 +444,7 @@ let test_batch_compiles_once () =
   Telemetry.with_sink sink (fun () ->
       (* the batch pattern used by the multi-file CLI and the daemon:
          one compile, then every file through the same plan *)
-      let scanner = Patchitpy.Scanner.compile Patchitpy.Catalog.all in
+      let scanner = Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()) in
       List.iter
         (fun src -> ignore (Patchitpy.Patcher.patch ~scanner src))
         sources);
@@ -448,7 +457,7 @@ let test_batch_compiles_once () =
   Telemetry.with_sink sink2 (fun () ->
       List.iter
         (fun src ->
-          ignore (Patchitpy.Patcher.patch ~rules:Patchitpy.Catalog.all src))
+          ignore (Patchitpy.Patcher.patch ~rules:Patchitpy.(Catalog.all ()) src))
         sources);
   let report2 = Telemetry.Report.of_sink sink2 in
   Alcotest.(check int) "per-call compiles without sharing" 3
