@@ -100,6 +100,17 @@ let micro_tests =
         (Staged.stage (fun () ->
              Telemetry.with_sink bench_sink (fun () ->
                  ignore (Patchitpy.Scanner.scan catalog_scanner sample_flask))));
+      (* The flight recorder's whole per-request cost: builder, scan
+         span, ring publication.  Enable/disable inside the staged
+         function so the plain row above really runs with tracing off
+         whatever order Bechamel picks; both toggles are one atomic
+         store.  CI gates this row at <= 2% over the plain row. *)
+      Test.make ~name:"scanner-scan-per-sample (tracing on)"
+        (Staged.stage (fun () ->
+             Telemetry.Trace.enable ();
+             Telemetry.Trace.with_request ~id:"bench" ~kind:"scan" (fun () ->
+                 ignore (Patchitpy.Scanner.scan catalog_scanner sample_flask));
+             Telemetry.Trace.disable ()));
       Test.make ~name:"tableII-detect-per-sample"
         (Staged.stage (fun () -> ignore (Patchitpy.Engine.scan sample_flask)));
       Test.make ~name:"tableIII-patch-per-sample"
@@ -168,6 +179,11 @@ let percentile sorted p =
 let measure_serve jobs =
   let workload = Array.of_list (serve_workload ()) in
   let n = Array.length workload in
+  (* Fresh flight recorder sized to hold the whole workload: the
+     queue-wait rows below come from its per-request records, the same
+     samples `serve stats` summarizes on a live daemon. *)
+  Telemetry.Trace.reset ();
+  Telemetry.Trace.enable ~capacity:256 ();
   let pool =
     Server.Pool.create ~jobs ~queue_capacity:256 ~scanner:catalog_scanner ()
   in
@@ -209,17 +225,34 @@ let measure_serve jobs =
   done;
   let elapsed = float_of_int (Telemetry.now_ns () - t0) in
   ignore (Server.Pool.shutdown ~drain_timeout:30. pool);
+  (* Workers are quiesced: read the flight recorder for the queue-wait
+     decomposition (the external latency above cannot separate waiting
+     from service). *)
+  let queue_wait_ns =
+    Array.of_list
+      (List.map
+         (fun r -> float_of_int (Telemetry.Trace.queue_wait_ns r))
+         (Telemetry.Trace.records ()))
+  in
+  Telemetry.Trace.disable ();
+  Array.sort compare queue_wait_ns;
   Array.sort compare latency_ns;
-  (elapsed /. float_of_int n, percentile latency_ns 0.50, percentile latency_ns 0.99)
+  ( elapsed /. float_of_int n,
+    percentile latency_ns 0.50,
+    percentile latency_ns 0.99,
+    percentile queue_wait_ns 0.50,
+    percentile queue_wait_ns 0.99 )
 
 let measure_serve_rows () =
   List.concat_map
     (fun jobs ->
-      let per_req, p50, p99 = measure_serve jobs in
+      let per_req, p50, p99, qw50, qw99 = measure_serve jobs in
       [
         (Printf.sprintf "patchitpy/serve-throughput-jobs%d" jobs, per_req);
         (Printf.sprintf "patchitpy/serve-latency-p50-jobs%d" jobs, p50);
         (Printf.sprintf "patchitpy/serve-latency-p99-jobs%d" jobs, p99);
+        (Printf.sprintf "patchitpy/serve-queue-wait-p50-jobs%d" jobs, qw50);
+        (Printf.sprintf "patchitpy/serve-queue-wait-p99-jobs%d" jobs, qw99);
       ])
     [ 1; 4 ]
 

@@ -46,19 +46,33 @@ let stats_arg =
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Collect telemetry during the run and write the full \
-                 report as JSON (schema patchitpy-telemetry/1) to $(docv).")
+           ~doc:"Record a per-file request trace (phase spans: scan, \
+                 rescan, patch rounds; DFA cache and deadline events) \
+                 and write it as Chrome trace_event JSON to $(docv) — \
+                 load it in Perfetto or chrome://tracing.  The aggregate \
+                 telemetry report (schema patchitpy-telemetry/1) is \
+                 embedded under otherData.telemetry.")
 
 (* Runs [f] under a fresh telemetry sink when --stats or --trace asked
-   for one; otherwise telemetry stays off (the one-branch fast path). *)
+   for one; otherwise telemetry stays off (the one-branch fast path).
+   --trace additionally turns on the flight recorder: each scanned or
+   patched file becomes one trace record with real phase spans, dumped
+   as a Chrome trace_event document with the aggregate report embedded. *)
 let with_telemetry ~stats ~trace f =
   if not stats && trace = None then f ()
   else begin
     let sink = Telemetry.create () in
+    if trace <> None then Telemetry.Trace.enable ();
     let result = Telemetry.with_sink sink f in
     let report = Telemetry.Report.of_sink sink in
     (match trace with
-    | Some path -> write_file path (Telemetry.Report.to_json report)
+    | Some path ->
+      write_file path
+        (Telemetry.Trace.to_chrome
+           ~extra:[ ("telemetry", Telemetry.Report.to_json report) ]
+           (Telemetry.Trace.records ())
+        ^ "\n");
+      Telemetry.Trace.disable ()
     | None -> ());
     if stats then begin
       prerr_string (Experiments.Profile.summary report);
@@ -221,6 +235,7 @@ let scan_cmd =
       with_telemetry ~stats ~trace @@ fun () ->
       List.map
         (fun path ->
+          Telemetry.Trace.with_request ~id:path ~kind:"scan" @@ fun () ->
           let source = read_file path in
           let findings, warnings =
             match lines with
@@ -316,6 +331,7 @@ let patch_cmd =
     with_telemetry ~stats ~trace @@ fun () ->
     List.iter
       (fun file ->
+        Telemetry.Trace.with_request ~id:file ~kind:"patch" @@ fun () ->
         let source = read_file file in
         let r = Patchitpy.Patcher.patch ~scanner source in
         (match patch_file with
@@ -387,8 +403,20 @@ let serve_cmd =
              ~doc:"On SIGTERM/SIGINT, wait up to $(docv) seconds for \
                    in-flight requests before exiting (default 10).")
   in
-  let run socket jobs queue drain_timeout lang rules_file only exclude
-      rule_pack =
+  let trace_dir =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"On shutdown, dump the request flight recorder (the \
+                   last requests per worker domain, with phase spans: \
+                   intake, queue wait, dispatch, scan, serialize, write) \
+                   into $(docv): serve-<pid>.trace.json (Chrome \
+                   trace_event, Perfetto-loadable) and serve-<pid>.ndjson \
+                   (compact patchitpy-trace/1 lines).  The recorder is \
+                   always on; this flag only adds the on-exit dump — the \
+                   $(b,trace) request kind reads it live.")
+  in
+  let run socket jobs queue drain_timeout trace_dir lang rules_file only
+      exclude rule_pack =
     if jobs < 1 then begin
       prerr_endline "error: --jobs must be >= 1";
       exit 2
@@ -409,7 +437,13 @@ let serve_cmd =
     in
     exit
       (Server.Serve.run ?pack ~scanner
-         { Server.Serve.socket; jobs; queue_capacity = queue; drain_timeout })
+         {
+           Server.Serve.socket;
+           jobs;
+           queue_capacity = queue;
+           drain_timeout;
+           trace_dir;
+         })
   in
   let doc =
     "Run a long-lived scan/patch service: newline-delimited JSON requests \
@@ -418,8 +452,8 @@ let serve_cmd =
      scan plan."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket $ jobs $ queue $ drain_timeout $ lang_arg
-          $ rules_file_arg $ only_arg $ exclude_arg $ rule_pack_arg)
+    Term.(const run $ socket $ jobs $ queue $ drain_timeout $ trace_dir
+          $ lang_arg $ rules_file_arg $ only_arg $ exclude_arg $ rule_pack_arg)
 
 (* --- rules --------------------------------------------------------------- *)
 
@@ -646,6 +680,16 @@ let profile_cmd =
              ~doc:"Also run the patcher on every sample, adding patch-round \
                    and import counters to the report.")
   in
+  (* Unlike scan/patch --trace (per-request phase spans), profile's
+     --trace is the aggregate report: the corpus run is one big batch,
+     not a stream of requests. *)
+  let profile_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Collect telemetry during the run and write the full \
+                   report as JSON (schema patchitpy-telemetry/1) to \
+                   $(docv).")
+  in
   let run jobs json wall top limit patch trace =
     let p = Experiments.Profile.run ?jobs ?limit ~patch () in
     (match trace with
@@ -662,7 +706,7 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ jobs_arg $ json_arg $ wall $ top $ limit $ patch
-          $ trace_arg)
+          $ profile_trace_arg)
 
 let eval_cmd =
   let run jobs =

@@ -286,7 +286,11 @@ let patch ?scanner ?rules ?(rounds = default_rounds) ?(manage_imports = true)
     | None, Some rules -> Scanner.compile rules
   in
   let full = full_rescan_forced () in
+  (* Each advance is one fix round's re-scan (the import pass reuses it
+     as its own closing round) — traced as a [Patch_round] span with the
+     scan/rescan span it drives nested inside. *)
   let advance st edits =
+    Telemetry.Trace.ambient_span Telemetry.Trace.Patch_round @@ fun () ->
     if full then
       Scanner.scan_state scanner (Edit.apply (Scanner.state_source st) edits)
     else Scanner.rescan scanner st edits

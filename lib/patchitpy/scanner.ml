@@ -181,6 +181,7 @@ let max_ws_run_newlines source ~pos ~stop =
    backtracking budget is skipped with a warning, and per-rule telemetry
    is recorded when a sink is installed. *)
 let scan_state t source =
+  Telemetry.Trace.ambient_span Telemetry.Trace.Scan @@ fun () ->
   let wanted = candidates t source in
   let nrules = Array.length t.rule_arr in
   let raws = Array.make nrules [] in
@@ -797,7 +798,10 @@ let rescan t st edits =
     if st.st_warnings <> [] then scan_state t new_source
     else begin
       Telemetry.Counter.incr rescan_counter;
-      match rescan_exn t st edits new_source with
+      match
+        Telemetry.Trace.ambient_span Telemetry.Trace.Rescan (fun () ->
+            rescan_exn t st edits new_source)
+      with
       | state -> state
       | exception Fallback ->
         Telemetry.Counter.incr rescan_fallback_counter;

@@ -604,12 +604,14 @@ let deadline_remaining () =
 
 let raise_deadline () =
   Telemetry.Counter.incr deadline_exceeded_counter;
+  Telemetry.Trace.ambient_instant Telemetry.Trace.Deadline_hit;
   raise Deadline_exceeded
 
 let wrap_budget f =
   try f ()
   with Rx_match.Budget_exceeded msg ->
     Telemetry.Counter.incr budget_exhausted_counter;
+    Telemetry.Trace.ambient_instant Telemetry.Trace.Budget_exhausted;
     raise (Budget_exceeded msg)
 
 (* Runs one search/match under the installed deadline (if any): the
@@ -638,6 +640,7 @@ let guarded ?steps_acc (run : ?cap:int -> ?steps_acc:int ref -> unit -> 'a) =
       if d.remaining <= 0 then raise_deadline ()
       else begin
         Telemetry.Counter.incr budget_exhausted_counter;
+        Telemetry.Trace.ambient_instant Telemetry.Trace.Budget_exhausted;
         raise (Budget_exceeded msg)
       end)
 
@@ -689,6 +692,7 @@ let tier_search ~recorder ?cap ?steps_acc ?limit t subject pos =
     with
     | exception Rx_dfa.Bail ->
       rincr recorder dfa_fallback_counter;
+      Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_bail;
       bt_search ?cap ?steps_acc ?limit t subject pos
     | None -> None
     | Some (s, e) ->
@@ -709,6 +713,7 @@ let tier_search ~recorder ?cap ?steps_acc ?limit t subject pos =
           (* impossible by construction; never let an engine bug change
              results — re-run the whole search on the legacy tier *)
           rincr recorder dfa_fallback_counter;
+          Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_bail;
           bt_search ?cap ?steps_acc ?limit t subject pos
       end)
 
@@ -736,6 +741,7 @@ let matches t subject =
         with
         | exception Rx_dfa.Bail ->
           rincr recorder dfa_fallback_counter;
+          Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_bail;
           bt_search ?cap ?steps_acc t subject 0 <> None
         | found -> found)
 

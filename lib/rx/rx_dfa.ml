@@ -281,6 +281,7 @@ let key_of ctx raw =
   Bytes.unsafe_to_string b
 
 let flush cache m =
+  Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_flush;
   Hashtbl.reset m.itbl;
   (* drop the states and rows so stale successor ids can never be
      reached again *)

@@ -16,6 +16,10 @@
 type job = {
   request : Protocol.request;
   deliver : Protocol.response -> unit;
+  trace : Telemetry.Trace.t option;
+      (* request-lifecycle trace builder, created at submission so the
+         queue-wait phase is observable; finished by the worker after
+         delivery, on the worker's own flight-recorder ring *)
 }
 
 type t = {
@@ -44,6 +48,26 @@ let latency_histogram =
 
 (* --- request execution ---------------------------------------------------- *)
 
+(* Point-in-time cache statistics, surfaced by both [health] and
+   [stats]: the process-wide regex compile cache, and the DFA cache's
+   flush/bail counters (0 when no telemetry sink is installed). *)
+let cache_extras () =
+  let hits, entries = Rx.compile_cache_stats () in
+  let flushes, bails =
+    match Telemetry.installed () with
+    | None -> (0, 0)
+    | Some sink ->
+      let report = Telemetry.Report.of_sink sink in
+      let total name =
+        Option.value ~default:0
+          (List.assoc_opt name report.Telemetry.Report.counters)
+      in
+      (total "rx_dfa_cache_flushes_total", total "rx_dfa_fallback_total")
+  in
+  Printf.sprintf
+    "\"rxCompileCache\":{\"hits\":%d,\"entries\":%d},\"dfaCache\":{\"flushes\":%d,\"bails\":%d}"
+    hits entries flushes bails
+
 let health_body t =
   let pack =
     match t.pack with
@@ -53,24 +77,93 @@ let health_body t =
         hash
   in
   Printf.sprintf
-    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d,\"rulePack\":%s}"
+    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d,\"rulePack\":%s,%s}"
     Protocol.schema t.jobs (Bqueue.length t.queue)
-    (Atomic.get t.in_flight) pack
+    (Atomic.get t.in_flight) pack (cache_extras ())
+
+(* Nearest-rank percentile over a sorted array; 0 when empty. *)
+let percentile_ns sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* Queue-wait vs service-time percentiles from the raw flight-recorder
+   samples — unlike [server_request_latency_ns], these are exact (no
+   power-of-two bucketing) and decompose per phase.  The p99 exemplars
+   carry trace ids so a slow request can be pulled with a [trace]
+   request and inspected span by span. *)
+let latency_breakdown () =
+  let module Tr = Telemetry.Trace in
+  let records = Tr.records () in
+  let n = List.length records in
+  if n = 0 then "\"latencyBreakdown\":{\"samples\":0}"
+  else begin
+    let sorted_by f =
+      let a = Array.of_list (List.map f records) in
+      Array.sort compare a;
+      a
+    in
+    let pcts a =
+      Printf.sprintf "{\"p50\":%d,\"p90\":%d,\"p99\":%d}" (percentile_ns a 0.50)
+        (percentile_ns a 0.90) (percentile_ns a 0.99)
+    in
+    let exemplars =
+      String.concat ","
+        (List.map
+           (fun (r : Tr.record) ->
+             Printf.sprintf
+               "{\"id\":\"%s\",\"kind\":\"%s\",\"seq\":%d,\"totalNs\":%d,\"queueWaitNs\":%d}"
+               (Telemetry.Report.escape r.Tr.tr_id)
+               (Telemetry.Report.escape r.Tr.tr_kind)
+               r.Tr.tr_seq (Tr.total_ns r) (Tr.queue_wait_ns r))
+           (Tr.slowest 3))
+    in
+    Printf.sprintf
+      "\"latencyBreakdown\":{\"samples\":%d,\"queueWaitNs\":%s,\"serviceNs\":%s,\"totalNs\":%s,\"p99Exemplars\":[%s]}"
+      n
+      (pcts (sorted_by Tr.queue_wait_ns))
+      (pcts (sorted_by Tr.service_ns))
+      (pcts (sorted_by Tr.total_ns))
+      exemplars
+  end
 
 let stats_body fmt =
   match Telemetry.installed () with
   | None -> (
     match fmt with
-    | Protocol.Stats_json -> "{\"enabled\":false}"
+    | Protocol.Stats_json ->
+      Printf.sprintf "{\"enabled\":false,%s,%s}" (cache_extras ())
+        (latency_breakdown ())
     | Protocol.Stats_prometheus -> "\"\"")
   | Some sink -> (
     let report = Telemetry.Report.of_sink sink in
     match fmt with
-    | Protocol.Stats_json -> Telemetry.Report.to_json report
+    | Protocol.Stats_json ->
+      (* splice cache stats and the flight-recorder latency breakdown
+         into the report document (which always ends in '}') *)
+      let json = Telemetry.Report.to_json report in
+      String.sub json 0 (String.length json - 1)
+      ^ "," ^ cache_extras () ^ "," ^ latency_breakdown () ^ "}"
     | Protocol.Stats_prometheus ->
       (* multi-line text, embedded as a JSON string to keep framing *)
+      let hits, entries = Rx.compile_cache_stats () in
+      let cache_lines =
+        Printf.sprintf
+          "# HELP rx_compile_cache_hits_total Hits in the process-wide \
+           regex compile cache.\n\
+           # TYPE rx_compile_cache_hits_total counter\n\
+           rx_compile_cache_hits_total %d\n\
+           # HELP rx_compile_cache_entries Entries in the process-wide \
+           regex compile cache.\n\
+           # TYPE rx_compile_cache_entries gauge\n\
+           rx_compile_cache_entries %d\n"
+          hits entries
+      in
       "\""
-      ^ Telemetry.Report.escape (Telemetry.Report.to_prometheus report)
+      ^ Telemetry.Report.escape
+          (Telemetry.Report.to_prometheus report ^ cache_lines)
       ^ "\"")
 
 let execute t (req : Protocol.request) =
@@ -79,19 +172,37 @@ let execute t (req : Protocol.request) =
   let reply body =
     Protocol.Reply { id = req.id; kind = Protocol.kind_name req.kind; body }
   in
+  let serialize f = Telemetry.Trace.ambient_span Telemetry.Trace.Serialize f in
   let run () =
     match req.kind with
     | Protocol.Scan { file; source } ->
       let findings, warnings =
         Patchitpy.Scanner.scan_with_warnings t.scanner source
       in
-      reply (Patchitpy.Jsonout.findings_to_json ~warnings ~file findings)
-    | Protocol.Patch { file; source } ->
       reply
-        (Patchitpy.Jsonout.patch_to_json ~file
-           (Patchitpy.Patcher.patch ~scanner:t.scanner source))
-    | Protocol.Health -> reply (health_body t)
-    | Protocol.Stats fmt -> reply (stats_body fmt)
+        (serialize (fun () ->
+             Patchitpy.Jsonout.findings_to_json ~warnings ~file findings))
+    | Protocol.Patch { file; source } ->
+      let result = Patchitpy.Patcher.patch ~scanner:t.scanner source in
+      reply
+        (serialize (fun () -> Patchitpy.Jsonout.patch_to_json ~file result))
+    | Protocol.Health -> reply (serialize (fun () -> health_body t))
+    | Protocol.Stats fmt -> reply (serialize (fun () -> stats_body fmt))
+    | Protocol.Trace_dump { count; mode; format } ->
+      let records =
+        match mode with
+        | Protocol.Trace_last -> Telemetry.Trace.last count
+        | Protocol.Trace_slow -> Telemetry.Trace.slowest count
+      in
+      reply
+        (serialize (fun () ->
+             match format with
+             | Protocol.Trace_chrome -> Telemetry.Trace.to_chrome records
+             | Protocol.Trace_ndjson ->
+               (* multi-line NDJSON, embedded as a JSON string *)
+               "\""
+               ^ Telemetry.Report.escape (Telemetry.Trace.to_ndjson records)
+               ^ "\""))
   in
   let outcome =
     match
@@ -130,9 +241,26 @@ let rec worker_loop t =
   match Bqueue.pop t.queue with
   | None -> ()
   | Some job ->
-    let response = execute t job.request in
+    let module Tr = Telemetry.Trace in
+    let response =
+      match job.trace with
+      | None -> execute t job.request
+      | Some b ->
+        let t_pop = Tr.now_ns () in
+        Tr.add_span b Tr.Queue_wait ~start:(Tr.marked b) ~stop:t_pop;
+        let t_exec = Tr.now_ns () in
+        Tr.add_span b Tr.Dispatch ~start:t_pop ~stop:t_exec;
+        Tr.with_current b (fun () -> execute t job.request)
+    in
     (* A dead connection must not kill the worker. *)
-    (try job.deliver response with _ -> ());
+    (try
+       match job.trace with
+       | None -> job.deliver response
+       | Some b -> Tr.span b Tr.Write (fun () -> job.deliver response)
+     with _ -> ());
+    (* Publish into this worker domain's ring only after delivery, so
+       the write phase is part of the record. *)
+    (match job.trace with None -> () | Some b -> Tr.finish b);
     Atomic.decr t.in_flight;
     worker_loop t
 
@@ -152,12 +280,28 @@ let create ?pack ~jobs ~queue_capacity ~scanner () =
   t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit t request ~deliver =
+let submit ?trace t request ~deliver =
   Telemetry.Histogram.observe queue_depth_histogram (Bqueue.length t.queue);
   Atomic.incr t.in_flight;
-  match Bqueue.try_push t.queue { request; deliver } with
+  let trace =
+    match trace with
+    | Some _ as b -> b
+    | None ->
+      (* Front-ends that measure intake pass their own builder; direct
+         submitters (tests, bench) still get traced from here. *)
+      Telemetry.Trace.start ~id:request.Protocol.id
+        ~kind:(Protocol.kind_name request.Protocol.kind)
+        ()
+  in
+  (* Stamp the enqueue time last, right before the push. *)
+  (match trace with None -> () | Some b -> Telemetry.Trace.mark b);
+  match Bqueue.try_push t.queue { request; deliver; trace } with
   | `Ok -> ()
   | (`Full | `Closed) as why ->
+    (* An overloaded submission never reaches a worker domain: abandon
+       the builder rather than finish it from this front-end thread
+       (finish publishes into the calling domain's ring, and rings are
+       single-writer per domain). *)
     Atomic.decr t.in_flight;
     Telemetry.Counter.incr overloaded_counter;
     (* [requests_total] counts work executed; a rejected submission only

@@ -35,12 +35,24 @@ val create :
     the [health] reply reports it so clients can tell which rules a
     daemon is running. *)
 
-val submit : t -> Protocol.request -> deliver:(Protocol.response -> unit) -> unit
+val submit :
+  ?trace:Telemetry.Trace.t ->
+  t ->
+  Protocol.request ->
+  deliver:(Protocol.response -> unit) ->
+  unit
 (** Never blocks.  [deliver] is invoked exactly once per call: from a
     worker domain with the request's response, or synchronously with an
     [overloaded] error when the queue is full or the pool draining.
     [deliver] must be thread-safe against other deliveries to the same
-    destination; exceptions it raises are swallowed. *)
+    destination; exceptions it raises are swallowed.
+
+    When tracing is on ({!Telemetry.Trace.enable}), the request's
+    lifecycle is recorded into the executing worker's flight-recorder
+    ring: pass [trace] to carry over a builder that already holds an
+    intake span, or omit it to have one created here.  The enqueue time
+    is stamped at push, so the queue-wait phase is exact.  Overloaded
+    submissions are not recorded (they never reach a worker domain). *)
 
 val execute : t -> Protocol.request -> Protocol.response
 (** Executes one request synchronously on the calling domain, with the

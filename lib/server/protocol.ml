@@ -19,12 +19,20 @@
 let schema = "patchitpy-serve/1"
 
 type stats_format = Stats_json | Stats_prometheus
+type trace_mode = Trace_last | Trace_slow
+type trace_format = Trace_chrome | Trace_ndjson
+
+(* Bounds the flight-recorder dump a single request can ask for; the
+   recorder itself holds at most capacity-per-domain records anyway. *)
+let max_trace_count = 4096
+let default_trace_count = 32
 
 type kind =
   | Scan of { file : string; source : string }
   | Patch of { file : string; source : string }
   | Health
   | Stats of stats_format
+  | Trace_dump of { count : int; mode : trace_mode; format : trace_format }
 
 type request = { id : string; deadline_steps : int option; kind : kind }
 
@@ -52,6 +60,13 @@ let kind_name = function
   | Patch _ -> "patch"
   | Health -> "health"
   | Stats _ -> "stats"
+  | Trace_dump _ -> "trace"
+
+let trace_mode_name = function Trace_last -> "last" | Trace_slow -> "slow"
+
+let trace_format_name = function
+  | Trace_chrome -> "chrome"
+  | Trace_ndjson -> "ndjson"
 
 (* --- encoding ------------------------------------------------------------- *)
 
@@ -73,7 +88,11 @@ let encode_request r =
   | Stats fmt ->
     Buffer.add_string buf
       (Printf.sprintf ",\"format\":\"%s\""
-         (match fmt with Stats_json -> "json" | Stats_prometheus -> "prometheus")));
+         (match fmt with Stats_json -> "json" | Stats_prometheus -> "prometheus"))
+  | Trace_dump { count; mode; format } ->
+    Buffer.add_string buf
+      (Printf.sprintf ",\"count\":%d,\"mode\":\"%s\",\"format\":\"%s\"" count
+         (trace_mode_name mode) (trace_format_name format)));
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -152,11 +171,59 @@ let decode_request line =
               fail
                 (Printf.sprintf
                    "unknown stats format %S (json or prometheus)" other))
+          | Some "trace" -> (
+            let count =
+              match Option.bind (J.member "count" json) J.to_number with
+              | Some f
+                when Float.is_integer f && f >= 1.
+                     && f <= float_of_int max_trace_count ->
+                Ok (int_of_float f)
+              | Some _ -> Error ()
+              | None -> (
+                match J.member "count" json with
+                | Some _ -> Error ()
+                | None -> Ok default_trace_count)
+            in
+            match count with
+            | Error () ->
+              fail
+                (Printf.sprintf "\"count\" must be an integer in [1, %d]"
+                   max_trace_count)
+            | Ok count -> (
+              let mode =
+                match field_string json "mode" with
+                | None | Some "last" -> Ok Trace_last
+                | Some "slow" -> Ok Trace_slow
+                | Some other -> Error other
+              in
+              match mode with
+              | Error other ->
+                fail
+                  (Printf.sprintf "unknown trace mode %S (last or slow)" other)
+              | Ok mode -> (
+                match field_string json "format" with
+                | None | Some "chrome" ->
+                  Ok
+                    { id;
+                      deadline_steps;
+                      kind = Trace_dump { count; mode; format = Trace_chrome }
+                    }
+                | Some "ndjson" ->
+                  Ok
+                    { id;
+                      deadline_steps;
+                      kind = Trace_dump { count; mode; format = Trace_ndjson }
+                    }
+                | Some other ->
+                  fail
+                    (Printf.sprintf
+                       "unknown trace format %S (chrome or ndjson)" other))))
           | Some other ->
             fail
               (versioned
                  (Printf.sprintf
-                    "unknown request kind %S (scan, patch, health or stats)"
+                    "unknown request kind %S (scan, patch, health, stats or \
+                     trace)"
                     other))))))
 
 (* The raw bytes of a success envelope's body: everything between the

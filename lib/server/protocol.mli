@@ -20,6 +20,21 @@ val schema : string
 
 type stats_format = Stats_json | Stats_prometheus
 
+type trace_mode =
+  | Trace_last  (** the [count] most recent flight-recorder records *)
+  | Trace_slow  (** the [count] slowest records by total duration *)
+
+type trace_format =
+  | Trace_chrome  (** Chrome [trace_event] JSON (Perfetto-loadable) *)
+  | Trace_ndjson
+      (** compact [patchitpy-trace/1] NDJSON, as a JSON string body *)
+
+val max_trace_count : int
+(** Upper bound on {!Trace_dump}'s [count] (4096). *)
+
+val default_trace_count : int
+(** [count] when the request omits it (32). *)
+
 type kind =
   | Scan of { file : string; source : string }
       (** [file] is a label for the report; [source] the code to scan. *)
@@ -28,6 +43,10 @@ type kind =
   | Stats of stats_format
       (** the telemetry report: the [--trace] JSON document, or the
           Prometheus text exposition as a JSON string *)
+  | Trace_dump of { count : int; mode : trace_mode; format : trace_format }
+      (** dump request-lifecycle traces from the flight recorder
+          ({!Telemetry.Trace}): the last [count] records, or the [count]
+          slowest *)
 
 type request = {
   id : string;  (** client-chosen correlation key, echoed in the response *)
@@ -51,7 +70,13 @@ type response =
           recover one. *)
 
 val kind_name : kind -> string
-(** ["scan"], ["patch"], ["health"] or ["stats"]. *)
+(** ["scan"], ["patch"], ["health"], ["stats"] or ["trace"]. *)
+
+val trace_mode_name : trace_mode -> string
+(** ["last"] or ["slow"]. *)
+
+val trace_format_name : trace_format -> string
+(** ["chrome"] or ["ndjson"]. *)
 
 val error_kind_to_string : error_kind -> string
 val error_kind_of_string : string -> error_kind option

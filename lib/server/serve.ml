@@ -24,13 +24,33 @@ type config = {
   jobs : int;
   queue_capacity : int;
   drain_timeout : float;
+  trace_dir : string option;
 }
 
 let is_blank line = String.trim line = ""
 
 let handle_line pool line ~deliver =
+  (* Read the clock before decoding so the intake span covers the parse;
+     the builder itself can only be created after (its id and kind live
+     inside the document). *)
+  let t0 =
+    if Telemetry.Trace.enabled () then Telemetry.Trace.now_ns () else 0
+  in
   match Protocol.decode_request line with
-  | Ok req -> Pool.submit pool req ~deliver
+  | Ok req ->
+    let trace =
+      match
+        Telemetry.Trace.start ~at:t0 ~id:req.Protocol.id
+          ~kind:(Protocol.kind_name req.Protocol.kind)
+          ()
+      with
+      | None -> None
+      | Some b ->
+        Telemetry.Trace.add_span b Telemetry.Trace.Intake ~start:t0
+          ~stop:(Telemetry.Trace.now_ns ());
+        Some b
+    in
+    Pool.submit ?trace pool req ~deliver
   | Error (id, message) ->
     deliver (Protocol.Error_reply { id; error = Protocol.Invalid; message })
 
@@ -131,8 +151,12 @@ let run ?pack ~scanner config =
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   (* The daemon always collects: the [stats] request is the whole
      observability story, and per-domain collectors keep the cost off
-     the worker hot path. *)
+     the worker hot path.  The flight recorder is likewise always on —
+     fixed-size per-domain rings, overwrite-oldest — so the [trace]
+     request and the [stats] latency breakdown work on any live
+     daemon, not just one restarted with a flag. *)
   Telemetry.install (Telemetry.create ());
+  Telemetry.Trace.enable ();
   let pool =
     Pool.create ?pack ~jobs:config.jobs ~queue_capacity:config.queue_capacity
       ~scanner ()
@@ -169,5 +193,30 @@ let run ?pack ~scanner config =
   let (_drained : bool) =
     Pool.shutdown ~drain_timeout:config.drain_timeout pool
   in
+  (* Workers have quiesced (or been abandoned past the drain budget);
+     dump whatever the flight recorder still holds.  Best-effort: a
+     failed dump must not turn a clean drain into a non-zero exit. *)
+  (match config.trace_dir with
+  | None -> ()
+  | Some dir ->
+    (try
+       (try Unix.mkdir dir 0o755
+        with Unix.Unix_error (EEXIST, _, _) -> ());
+       let records = Telemetry.Trace.records () in
+       let write_file path contents =
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc contents)
+       in
+       let stem =
+         Filename.concat dir
+           (Printf.sprintf "serve-%d" (Unix.getpid ()))
+       in
+       write_file (stem ^ ".trace.json")
+         (Telemetry.Trace.to_chrome records ^ "\n");
+       write_file (stem ^ ".ndjson") (Telemetry.Trace.to_ndjson records)
+     with _ -> ()));
+  Telemetry.Trace.disable ();
   Telemetry.uninstall ();
   0

@@ -17,10 +17,20 @@ type config = {
   jobs : int;  (** worker domains *)
   queue_capacity : int;  (** bounded submission queue slots *)
   drain_timeout : float;  (** seconds to wait for in-flight work on shutdown *)
+  trace_dir : string option;
+      (** when set, the flight recorder's surviving records are dumped
+          here on shutdown: [serve-<pid>.trace.json] (Chrome
+          [trace_event], Perfetto-loadable) and [serve-<pid>.ndjson]
+          (compact [patchitpy-trace/1] lines) *)
 }
 
 val run :
   ?pack:int * string -> scanner:Patchitpy.Scanner.t -> config -> int
 (** Blocks until shutdown; returns the process exit code (0 after a
     graceful or timed-out drain).  Installs a process-wide telemetry
-    sink and SIGTERM/SIGINT/SIGPIPE handlers. *)
+    sink and SIGTERM/SIGINT/SIGPIPE handlers, and enables the
+    {!Telemetry.Trace} flight recorder for the daemon's lifetime: every
+    request is traced intake → queue wait → dispatch → scan/patch
+    phases → serialize → write into fixed-size per-domain rings
+    (overwrite-oldest), queryable live via the [trace] request kind and
+    summarized by the [stats] latency breakdown. *)

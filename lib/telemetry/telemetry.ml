@@ -30,6 +30,11 @@ let ns_per_tick =
 let ticks_to_ns t =
   int_of_float ((float_of_int t *. Lazy.force ns_per_tick) +. 0.5)
 
+(* Request-lifecycle tracing lives in its own compilation unit (it must
+   not depend on this one); re-exported here so the library surface
+   stays a single module. *)
+module Trace = Trace
+
 (* --- instrument registry ------------------------------------------------- *)
 
 let registry_lock = Mutex.create ()
@@ -38,8 +43,16 @@ let counter_slots : (string, int) Hashtbl.t = Hashtbl.create 16
 let histo_names : string list ref = ref []
 let histo_slots : (string, int) Hashtbl.t = Hashtbl.create 16
 
-let intern slots names name =
+(* HELP strings for the Prometheus exposition; instruments register
+   one at [make] time (optional — the exposition falls back to a
+   generic line, since # HELP is mandatory for well-formed scrapes). *)
+let help_texts : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let intern ?help slots names name =
   Mutex.protect registry_lock (fun () ->
+      (match help with
+      | Some text -> Hashtbl.replace help_texts name text
+      | None -> ());
       match Hashtbl.find_opt slots name with
       | Some slot -> slot
       | None ->
@@ -47,6 +60,9 @@ let intern slots names name =
         Hashtbl.replace slots name slot;
         names := name :: !names;
         slot)
+
+let help_of name =
+  Mutex.protect registry_lock (fun () -> Hashtbl.find_opt help_texts name)
 
 let registered names () =
   (* slot order: the list is newest-first *)
@@ -154,7 +170,7 @@ let recorder () =
 module Counter = struct
   type t = { slot : int }
 
-  let make name = { slot = intern counter_slots counter_names name }
+  let make ?help name = { slot = intern ?help counter_slots counter_names name }
 
   let record (col : recorder) c by =
     let n = Array.length col.c_counters in
@@ -182,7 +198,7 @@ module Histogram = struct
 
   let bucket_count = n_buckets
 
-  let make name = { slot = intern histo_slots histo_names name }
+  let make ?help name = { slot = intern ?help histo_slots histo_names name }
 
   (* floor(log2 v) by binary descent: six branches whatever the value,
      where the shift-loop version cost one iteration per bit and showed
@@ -419,16 +435,54 @@ module Report = struct
     Buffer.contents buf
 
   (* Prometheus text exposition.  Metric names we mint ourselves; rule
-     ids only appear as label values (escaped). *)
+     ids only appear as label values and HELP text, each with the
+     format's own escaping — which is NOT JSON's: label values escape
+     backslash, double-quote and newline (a \u sequence would be taken
+     literally by a scraper); HELP text escapes only backslash and
+     newline. *)
+  let prometheus_label_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let prometheus_help_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
   let to_prometheus t =
     let buf = Buffer.create 4096 in
-    let label_escape s = escape s (* quote/backslash/newline, as required *) in
+    let label_escape = prometheus_label_escape in
+    let help_line name fallback =
+      let text =
+        match help_of name with Some text -> text | None -> fallback
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" name (prometheus_help_escape text))
+    in
     List.iter
       (fun (name, v) ->
+        help_line name (Printf.sprintf "PatchitPy counter %s." name);
         Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v))
       t.counters;
     List.iter
       (fun h ->
+        help_line h.h_name
+          (Printf.sprintf "PatchitPy histogram %s (power-of-two buckets)."
+             h.h_name);
         Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
         let cumulative = ref 0 in
         Array.iteri
@@ -445,12 +499,28 @@ module Report = struct
           (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n"
              h.h_name h.h_count h.h_name h.h_sum h.h_name h.h_count))
       t.histograms;
+    if t.rulesets <> [] then
+      Buffer.add_string buf
+        "# HELP patchitpy_scanner_scans_total Scans recorded per registered \
+         rule set.\n\
+         # TYPE patchitpy_scanner_scans_total counter\n";
     List.iteri
       (fun set r ->
         Buffer.add_string buf
           (Printf.sprintf "patchitpy_scanner_scans_total{set=\"%d\"} %d\n" set
              r.r_scans);
         let series name (arr : int array) =
+          (* HELP/TYPE must appear once per metric name; the series
+             names repeat across rule sets. *)
+          if set = 0 then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "# HELP patchitpy_scanner_rule_%s_total Per-rule %s, summed \
+                  across scans.\n\
+                  # TYPE patchitpy_scanner_rule_%s_total counter\n"
+                 name
+                 (String.map (fun c -> if c = '_' then ' ' else c) name)
+                 name);
           Array.iteri
             (fun i id ->
               Buffer.add_string buf

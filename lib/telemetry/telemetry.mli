@@ -67,6 +67,10 @@ val ticks_to_ns : int -> int
 (** Converts a {!now_ticks} difference to nanoseconds.  First call
     calibrates (~200 us spin); report paths only. *)
 
+module Trace = Trace
+(** Request-lifecycle tracing and the per-domain flight recorder; see
+    {!Trace}. *)
+
 type recorder
 (** One domain's recording handle for the installed sink: fetch once
     with {!recorder}, then {!Counter.record}/{!Histogram.record}
@@ -82,10 +86,11 @@ val recorder : unit -> recorder option
 module Counter : sig
   type t
 
-  val make : string -> t
+  val make : ?help:string -> string -> t
   (** Registers (or looks up) the counter named [name].  Instruments
       are cheap process-wide handles; create them once at module
-      initialisation, not per event. *)
+      initialisation, not per event.  [help] becomes the metric's
+      Prometheus [# HELP] line (a generic one is emitted otherwise). *)
 
   val incr : ?by:int -> t -> unit
   (** Adds [by] (default 1) to the counter in the current domain's
@@ -106,7 +111,8 @@ module Histogram : sig
   val bucket_count : int
   (** Number of buckets (32). *)
 
-  val make : string -> t
+  val make : ?help:string -> string -> t
+  (** See {!Counter.make} for [help]. *)
 
   val observe : t -> int -> unit
   (** Records one value (clamped to [0] below).  No-op when no sink is
@@ -196,5 +202,7 @@ module Report : sig
   val to_prometheus : t -> string
   (** Prometheus text exposition format: counters as [_total] counters,
       histograms with cumulative [_bucket{le=...}] series, per-rule
-      statistics as [rule]-labelled counters. *)
+      statistics as [rule]-labelled counters.  Every metric carries
+      [# HELP] and [# TYPE] lines; label values use the exposition
+      format's own escaping (backslash, quote, newline). *)
 end

@@ -28,6 +28,12 @@ let gen_kind =
         return Protocol.Health;
         oneofl [ Protocol.Stats Protocol.Stats_json;
                  Protocol.Stats Protocol.Stats_prometheus ];
+        map3
+          (fun count mode format ->
+            Protocol.Trace_dump { count; mode; format })
+          (int_range 1 Protocol.max_trace_count)
+          (oneofl [ Protocol.Trace_last; Protocol.Trace_slow ])
+          (oneofl [ Protocol.Trace_chrome; Protocol.Trace_ndjson ]);
       ])
 
 let gen_request =
@@ -54,7 +60,7 @@ let gen_response =
         map3
           (fun id kind body -> Protocol.Reply { id; kind; body })
           gen_bytes
-          (oneofl [ "scan"; "patch"; "health"; "stats" ])
+          (oneofl [ "scan"; "patch"; "health"; "stats"; "trace" ])
           gen_body;
         map3
           (fun id error message ->
@@ -122,6 +128,46 @@ let test_framing_edges () =
   Alcotest.(check bool) "no raw newline" false (String.contains line '\n');
   Alcotest.(check bool) "round-trips" true
     (Protocol.decode_request line = Ok req)
+
+let test_trace_kind_decoding () =
+  let decode line =
+    match Protocol.decode_request line with
+    | Ok r -> `Ok r.Protocol.kind
+    | Error (_, msg) -> `Err msg
+  in
+  (* all fields optional, with pinned defaults *)
+  (match decode "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\"}" with
+  | `Ok (Protocol.Trace_dump { count; mode; format }) ->
+    Alcotest.(check int) "default count" Protocol.default_trace_count count;
+    Alcotest.(check bool) "default mode" true (mode = Protocol.Trace_last);
+    Alcotest.(check bool) "default format" true (format = Protocol.Trace_chrome)
+  | _ -> Alcotest.fail "bare trace request must decode");
+  (match
+     decode
+       "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\",\"count\":5,\"mode\":\"slow\",\"format\":\"ndjson\"}"
+   with
+  | `Ok (Protocol.Trace_dump { count = 5; mode = Protocol.Trace_slow;
+                               format = Protocol.Trace_ndjson }) -> ()
+  | _ -> Alcotest.fail "explicit trace fields must decode");
+  (* bounds and typos are rejected with named messages *)
+  let rejected field line =
+    match decode line with
+    | `Err msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names %s in %S" field msg)
+        true (contains_substring msg field)
+    | `Ok _ -> Alcotest.failf "%S must be rejected" line
+  in
+  rejected "count"
+    "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\",\"count\":0}";
+  rejected "count"
+    "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\",\"count\":5000}";
+  rejected "count"
+    "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\",\"count\":1.5}";
+  rejected "trace mode"
+    "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\",\"mode\":\"recent\"}";
+  rejected "trace format"
+    "{\"schema\":\"patchitpy-serve/1\",\"id\":\"t\",\"kind\":\"trace\",\"format\":\"xml\"}"
 
 let test_large_request () =
   (* > 1 MiB of source must frame and round-trip *)
@@ -430,6 +476,187 @@ let test_pool_drain_timeout () =
   (* not joined, but the worker still finishes and delivers *)
   ignore (await 1)
 
+(* --- tracing surfaces ------------------------------------------------------- *)
+
+let trace_request ?(count = 32) ?(mode = Protocol.Trace_last)
+    ?(format = Protocol.Trace_chrome) ~id () =
+  {
+    Protocol.id;
+    deadline_steps = None;
+    kind = Protocol.Trace_dump { count; mode; format };
+  }
+
+let json_member_list name json =
+  Patchitpy.Jsonin.(Option.bind (member name json) to_list)
+
+let json_member_string name json =
+  Patchitpy.Jsonin.(Option.bind (member name json) to_string)
+
+(* The full loop the ISSUE's acceptance demo drives: traced scan/patch
+   requests through the pool, then a [trace] request over the same pool
+   returning a Chrome document whose events decompose the earlier
+   requests into queue-wait/scan/serialize/write phases. *)
+let test_pool_trace_request () =
+  let module Tr = Telemetry.Trace in
+  Tr.reset ();
+  Tr.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tr.disable ();
+      Tr.reset ())
+  @@ fun () ->
+  let pool =
+    Pool.create ~jobs:1 ~queue_capacity:8 ~scanner:(Lazy.force catalog_scanner)
+      ()
+  in
+  let deliver, await = collector () in
+  Pool.submit pool (scan_request ~id:"t1" "h = hashlib.md5(d)\n") ~deliver;
+  Pool.submit pool (patch_request ~id:"t2" "h = hashlib.md5(d)\n") ~deliver;
+  ignore (await 2);
+  (* chrome dump through the same request path clients use *)
+  let deliver_c, await_c = collector () in
+  Pool.submit pool (trace_request ~id:"dump-chrome" ()) ~deliver:deliver_c;
+  (match await_c 1 with
+  | [ Protocol.Reply { kind; body; _ } ] -> (
+    Alcotest.(check string) "reply kind" "trace" kind;
+    match Patchitpy.Jsonin.parse body with
+    | Error msg -> Alcotest.failf "chrome body does not parse: %s" msg
+    | Ok json ->
+      let events =
+        match json_member_list "traceEvents" json with
+        | Some l -> l
+        | None -> Alcotest.fail "no traceEvents array"
+      in
+      let names = List.filter_map (json_member_string "name") events in
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool)
+            (Printf.sprintf "phase %S present" phase)
+            true (List.mem phase names))
+        [ "queue-wait"; "dispatch"; "scan"; "serialize"; "write" ];
+      Alcotest.(check bool) "request events present" true
+        (List.mem "scan" names && List.mem "patch" names))
+  | _ -> Alcotest.fail "expected a trace reply");
+  (* ndjson dump: a JSON string whose lines are patchitpy-trace/1 *)
+  let deliver_n, await_n = collector () in
+  Pool.submit pool
+    (trace_request ~id:"dump-ndjson" ~format:Protocol.Trace_ndjson ())
+    ~deliver:deliver_n;
+  (match await_n 1 with
+  | [ Protocol.Reply { body; _ } ] -> (
+    match Patchitpy.Jsonin.parse body with
+    | Ok (Patchitpy.Jsonin.Str text) ->
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      Alcotest.(check bool) "at least the two traced requests" true
+        (List.length lines >= 2);
+      List.iter
+        (fun line ->
+          match Patchitpy.Jsonin.parse line with
+          | Ok record ->
+            Alcotest.(check (option string)) "line schema"
+              (Some "patchitpy-trace/1")
+              (json_member_string "schema" record)
+          | Error msg -> Alcotest.failf "ndjson line does not parse: %s" msg)
+        lines
+    | Ok _ -> Alcotest.fail "ndjson body must be a JSON string"
+    | Error msg -> Alcotest.failf "ndjson body does not parse: %s" msg)
+  | _ -> Alcotest.fail "expected a trace reply");
+  ignore (Pool.shutdown ~drain_timeout:5. pool)
+
+let test_health_and_stats_extras () =
+  let module Tr = Telemetry.Trace in
+  Tr.reset ();
+  Tr.enable ();
+  let sink = Telemetry.create () in
+  Telemetry.install sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.uninstall ();
+      Tr.disable ();
+      Tr.reset ())
+  @@ fun () ->
+  let pool =
+    Pool.create ~jobs:1 ~queue_capacity:8 ~scanner:(Lazy.force catalog_scanner)
+      ()
+  in
+  let deliver, await = collector () in
+  Pool.submit pool (scan_request ~id:"s1" "h = hashlib.md5(d)\n") ~deliver;
+  Pool.submit pool (scan_request ~id:"s2" "h = hashlib.md5(d)\n") ~deliver;
+  ignore (await 2);
+  let body req =
+    match Pool.execute pool req with
+    | Protocol.Reply { body; _ } -> body
+    | Protocol.Error_reply { message; _ } ->
+      Alcotest.failf "request failed: %s" message
+  in
+  let health =
+    body { Protocol.id = "h"; deadline_steps = None; kind = Protocol.Health }
+  in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "health carries %s" fragment)
+        true
+        (contains_substring health fragment))
+    [ "\"status\":\"ok\""; "\"rxCompileCache\""; "\"entries\""; "\"dfaCache\"";
+      "\"flushes\""; "\"bails\"" ];
+  let stats =
+    body
+      {
+        Protocol.id = "st";
+        deadline_steps = None;
+        kind = Protocol.Stats Protocol.Stats_json;
+      }
+  in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stats carries %s" fragment)
+        true
+        (contains_substring stats fragment))
+    [ "\"server_requests_total\""; "\"rxCompileCache\""; "\"dfaCache\"";
+      "\"latencyBreakdown\""; "\"queueWaitNs\""; "\"serviceNs\"";
+      "\"p99Exemplars\"" ];
+  (* the breakdown actually saw the two traced submissions *)
+  Alcotest.(check bool) "stats body still parses as JSON" true
+    (match Patchitpy.Jsonin.parse stats with Ok _ -> true | Error _ -> false);
+  (match Patchitpy.Jsonin.parse stats with
+  | Ok json -> (
+    match Patchitpy.Jsonin.member "latencyBreakdown" json with
+    | Some breakdown ->
+      let samples =
+        Patchitpy.Jsonin.(
+          Option.bind (member "samples" breakdown) to_number)
+      in
+      Alcotest.(check bool) "breakdown counts the traced requests" true
+        (match samples with Some f -> f >= 2.0 | None -> false)
+    | None -> Alcotest.fail "latencyBreakdown missing")
+  | Error msg -> Alcotest.failf "stats does not parse: %s" msg);
+  (* prometheus stats pick up the compile-cache gauges *)
+  let prom =
+    body
+      {
+        Protocol.id = "pr";
+        deadline_steps = None;
+        kind = Protocol.Stats Protocol.Stats_prometheus;
+      }
+  in
+  (match Patchitpy.Jsonin.parse prom with
+  | Ok (Patchitpy.Jsonin.Str text) ->
+    List.iter
+      (fun fragment ->
+        Alcotest.(check bool)
+          (Printf.sprintf "prometheus carries %s" fragment)
+          true
+          (contains_substring text fragment))
+      [ "rx_compile_cache_entries"; "rx_compile_cache_hits_total";
+        "# TYPE rx_compile_cache_entries gauge" ]
+  | Ok _ -> Alcotest.fail "prometheus body must be a JSON string"
+  | Error msg -> Alcotest.failf "prometheus body does not parse: %s" msg);
+  ignore (Pool.shutdown ~drain_timeout:5. pool)
+
 (* --- batch amortization ---------------------------------------------------- *)
 
 let counter_value report name =
@@ -509,6 +736,8 @@ let () =
           QCheck_alcotest.to_alcotest request_roundtrip;
           QCheck_alcotest.to_alcotest response_roundtrip;
           Alcotest.test_case "framing edge cases" `Quick test_framing_edges;
+          Alcotest.test_case "trace kind decoding" `Quick
+            test_trace_kind_decoding;
           Alcotest.test_case "requests over 1 MiB" `Quick test_large_request;
           Alcotest.test_case "adversarial body marker" `Quick
             test_raw_body_adversarial;
@@ -539,6 +768,13 @@ let () =
             test_pool_drain;
           Alcotest.test_case "drain timeout cuts the wait" `Quick
             test_pool_drain_timeout;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "trace request dumps the recorder" `Quick
+            test_pool_trace_request;
+          Alcotest.test_case "health and stats extras" `Quick
+            test_health_and_stats_extras;
         ] );
       ( "amortization",
         [

@@ -170,6 +170,60 @@ let test_escape () =
   check_string "escapes quotes and backslashes" {|a\"b\\c|}
     (T.Report.escape {|a"b\c|})
 
+(* Golden test for the exposition format: HELP/TYPE lines, help-text
+   escaping (backslash, newline — quotes stay literal) and label-value
+   escaping (backslash, quote, newline).  The instrument registry is
+   process-global, so the golden pins the lines mentioning this test's
+   own metric names rather than the whole document. *)
+let test_prometheus_golden () =
+  let c =
+    T.Counter.make ~help:{|Requests with "quotes" and \ backslash.|}
+      "golden_requests_total"
+  in
+  let h =
+    T.Histogram.make ~help:"Golden latency.\nSecond line." "golden_latency_ns"
+  in
+  let (_ : T.Counter.t) = T.Counter.make "golden_helpless_total" in
+  let def = T.Rules.define [| {|G-"1"|}; {|G-\2|}; "G-\n3" |] in
+  let sink = T.create () in
+  T.with_sink sink (fun () ->
+      T.Counter.incr c ~by:7;
+      T.Histogram.observe h 3;
+      match T.installed () with
+      | Some s ->
+        let b = T.Rules.block s def in
+        b.T.Rules.scans <- 2;
+        b.T.Rules.candidates.(0) <- 5
+      | None -> Alcotest.fail "sink not installed");
+  let text = T.Report.to_prometheus (T.Report.of_sink sink) in
+  let lines = String.split_on_char '\n' text in
+  let keep needle =
+    String.concat "\n" (List.filter (fun l -> contains l needle) lines)
+  in
+  check_string "counter block pinned"
+    ("# HELP golden_requests_total Requests with \"quotes\" and \\\\ \
+      backslash.\n"
+    ^ "# TYPE golden_requests_total counter\n" ^ "golden_requests_total 7")
+    (keep "golden_requests_total");
+  check_bool "histogram HELP escapes the newline" true
+    (contains text {|# HELP golden_latency_ns Golden latency.\nSecond line.|});
+  check_bool "histogram TYPE line" true
+    (contains text "# TYPE golden_latency_ns histogram\n");
+  check_bool "histogram count" true (contains text "golden_latency_ns_count 1");
+  check_string "rule label escaping pinned"
+    ("# HELP patchitpy_scanner_rule_candidates_total Per-rule candidates, \
+      summed across scans.\n"
+    ^ "# TYPE patchitpy_scanner_rule_candidates_total counter\n"
+    ^ {|patchitpy_scanner_rule_candidates_total{set="0",rule="G-\"1\""} 5|}
+    ^ "\n"
+    ^ {|patchitpy_scanner_rule_candidates_total{set="0",rule="G-\\2"} 0|}
+    ^ "\n"
+    ^ {|patchitpy_scanner_rule_candidates_total{set="0",rule="G-\n3"} 0|})
+    (keep "rule_candidates_total");
+  check_bool "fallback HELP for help-less counters" true
+    (contains text
+       "# HELP golden_helpless_total PatchitPy counter golden_helpless_total.")
+
 (* --- merge determinism across domains ------------------------------------ *)
 
 (* The property [patchitpy profile] relies on: every deterministic
@@ -228,6 +282,7 @@ let () =
         [
           Alcotest.test_case "json" `Quick test_json_shape;
           Alcotest.test_case "prometheus" `Quick test_prometheus_shape;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
           Alcotest.test_case "escape" `Quick test_escape;
         ] );
       ( "determinism",

@@ -1,0 +1,398 @@
+(* The flight recorder: ring semantics (overwrite-oldest, per-domain),
+   publication safety under concurrent domain writers and readers (no
+   torn records — QCheck), builder/phase helpers, and both exporters
+   (Chrome trace_event and patchitpy-trace/1 NDJSON) parsed back with
+   the repo's own JSON parser. *)
+
+module Tr = Telemetry.Trace
+module J = Patchitpy.Jsonin
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Every test owns the global recorder state; reset + enable at entry,
+   disable at exit, so ordering between tests cannot leak records. *)
+let with_recorder ?(capacity = 256) f =
+  Tr.reset ();
+  Tr.enable ~capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tr.disable ();
+      Tr.reset ())
+    f
+
+(* --- switches -------------------------------------------------------------- *)
+
+let test_off_is_noop () =
+  Tr.disable ();
+  Tr.reset ();
+  check_bool "disabled" false (Tr.enabled ());
+  check_bool "start yields no builder" true (Tr.start ~id:"x" ~kind:"scan" () = None);
+  check_int "with_request passes the value through" 9
+    (Tr.with_request ~id:"x" ~kind:"scan" (fun () -> 9));
+  check_int "ambient_span passes the value through" 3
+    (Tr.ambient_span Tr.Scan (fun () -> 3));
+  Tr.ambient_instant Tr.Dfa_flush;
+  check_bool "nothing recorded" true (Tr.records () = [])
+
+let test_capacity_validation () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Trace.enable: capacity must be >= 1") (fun () ->
+      Tr.enable ~capacity:0 ())
+
+(* --- single-domain ring semantics ------------------------------------------ *)
+
+let test_overwrite_oldest () =
+  with_recorder ~capacity:8 @@ fun () ->
+  for i = 0 to 19 do
+    Tr.with_request ~id:(Printf.sprintf "r%d" i) ~kind:"scan" (fun () -> ())
+  done;
+  let records = Tr.records () in
+  check_int "ring keeps the last capacity records" 8 (List.length records);
+  List.iteri
+    (fun i r ->
+      check_string
+        (Printf.sprintf "slot %d holds the right survivor" i)
+        (Printf.sprintf "r%d" (12 + i))
+        r.Tr.tr_id)
+    records;
+  (* [last] narrows further; [records] is already everything retained *)
+  check_bool "last 3 = final three ids" true
+    (List.map (fun r -> r.Tr.tr_id) (Tr.last 3) = [ "r17"; "r18"; "r19" ]);
+  check_bool "last beyond retention = everything" true
+    (List.length (Tr.last 100) = 8)
+
+let test_reset_drops_records () =
+  with_recorder @@ fun () ->
+  Tr.with_request ~id:"a" ~kind:"scan" (fun () -> ());
+  check_int "one record" 1 (List.length (Tr.records ()));
+  Tr.reset ();
+  check_int "reset drops it" 0 (List.length (Tr.records ()));
+  (* a writer publishes fine after reset (its ring is rebuilt lazily) *)
+  Tr.with_request ~id:"b" ~kind:"scan" (fun () -> ());
+  check_bool "post-reset write lands" true
+    (List.map (fun r -> r.Tr.tr_id) (Tr.records ()) = [ "b" ])
+
+(* --- builder and phase helpers --------------------------------------------- *)
+
+let test_phase_accounting () =
+  with_recorder @@ fun () ->
+  (match Tr.start ~at:1000 ~id:"req-1" ~kind:"scan" () with
+  | None -> Alcotest.fail "recorder is on; expected a builder"
+  | Some b ->
+    Tr.add_span b Tr.Intake ~start:1000 ~stop:1200;
+    Tr.add_span b Tr.Queue_wait ~start:1200 ~stop:2200;
+    Tr.add_span b Tr.Scan ~start:2300 ~stop:2800;
+    Tr.instant b Tr.Dfa_bail;
+    Tr.finish b);
+  match Tr.records () with
+  | [ r ] ->
+    check_int "queue wait" 1000 (Tr.queue_wait_ns r);
+    check_int "intake" 200 (Tr.phase_ns r Tr.Intake);
+    check_int "scan" 500 (Tr.phase_ns r Tr.Scan);
+    check_int "unrecorded phase is zero" 0 (Tr.phase_ns r Tr.Serialize);
+    check_int "service = total - queue wait - intake"
+      (Tr.total_ns r - 1000 - 200)
+      (Tr.service_ns r);
+    check_bool "total covers the spans" true (Tr.total_ns r >= 1800);
+    check_bool "spans sorted by start" true
+      (List.map (fun s -> s.Tr.sp_phase) r.Tr.tr_spans
+      = [ Tr.Intake; Tr.Queue_wait; Tr.Scan ]);
+    check_bool "instant retained" true
+      (List.map fst r.Tr.tr_instants = [ Tr.Dfa_bail ])
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_instant_cap () =
+  with_recorder @@ fun () ->
+  (match Tr.start ~id:"noisy" ~kind:"scan" () with
+  | None -> Alcotest.fail "recorder is on; expected a builder"
+  | Some b ->
+    for _ = 1 to 200 do
+      Tr.instant b Tr.Dfa_flush
+    done;
+    Tr.finish b);
+  match Tr.records () with
+  | [ r ] ->
+    check_int "capped at 128" 128 (List.length r.Tr.tr_instants);
+    check_int "overflow counted, not silent" 72 r.Tr.tr_dropped
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_ambient_spans_attach () =
+  with_recorder @@ fun () ->
+  Tr.with_request ~id:"amb" ~kind:"patch" (fun () ->
+      Tr.ambient_span Tr.Scan (fun () -> ignore (Sys.opaque_identity 1));
+      Tr.ambient_span Tr.Patch_round (fun () -> Tr.ambient_instant Tr.Deadline_hit));
+  match Tr.records () with
+  | [ r ] ->
+    check_bool "both phases attached" true
+      (List.map (fun s -> s.Tr.sp_phase) r.Tr.tr_spans
+      = [ Tr.Scan; Tr.Patch_round ]);
+    check_bool "instant attached through the ambient hook" true
+      (List.map fst r.Tr.tr_instants = [ Tr.Deadline_hit ])
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_span_records_on_raise () =
+  with_recorder @@ fun () ->
+  (try
+     Tr.with_request ~id:"boom" ~kind:"scan" (fun () ->
+         Tr.ambient_span Tr.Scan (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  match Tr.records () with
+  | [ r ] ->
+    check_bool "span recorded although the body raised" true
+      (List.exists (fun s -> s.Tr.sp_phase = Tr.Scan) r.Tr.tr_spans)
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_slowest_orders_by_duration () =
+  with_recorder @@ fun () ->
+  List.iter
+    (fun (id, dur) ->
+      match Tr.start ~at:0 ~id ~kind:"scan" () with
+      | None -> Alcotest.fail "recorder is on"
+      | Some b ->
+        Tr.add_span b Tr.Scan ~start:0 ~stop:dur;
+        Tr.finish b)
+    [ ("mid", 50); ("slow", 900); ("fast", 1) ];
+  (* finish stamps tr_stop with the real clock, so total_ns reflects
+     wall time, not the synthetic spans; what must hold is the ordering
+     contract of [slowest] against [total_ns] itself. *)
+  let slowest = Tr.slowest 2 in
+  check_int "asked for two" 2 (List.length slowest);
+  let durations = List.map Tr.total_ns slowest in
+  check_bool "descending by total duration" true
+    (durations = List.sort (fun a b -> compare b a) durations);
+  let all_sorted =
+    List.sort (fun a b -> compare (Tr.total_ns b) (Tr.total_ns a)) (Tr.records ())
+  in
+  check_bool "slowest = prefix of the full ordering" true
+    (List.map (fun r -> r.Tr.tr_id) slowest
+    = List.map (fun r -> r.Tr.tr_id) (List.filteri (fun i _ -> i < 2) all_sorted))
+
+(* --- concurrent writers (QCheck) ------------------------------------------- *)
+
+(* Writers on distinct domains each publish [per_writer] records into
+   their own ring while a reader domain snapshots concurrently.  The
+   properties:
+
+   - no torn records: every observed record is internally consistent —
+     its id, kind and payload span were written together and match;
+   - overwrite-oldest per writer: after joining, each writer's
+     surviving records are exactly the LAST min(capacity, per_writer)
+     ones it wrote, in write order. *)
+let writer_id w j = Printf.sprintf "d%d-r%d" w j
+
+let record_consistent (r : Tr.record) =
+  Scanf.sscanf_opt r.Tr.tr_id "d%d-r%d" (fun w j -> (w, j))
+  |> Option.map (fun (w, j) ->
+         r.Tr.tr_kind = Printf.sprintf "w%d" w
+         && List.exists
+              (fun s ->
+                s.Tr.sp_phase = Tr.Scan && s.Tr.sp_start = j
+                && s.Tr.sp_stop = j + 1)
+              r.Tr.tr_spans)
+  |> Option.value ~default:false
+
+let concurrent_writers_prop (nwriters, per_writer, capacity) =
+  Tr.reset ();
+  Tr.enable ~capacity ();
+  let stop_reader = Atomic.make false in
+  let torn = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop_reader) do
+          List.iter
+            (fun r ->
+              if not (record_consistent r) then Atomic.set torn true)
+            (Tr.records ())
+        done)
+  in
+  let writers =
+    List.init nwriters (fun w ->
+        Domain.spawn (fun () ->
+            for j = 0 to per_writer - 1 do
+              match Tr.start ~id:(writer_id w j) ~kind:(Printf.sprintf "w%d" w) () with
+              | None -> failwith "recorder unexpectedly off"
+              | Some b ->
+                Tr.add_span b Tr.Scan ~start:j ~stop:(j + 1);
+                Tr.finish b
+            done))
+  in
+  List.iter Domain.join writers;
+  Atomic.set stop_reader true;
+  Domain.join reader;
+  let records = Tr.records () in
+  Tr.disable ();
+  if Atomic.get torn then false
+  else if not (List.for_all record_consistent records) then false
+  else begin
+    (* group the survivors by writer and check overwrite-oldest *)
+    let survivors w =
+      List.filter_map
+        (fun r -> Scanf.sscanf_opt r.Tr.tr_id "d%d-r%d" (fun w' j -> (w', j)))
+        records
+      |> List.filter (fun (w', _) -> w' = w)
+      |> List.map snd
+    in
+    let expected = min capacity per_writer in
+    List.for_all
+      (fun w ->
+        survivors w
+        = List.init expected (fun i -> per_writer - expected + i))
+      (List.init nwriters Fun.id)
+  end
+
+let concurrent_writers =
+  QCheck.Test.make ~count:25
+    ~name:"concurrent domain writers: no torn records, overwrite-oldest"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range 2 4) (int_range 1 40) (int_range 1 12)))
+    concurrent_writers_prop
+
+(* --- exporters -------------------------------------------------------------- *)
+
+(* A deterministic record set with hostile strings in the ids. *)
+let exporter_fixture () =
+  (match Tr.start ~at:5000 ~id:"a\"b\\c\nd" ~kind:"scan" () with
+  | None -> Alcotest.fail "recorder is on"
+  | Some b ->
+    Tr.add_span b Tr.Queue_wait ~start:5100 ~stop:5600;
+    Tr.add_span b Tr.Scan ~start:5700 ~stop:6900;
+    Tr.instant b Tr.Dfa_bail;
+    Tr.finish b);
+  match Tr.records () with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let member_exn name json =
+  match J.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "field %s missing" name
+
+let str_exn name json =
+  match J.to_string (member_exn name json) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %s is not a string" name
+
+let num_exn name json =
+  match J.to_number (member_exn name json) with
+  | Some f -> f
+  | None -> Alcotest.failf "field %s is not a number" name
+
+let test_ndjson_roundtrip () =
+  with_recorder @@ fun () ->
+  let r = exporter_fixture () in
+  let lines =
+    String.split_on_char '\n' (Tr.to_ndjson [ r ])
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one record, one line" 1 (List.length lines);
+  match J.parse (List.hd lines) with
+  | Error msg -> Alcotest.failf "NDJSON line does not parse: %s" msg
+  | Ok json ->
+    check_string "schema" "patchitpy-trace/1" (str_exn "schema" json);
+    check_string "hostile id round-trips" "a\"b\\c\nd" (str_exn "id" json);
+    check_string "kind" "scan" (str_exn "kind" json);
+    check_int "absolute start" 5000 (int_of_float (num_exn "startNs" json));
+    check_int "duration matches the accessor" (Tr.total_ns r)
+      (int_of_float (num_exn "durNs" json));
+    (match J.to_list (member_exn "spans" json) with
+    | Some [ qw; scan ] ->
+      check_string "first span phase" "queue-wait" (str_exn "phase" qw);
+      check_int "span offset is record-relative" 100
+        (int_of_float (num_exn "startNs" qw));
+      check_int "span duration" 500 (int_of_float (num_exn "durNs" qw));
+      check_string "second span phase" "scan" (str_exn "phase" scan)
+    | Some l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+    | None -> Alcotest.fail "spans is not an array");
+    (match J.to_list (member_exn "instants" json) with
+    | Some [ i ] -> check_string "instant kind" "dfa-bail" (str_exn "kind" i)
+    | Some l -> Alcotest.failf "expected 1 instant, got %d" (List.length l)
+    | None -> Alcotest.fail "instants is not an array")
+
+let test_chrome_export () =
+  with_recorder @@ fun () ->
+  let r = exporter_fixture () in
+  let doc = Tr.to_chrome ~extra:[ ("telemetry", "{\"x\":1}") ] [ r ] in
+  check_bool "single line (socket-embeddable)" false (String.contains doc '\n');
+  match J.parse doc with
+  | Error msg -> Alcotest.failf "chrome document does not parse: %s" msg
+  | Ok json -> (
+    let events =
+      match J.to_list (member_exn "traceEvents" json) with
+      | Some l -> l
+      | None -> Alcotest.fail "traceEvents is not an array"
+    in
+    (* 1 request event + 2 phase events + 1 instant *)
+    check_int "event count" 4 (List.length events);
+    let of_cat c =
+      List.filter (fun e -> J.member "cat" e = Some (J.Str c)) events
+    in
+    (match of_cat "request" with
+    | [ req ] ->
+      check_string "request event named by kind" "scan" (str_exn "name" req);
+      check_string "ph X" "X" (str_exn "ph" req);
+      let args = member_exn "args" req in
+      check_string "args.id carries the request id" "a\"b\\c\nd"
+        (str_exn "id" args);
+      check_bool "ts rebased to the dump's earliest record" true
+        (num_exn "ts" req = 0.0)
+    | l -> Alcotest.failf "expected 1 request event, got %d" (List.length l));
+    check_bool "phase names present" true
+      (List.map (fun e -> str_exn "name" e) (of_cat "phase")
+      = [ "queue-wait"; "scan" ]);
+    (match of_cat "instant" with
+    | [ i ] ->
+      check_string "instant name" "dfa-bail" (str_exn "name" i);
+      check_string "scoped thread instant" "t" (str_exn "s" i)
+    | l -> Alcotest.failf "expected 1 instant event, got %d" (List.length l));
+    let other = member_exn "otherData" json in
+    check_string "otherData.schema" "patchitpy-trace/1" (str_exn "schema" other);
+    check_int "otherData.recordCount" 1
+      (int_of_float (num_exn "recordCount" other));
+    (* extra pairs are embedded as raw JSON, not re-escaped strings *)
+    match J.member "telemetry" other with
+    | Some (J.Obj [ ("x", J.Num 1.0) ]) -> ()
+    | _ -> Alcotest.fail "extra raw-JSON pair not embedded verbatim")
+
+let test_chrome_empty () =
+  with_recorder @@ fun () ->
+  match J.parse (Tr.to_chrome []) with
+  | Error msg -> Alcotest.failf "empty dump does not parse: %s" msg
+  | Ok json ->
+    check_bool "empty traceEvents" true
+      (J.to_list (member_exn "traceEvents" json) = Some [])
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "switches",
+        [
+          Alcotest.test_case "off is a no-op" `Quick test_off_is_noop;
+          Alcotest.test_case "capacity validated" `Quick test_capacity_validation;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "overwrite-oldest" `Quick test_overwrite_oldest;
+          Alcotest.test_case "reset drops records" `Quick test_reset_drops_records;
+          QCheck_alcotest.to_alcotest concurrent_writers;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "phase accounting" `Quick test_phase_accounting;
+          Alcotest.test_case "instant cap" `Quick test_instant_cap;
+          Alcotest.test_case "ambient spans attach" `Quick
+            test_ambient_spans_attach;
+          Alcotest.test_case "span records on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "slowest orders by duration" `Quick
+            test_slowest_orders_by_duration;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "ndjson round-trip" `Quick test_ndjson_roundtrip;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "chrome empty dump" `Quick test_chrome_empty;
+        ] );
+    ]
