@@ -425,6 +425,18 @@ let serve_cmd =
       prerr_endline "error: --queue must be >= 1";
       exit 2
     end;
+    (* Oversubscribed domains time-slice one another and every minor GC
+       becomes an all-domain barrier — the PR 7 tracing diagnosis.  Not
+       an error (CI boxes lie about their core counts), but worth a
+       line on stderr. *)
+    let recommended = Domain.recommended_domain_count () in
+    if jobs > recommended then
+      Printf.eprintf
+        "warning: --jobs %d exceeds this machine's recommended domain \
+         count (%d); oversubscribed workers time-slice each other and \
+         typically serve slower than --jobs %d\n\
+         %!"
+        jobs recommended recommended;
     let scanner, pack =
       resolve_scanner ~rules_file ~only ~exclude ~lang rule_pack
     in
@@ -538,17 +550,20 @@ let rules_inspect_cmd =
     in
     if json then
       Printf.printf
-        "{\"file\":\"%s\",\"bytes\":%d,\"formatVersion\":%d,\"catalogHash\":\"%s\",\"pythonRules\":%d,\"jsRules\":%d,\"matchesThisBuild\":%b}\n"
+        "{\"file\":\"%s\",\"bytes\":%d,\"formatVersion\":%d,\"catalogHash\":\"%s\",\"pythonRules\":%d,\"jsRules\":%d,\"fusedSection\":%b,\"matchesThisBuild\":%b}\n"
         (Patchitpy.Jsonout.escape_string file)
         (file_size file) pack.Rulepack.version pack.Rulepack.catalog_hash
-        python js catalog_matches
+        python js pack.Rulepack.fused_section catalog_matches
     else begin
       Printf.printf "%s: %d bytes\n" file (file_size file);
       Printf.printf "format version: %d\n" pack.Rulepack.version;
       Printf.printf "catalog: %s (%s)\n" pack.Rulepack.catalog_hash
         (if catalog_matches then "matches this build"
          else "DOES NOT match this build's catalog");
-      Printf.printf "rules: %d python, %d javascript\n" python js
+      Printf.printf "rules: %d python, %d javascript\n" python js;
+      Printf.printf "fused section: %s\n"
+        (if pack.Rulepack.fused_section then "present"
+         else "absent (re-fused from rules on first scan)")
     end;
     if not catalog_matches then exit 1
   in

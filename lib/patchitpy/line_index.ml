@@ -5,19 +5,26 @@
 type t = int array
 
 let build source =
-  let n = String.length source in
+  (* both passes jump newline to newline via memchr rather than walking
+     bytes — the index is rebuilt on every scan with findings *)
   let count = ref 1 in
-  for i = 0 to n - 1 do
-    if source.[i] = '\n' then incr count
-  done;
+  let i = ref 0 in
+  (try
+     while true do
+       i := String.index_from source !i '\n' + 1;
+       incr count
+     done
+   with Not_found -> ());
   let starts = Array.make !count 0 in
   let next = ref 1 in
-  for i = 0 to n - 1 do
-    if source.[i] = '\n' then begin
-      starts.(!next) <- i + 1;
-      incr next
-    end
-  done;
+  i := 0;
+  (try
+     while true do
+       i := String.index_from source !i '\n' + 1;
+       starts.(!next) <- !i;
+       incr next
+     done
+   with Not_found -> ());
   starts
 
 (* Incremental re-index under a round of edits.  New line starts are

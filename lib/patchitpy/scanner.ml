@@ -41,6 +41,20 @@ let cell_rule cell =
     else (
       match Atomic.get cell.filled with Some winner -> winner | None -> rule)
 
+(* The fused-tier slot of a plan.  Like rule [cell]s it defers the
+   expensive step — fusing the whole catalog into one tagged DFA — to
+   first use, because plans are compiled (and packs loaded) in
+   processes that may never scan; and like them it is an [Atomic]
+   because serve workers share one plan across domains.  [F_off] pins
+   the plan to the per-rule path and is never overwritten — it is how
+   [PATCHITPY_SCAN_TIER=per-rule] and the differential tests' reference
+   plans stay fused-free even when a pack tries to install a thunk. *)
+type fused_tier =
+  | F_off  (* per-rule path forced; never upgraded *)
+  | F_pending of (unit -> Rx.fused option)  (* fuse on first scan *)
+  | F_ready of Rx.fused
+  | F_none  (* fusing ran and hosted nothing *)
+
 type t = {
   rule_arr : cell array;  (* compilation order = reporting tie-break *)
   prefilter : Acsearch.t;  (* one automaton over every rule's literals *)
@@ -49,7 +63,31 @@ type t = {
   has_literals : bool array;
   extent : (int * int) option array;  (* Rx.newline_budget per rule *)
   tele : Telemetry.Rules.def;  (* per-rule telemetry registration *)
+  fused : fused_tier Atomic.t;
 }
+
+(* The scan-tier escape hatch, mirroring [PATCHITPY_RX_TIER]: checked
+   when a plan is built, so it governs plans compiled or loaded
+   afterwards.  [PATCHITPY_RX_TIER=backtrack] also lands here — with
+   every pattern pinned to the backtracker nothing is hostable, so
+   fusing could only waste a compile. *)
+let scan_tier_forced () =
+  (match Sys.getenv_opt "PATCHITPY_SCAN_TIER" with
+  | Some "per-rule" -> true
+  | Some _ | None -> false)
+  ||
+  match Sys.getenv_opt "PATCHITPY_RX_TIER" with
+  | Some "backtrack" -> true
+  | Some _ | None -> false
+
+let fused_of_cells rule_arr =
+  if scan_tier_forced () then Atomic.make F_off
+  else
+    Atomic.make
+      (F_pending
+         (fun () ->
+           Rx.Fused.compile
+             (Array.map (fun c -> (cell_rule c).Rule.pattern) rule_arr)))
 
 (* Plan compilation is the expensive setup step callers are expected to
    amortize (one plan across a batch, or one per daemon).  The counter
@@ -93,11 +131,34 @@ let compile ?meta rule_list =
     tele =
       Telemetry.Rules.define
         (Array.map (fun (r : Rule.t) -> r.Rule.id) rules_vec);
+    fused = fused_of_cells rule_arr;
   }
 
 let telemetry_def t = t.tele
 
 let rules t = List.map cell_rule (Array.to_list t.rule_arr)
+let rule_count t = Array.length t.rule_arr
+
+(* Forces the fused tier.  Concurrent first scans may both fuse; the
+   CAS winner is served from then on (same discipline as rule cells). *)
+let rec fused_machine t =
+  match Atomic.get t.fused with
+  | F_off | F_none -> None
+  | F_ready f -> Some f
+  | F_pending thunk as prev ->
+    let next =
+      match thunk () with Some f -> F_ready f | None -> F_none
+    in
+    if Atomic.compare_and_set t.fused prev next then
+      match next with F_ready f -> Some f | _ -> None
+    else fused_machine t
+
+let set_fused_thunk t thunk =
+  match Atomic.get t.fused with
+  | F_off -> ()  (* the tier is pinned off; nothing may turn it on *)
+  | F_pending _ | F_ready _ | F_none -> Atomic.set t.fused (F_pending thunk)
+
+let per_rule_tier t = { t with fused = Atomic.make F_off }
 
 (* The text window a suppress pattern is evaluated over: the lines the
    match spans, extended by one line on each side. *)
@@ -131,6 +192,54 @@ let candidates t source =
   wanted
 
 module B = Telemetry.Rules
+
+(* --- fused-tier dispatch ---------------------------------------------- *)
+
+(* [candidates]' literal gate says "a required literal occurs"; the
+   fused pass sharpens that to "the full pattern matches somewhere" in
+   one more traversal of the source.  Counters: [candidates] counts
+   rules the fused pass flagged, [confirms] counts the per-rule sweeps
+   those flags triggered (the gap between the two is rules flagged but
+   already excluded by the literal gate), [fallbacks] counts subjects
+   where the fused cache thrashed and the scan reverted to per-rule. *)
+let fused_candidates_counter =
+  Telemetry.Counter.make "scanner_fused_candidates_total"
+
+let fused_confirms_counter =
+  Telemetry.Counter.make "scanner_fused_confirms_total"
+
+let fused_fallbacks_counter =
+  Telemetry.Counter.make "scanner_fused_fallbacks_total"
+
+(* One fused pass over [source], or [None] when the tier is off, hosts
+   nothing, or bailed on this subject (cache thrash).  Never affects
+   results — [None] simply means "sweep every candidate per-rule". *)
+let fused_mask t source =
+  match fused_machine t with
+  | None -> None
+  | Some f -> (
+    match Rx.Fused.run f source with
+    | mask ->
+      if Telemetry.enabled () then begin
+        let flagged = ref 0 in
+        Bytes.iter (fun c -> if c <> '\000' then incr flagged) mask;
+        if !flagged > 0 then
+          Telemetry.Counter.incr fused_candidates_counter ~by:!flagged
+      end;
+      Some (f, mask)
+    | exception Rx.Fused.Bail ->
+      Telemetry.Counter.incr fused_fallbacks_counter;
+      None)
+
+(* Whether rule [i] still needs its per-rule sweep given the fused
+   verdict: unhosted rules always do; hosted rules only when flagged
+   (an unflagged hosted rule provably has no match — skipping its
+   sweep cannot change results). *)
+let fused_wants fmask i =
+  match fmask with
+  | None -> true
+  | Some (f, mask) ->
+    (not (Rx.Fused.is_hosted f i)) || Bytes.get mask i <> '\000'
 
 (* --- scan states ------------------------------------------------------ *)
 
@@ -182,7 +291,19 @@ let max_ws_run_newlines source ~pos ~stop =
    is recorded when a sink is installed. *)
 let scan_state t source =
   Telemetry.Trace.ambient_span Telemetry.Trace.Scan @@ fun () ->
-  let wanted = candidates t source in
+  let fmask = fused_mask t source in
+  (* When the fused machine hosts every rule its mask is strictly
+     sharper than the literal gate (a matching rule's required literal
+     necessarily occurs, so flagged ⊆ literal-wanted): the automaton
+     pass would change nothing and is skipped.  Any unhosted rule —
+     or a bailed/disabled fused pass — brings the literal gate back. *)
+  let wanted =
+    match fmask with
+    | Some (f, _) when Rx.Fused.hosted_count f = Array.length t.rule_arr ->
+      None
+    | _ -> Some (candidates t source)
+  in
+  let confirms = ref 0 in
   let nrules = Array.length t.rule_arr in
   let raws = Array.make nrules [] in
   (* One branch when telemetry is off; with a sink installed, the block
@@ -207,7 +328,12 @@ let scan_state t source =
   in
   Array.iteri
     (fun i cell ->
-      if wanted.(i) then begin
+      if (match wanted with None -> true | Some w -> w.(i))
+         && fused_wants fmask i
+      then begin
+        (match fmask with
+        | Some (f, _) when Rx.Fused.is_hosted f i -> incr confirms
+        | _ -> ());
         let rule = cell_rule cell in
         let steps = ref 0 in
         let exhausted = ref false in
@@ -258,6 +384,8 @@ let scan_state t source =
           t_prev := t
       end)
     t.rule_arr;
+  if !confirms > 0 then
+    Telemetry.Counter.incr fused_confirms_counter ~by:!confirms;
   {
     st_source = source;
     st_index = lazy (Line_index.build source);
@@ -271,26 +399,28 @@ let state_findings t st =
   let out = ref [] in
   Array.iteri
     (fun i rule_raws ->
-      (* only force a rule's decode if it actually has raw matches *)
-      let rule = lazy (cell_rule t.rule_arr.(i)) in
-      List.iter
-        (fun r ->
-          let rule = Lazy.force rule in
-          if not r.raw_suppressed then begin
-            let index = Lazy.force st.st_index in
-            out :=
-              {
-                rule;
-                line = Line_index.line index r.raw_start;
-                column = Line_index.column index r.raw_start;
-                offset = r.raw_start;
-                stop = r.raw_stop;
-                snippet = one_line (Rx.matched r.raw_m);
-                m = r.raw_m;
-              }
-              :: !out
-          end)
-        rule_raws)
+      (* empty for almost every rule — and only a rule that actually
+         has raw matches forces its cell's decode *)
+      if rule_raws <> [] then begin
+        let rule = cell_rule t.rule_arr.(i) in
+        List.iter
+          (fun r ->
+            if not r.raw_suppressed then begin
+              let index = Lazy.force st.st_index in
+              out :=
+                {
+                  rule;
+                  line = Line_index.line index r.raw_start;
+                  column = Line_index.column index r.raw_start;
+                  offset = r.raw_start;
+                  stop = r.raw_stop;
+                  snippet = one_line (Rx.matched r.raw_m);
+                  m = r.raw_m;
+                }
+                :: !out
+            end)
+          rule_raws
+      end)
     st.st_raw;
   List.sort
     (fun a b ->
@@ -656,6 +786,16 @@ let rescan_exn t st edits new_source =
        List.iter (fun i -> w.(i) <- true) t.unconditional;
        let hits = Acsearch.search_mask t.prefilter new_source in
        Array.iteri (fun j hit -> if hit then w.(t.owner.(j)) <- true) hits;
+       (* the fused pass sharpens the literal gate into an exact
+          existence gate for hosted rules: an unflagged hosted rule's
+          full re-scan would find nothing, so it is skipped outright *)
+       (match fused_mask t new_source with
+       | None -> ()
+       | Some (f, mask) ->
+         for i = 0 to nrules - 1 do
+           if w.(i) && Rx.Fused.is_hosted f i && Bytes.get mask i = '\000'
+           then w.(i) <- false
+         done);
        w)
   in
   let block =
@@ -904,4 +1044,8 @@ let read r =
     has_literals;
     extent;
     tele = Telemetry.Rules.define ids;
+    (* default thunk fuses from the decoded rules on first scan;
+       rule packs carrying a pre-built fused section replace it via
+       [set_fused_thunk], keeping load time free of the fuse cost *)
+    fused = fused_of_cells rule_arr;
   }

@@ -62,7 +62,12 @@ val compile : ?meta:rule_meta list -> Rule.t list -> t
     automaton build itself stays sequential and deterministic. *)
 
 val rules : t -> Rule.t list
-(** The rule list the scanner was compiled from, in order. *)
+(** The rule list the scanner was compiled from, in order.  On a
+    pack-loaded plan this forces every deferred rule decode; prefer
+    {!rule_count} when only the count is needed. *)
+
+val rule_count : t -> int
+(** Number of rules in the plan, without forcing any deferred decode. *)
 
 val scan : t -> string -> finding list
 (** All findings, sorted by offset then rule id.  Semantics are
@@ -92,6 +97,45 @@ val telemetry_def : t -> Telemetry.Rules.def
 (** The telemetry registration of this plan's rule-id vector — the key
     for picking this scanner's per-rule block out of a
     {!Telemetry.Report}. *)
+
+(** {1 The fused scan tier}
+
+    By default a plan additionally fuses every hostable rule pattern
+    into one tagged lazy DFA ({!Rx.Fused}) on first scan.  A scan then
+    runs the Aho–Corasick literal gate, ONE fused pass over the source
+    (an exact per-rule existence filter), and per-rule sweeps only for
+    rules the fused pass flagged (plus unhosted rules) — so per-sample
+    cost approaches one traversal of the input regardless of catalog
+    size, while results stay byte-identical to the per-rule path by
+    construction.  The incremental {!rescan} path uses the same filter
+    to gate full re-scans of rules without a finite line extent.
+
+    [PATCHITPY_SCAN_TIER=per-rule] in the environment pins plans built
+    afterwards to the per-rule path (the escape hatch, mirroring
+    [PATCHITPY_RX_TIER]); [PATCHITPY_RX_TIER=backtrack] implies it.
+    When the fused pass's bounded transition cache thrashes on a
+    subject it bails and that scan transparently reverts to per-rule
+    sweeps ([scanner_fused_fallbacks_total] counts these; the flags it
+    did compute are discarded).  Counters
+    [scanner_fused_candidates_total] (rules flagged) and
+    [scanner_fused_confirms_total] (per-rule sweeps those flags
+    triggered) size the filter's win. *)
+
+val fused_machine : t -> Rx.fused option
+(** The plan's fused catalog machine, fusing it now if this is the
+    first use.  [None] when the tier is pinned off or no rule is
+    hostable. *)
+
+val per_rule_tier : t -> t
+(** A copy of the plan pinned to the per-rule scan path (no fused
+    pass, ever).  Scan results are identical by construction; the
+    differential suites use the pinned copy as the reference. *)
+
+val set_fused_thunk : t -> (unit -> Rx.fused option) -> unit
+(** Replaces how the plan obtains its fused machine on first use —
+    rule packs install a thunk decoding the pack's pre-built fused
+    section instead of re-fusing from the rules.  No-op on plans with
+    the tier pinned off. *)
 
 (** {1 Scan states and incremental re-scanning}
 

@@ -37,6 +37,13 @@ let format_version = 1
 let section_python = 1
 let section_javascript = 2
 
+(* The python plan's fused multi-pattern machine ([Rx.Fused]),
+   pre-built at pack time so a loaded pack's first scan skips the
+   catalog-wide fuse.  Optional twice over: the payload is an option
+   (a pack built with the fused tier pinned off writes [None]), and
+   readers that predate the tag skip the section entirely. *)
+let section_fused_python = 3
+
 type t = {
   version : int;
   catalog_hash : string;
@@ -45,6 +52,10 @@ type t = {
       (* thunked: the scan/patch/serve fast paths only ever touch the
          python plan, so a loaded pack defers the javascript section's
          decode until someone asks for it *)
+  fused_section : bool;
+      (* whether the pack carries the pre-built fused machine (packs
+         from pre-fused-section builds do not; they re-fuse from rules
+         on first scan) — surfaced by [rules inspect] *)
 }
 
 (* Domain-safe once-memoization for the deferred section: an [Atomic]
@@ -145,6 +156,7 @@ let create () =
     catalog_hash = fingerprint (python_rules @ js_rules);
     python = Patchitpy.Scanner.compile python_rules;
     javascript = (fun () -> javascript);
+    fused_section = true;
   }
 
 let encode t =
@@ -152,7 +164,7 @@ let encode t =
   Buffer.add_string buf magic;
   Binio.w_u32 buf t.version;
   Binio.w_str buf t.catalog_hash;
-  Binio.w_u8 buf 2;
+  Binio.w_u8 buf 3;
   let section tag scanner =
     Binio.w_u8 buf tag;
     let payload = Buffer.create (1 lsl 19) in
@@ -161,6 +173,11 @@ let encode t =
   in
   section section_python t.python;
   section section_javascript (t.javascript ());
+  Binio.w_u8 buf section_fused_python;
+  let payload = Buffer.create (1 lsl 16) in
+  Binio.w_opt Rx.Fused.write payload
+    (Patchitpy.Scanner.fused_machine t.python);
+  Binio.w_str buf (Buffer.contents payload);
   let checksum = Binio.hash64 (Buffer.contents buf) in
   let trailer = Bytes.create 8 in
   Bytes.set_int64_le trailer 0 checksum;
@@ -188,6 +205,7 @@ let decode data =
           let catalog_hash = Binio.r_str r in
           let nsections = Binio.r_u8 r in
           let python = ref None and javascript = ref None in
+          let fused_view = ref None in
           for _ = 1 to nsections do
             let tag = Binio.r_u8 r in
             let len = Binio.r_u32 r in
@@ -212,6 +230,7 @@ let decode data =
                            (Binio.Corrupt
                               "trailing bytes in the javascript section");
                        scanner))
+            else if tag = section_fused_python then fused_view := Some view
             (* unknown sections are skipped: the view already advanced
                the cursor past the payload *)
           done;
@@ -219,7 +238,36 @@ let decode data =
             raise (Binio.Corrupt "trailing bytes after the last section");
           match (!python, !javascript) with
           | Some python, Some javascript ->
-            { version; catalog_hash; python; javascript }
+            (match !fused_view with
+            | None -> ()  (* pre-fused-section pack: fuse from rules *)
+            | Some view ->
+              (* deferred like the javascript section, and additionally
+                 fault-tolerant: the fused machine is a pure
+                 accelerator, so checksum-forged bytes inside it
+                 degrade to re-fusing from the (independently
+                 validated) rules rather than failing the scan that
+                 first forces it *)
+              Patchitpy.Scanner.set_fused_thunk python (fun () ->
+                  try
+                    let fr = Binio.sub_reader view in
+                    let f =
+                      Binio.r_opt
+                        (Rx.Fused.read
+                           ~npatterns:(Patchitpy.Scanner.rule_count python))
+                        fr
+                    in
+                    if not (Binio.at_end fr) then
+                      raise (Binio.Corrupt "trailing bytes in the fused section");
+                    f
+                  with Binio.Truncated | Binio.Corrupt _ ->
+                    Rx.Fused.compile
+                      (Array.of_list
+                         (List.map
+                            (fun (r : Patchitpy.Rule.t) ->
+                              r.Patchitpy.Rule.pattern)
+                            (Patchitpy.Scanner.rules python)))));
+            { version; catalog_hash; python; javascript;
+              fused_section = !fused_view <> None }
           | None, _ -> raise (Binio.Corrupt "missing python section")
           | _, None -> raise (Binio.Corrupt "missing javascript section")
         in

@@ -17,7 +17,16 @@
     never touches (per-rule blobs, the javascript section) decode
     lazily behind the checksum; on a deliberately forged pack their
     first use may raise a {!Binio} exception — still memory-safe, just
-    no longer a typed [Error]. *)
+    no longer a typed [Error].
+
+    Packs additionally carry the python plan's pre-built fused
+    multi-pattern machine ({!Rx.Fused}) in an optional section, so the
+    first scan over a loaded pack skips the catalog-wide fuse.  The
+    section decodes lazily like the javascript one, and because it is
+    a pure accelerator it is also the one part allowed to degrade: a
+    forged-but-checksummed fused section falls back to re-fusing from
+    the validated rules instead of raising.  Packs without the section
+    (older builds) load fine and fuse from rules on first scan. *)
 
 type t = {
   version : int;  (** the pack's format version (= {!format_version}) *)
@@ -30,6 +39,10 @@ type t = {
           not pay for this section at startup.  On a pack whose
           checksum was deliberately forged around a damaged javascript
           section, the first call may raise a {!Binio} exception. *)
+  fused_section : bool;
+      (** whether the pack carries the pre-built fused multi-pattern
+          machine; packs from pre-fused-section builds report [false]
+          and re-fuse from rules on first scan *)
 }
 
 type error =

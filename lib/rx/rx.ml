@@ -37,6 +37,11 @@ type t = {
      decision is made at compile time so runtime semantics never hinge
      on it: both tiers produce byte-identical matches. *)
   dfa : Rx_dfa.static option;
+  (* Whether the DFA tier's forward-pass end is authoritative (see
+     [has_nullable_rep]): when false, a DFA-tier match must be
+     re-confirmed by the backtracker for its span, not just its
+     groups. *)
+  end_exact : bool;
   (* Key for the per-domain transition-cache table. *)
   uid : int;
 }
@@ -385,6 +390,43 @@ let build_dfa node =
         | exception Rx_pike.Unsupported _ -> None
         | rev -> Some (Rx_dfa.build ~fwd ~rev))
 
+(* Whether some repetition in [node] has a nullable body — a body that
+   can match without consuming input.  For such a repetition the
+   backtracker's Python rule ("an empty body iteration satisfies any
+   outstanding [min]") and the Pike program's thread semantics (an
+   empty iteration is deduplicated away, so mandatory copies must make
+   progress) can rank match *ends* differently — e.g. [(?:c*?|c){2,}]
+   on ["c"] ends at 0 for the backtracker and at 1 for the NFA-derived
+   DFA.  Match *existence* and leftmost *starts* agree on both tiers
+   regardless; only the end ranking diverges, so the DFA tier handles
+   these patterns by confirming every match with the backtracker and
+   taking its spans as the answer.  Conservative over min (any
+   repetition counts, not just [min >= 2]): the cost of a false
+   positive is one backtracker confirm per match, never a wrong
+   result. *)
+let has_nullable_rep node =
+  let rec nullable = function
+    | Rx_ast.Empty | Rx_ast.Bol | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb
+    | Rx_ast.Nwordb | Rx_ast.Backref _ ->
+      true
+    | Rx_ast.Char _ | Rx_ast.Any | Rx_ast.Class _ -> false
+    | Rx_ast.Seq ns -> List.for_all nullable ns
+    | Rx_ast.Alt bs -> List.exists nullable bs
+    | Rx_ast.Group (_, inner) -> nullable inner
+    | Rx_ast.Rep (inner, min, _, _) -> min = 0 || nullable inner
+  in
+  let rec go = function
+    | Rx_ast.Empty | Rx_ast.Char _ | Rx_ast.Any | Rx_ast.Class _
+    | Rx_ast.Bol | Rx_ast.Eol | Rx_ast.Eos | Rx_ast.Wordb | Rx_ast.Nwordb
+    | Rx_ast.Backref _ ->
+      false
+    | Rx_ast.Seq ns -> List.exists go ns
+    | Rx_ast.Alt bs -> List.exists go bs
+    | Rx_ast.Group (_, inner) -> go inner
+    | Rx_ast.Rep (inner, _, _, _) -> nullable inner || go inner
+  in
+  go node
+
 let uid_source = Atomic.make 0
 
 let single_first_byte = function
@@ -414,6 +456,7 @@ let compile_uncached source =
       req_literals = derive_literals node;
       nl_budget = derive_newline_budget node;
       dfa = build_dfa node;
+      end_exact = not (has_nullable_rep node);
       uid = Atomic.fetch_and_add uid_source 1;
     }
   | exception Rx_parser.Error (msg, pos) -> raise (Parse_error (msg, pos))
@@ -542,18 +585,32 @@ let dfa_shrink_cache t ~max_states =
     Hashtbl.replace slot.tbl t.uid c;
     if slot.last_uid = t.uid then slot.last_cache <- Some c
 
-type m = { subject : string; res : Rx_match.result; ngroups : int }
+(* Spans are always eager; capture groups may be deferred.  On the DFA
+   tier a match's start and end come from the forward/backward passes —
+   the backtracker only runs to extract group spans, and the scanner
+   never reads groups (it needs spans and matched text), so paying the
+   backtracker's CPS allocation per scanned match bought nothing.  The
+   thunk runs at most once, on first [group]/[group_span] access; the
+   backtracking tier's results arrive with groups already computed and
+   wrap them in [Lazy.from_val]. *)
+type m = {
+  subject : string;
+  ngroups : int;
+  m_s : int;
+  m_e : int;
+  m_groups : (int * int) option array Lazy.t;
+}
 
-let m_start m = m.res.Rx_match.m_start
-let m_stop m = m.res.Rx_match.m_stop
+let m_start m = m.m_s
+let m_stop m = m.m_e
 
 let matched m = String.sub m.subject (m_start m) (m_stop m - m_start m)
 
 let group_span m i =
-  if i = 0 then Some (m_start m, m_stop m)
+  if i = 0 then Some (m.m_s, m.m_e)
   else if i < 0 || i > m.ngroups then
     invalid_arg (Printf.sprintf "Rx.group: no group %d" i)
-  else m.res.Rx_match.m_groups.(i)
+  else (Lazy.force m.m_groups).(i)
 
 let group m i =
   match group_span m i with
@@ -670,18 +727,53 @@ let bt_search ?cap ?steps_acc ?limit t subject pos =
   Rx_match.search ?cap ?steps_acc ?limit ?first_bytes:t.first_bytes
     ~bol_only:t.bol_only t.node t.ngroups subject pos
 
+(* Groups array shared by every captureless match: [group_span] never
+   indexes it (slot 0 is answered from the spans), so one value serves
+   all. *)
+let no_group_spans : (int * int) option array Lazy.t = Lazy.from_val [| None |]
+
+let of_result subject ngroups (r : Rx_match.result) =
+  {
+    subject;
+    ngroups;
+    m_s = r.Rx_match.m_start;
+    m_e = r.Rx_match.m_stop;
+    m_groups = Lazy.from_val r.Rx_match.m_groups;
+  }
+
+(* Deferred capture extraction for a DFA-tier match with span (s, e):
+   one backtracker attempt anchored at [s], run on first group access.
+   Anchored at a known match start, the attempt finds the same match
+   the eager confirm would have (leftmost-first from the same offset),
+   so the spans it records are the authoritative ones.  It runs under
+   the ordinary per-attempt budget but outside any request deadline —
+   the request that found the match may be long gone when a patcher
+   finally reads a capture.  The two impossible-by-construction
+   failures (no match at [s], budget blown on a confirmed match)
+   degrade to unset groups rather than raising from an accessor; the
+   differential suites compare group spans across tiers, so a real
+   divergence cannot hide there. *)
+let deferred_groups t subject s =
+  lazy
+    (rincr (Telemetry.recorder ()) dfa_confirm_counter;
+     match Rx_match.match_at t.node t.ngroups subject s with
+     | Some r -> r.Rx_match.m_groups
+     | None | (exception Rx_match.Budget_exceeded _) ->
+       Array.make (t.ngroups + 1) None)
+
 (* DFA tier: one linear forward pass finds the match end, a backward
-   pass pins the leftmost start, and only then does the backtracker run
-   once, anchored at that start, to produce the authoritative spans and
-   capture groups — byte-identical to a backtracker-only search, which
-   would have found its first (hence identical) match at the same
-   start.  [Rx_dfa.Bail] (cache thrash) and any forward/confirm
-   disagreement fall back to the legacy search wholesale. *)
+   pass pins the leftmost start.  Capture groups are not extracted
+   here: the match carries a thunk that runs the backtracker anchored
+   at that start if and when a group is actually read — byte-identical
+   spans either way, since a backtracker-only search would have found
+   its first (hence identical) match at the same start.  [Rx_dfa.Bail]
+   (cache thrash) falls back to the legacy search wholesale. *)
 let tier_search ~recorder ?cap ?steps_acc ?limit t subject pos =
   match t.dfa with
   | None ->
     rincr recorder exec_backtrack_counter;
-    bt_search ?cap ?steps_acc ?limit t subject pos
+    Option.map (of_result subject t.ngroups)
+      (bt_search ?cap ?steps_acc ?limit t subject pos)
   | Some st -> (
     rincr recorder exec_dfa_counter;
     let cache = get_cache t st in
@@ -693,36 +785,43 @@ let tier_search ~recorder ?cap ?steps_acc ?limit t subject pos =
     | exception Rx_dfa.Bail ->
       rincr recorder dfa_fallback_counter;
       Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_bail;
-      bt_search ?cap ?steps_acc ?limit t subject pos
+      Option.map (of_result subject t.ngroups)
+        (bt_search ?cap ?steps_acc ?limit t subject pos)
     | None -> None
     | Some (s, e) ->
-      if t.ngroups = 0 then
-        (* No captures to extract, and (s, e) already is the
-           leftmost-first span: the forward pass records the last match
-           flag under prune-after-match with start injection stopped,
-           which is exactly the end the backtracker's priority order
-           prefers.  The differential suite checks this equivalence on
-           every pattern it generates. *)
-        Some
-          { Rx_match.m_start = s; m_stop = e; m_groups = Array.make 1 None }
+      if t.end_exact then
+        (* (s, e) already is the leftmost-first span: the forward pass
+           records the match flag under prune-after-match with start
+           injection stopped, which is exactly the end the backtracker's
+           priority order prefers for [end_exact] patterns.  The
+           differential suite checks this equivalence on every pattern
+           it generates. *)
+        let m_groups =
+          if t.ngroups = 0 then no_group_spans else deferred_groups t subject s
+        in
+        Some { subject; ngroups = t.ngroups; m_s = s; m_e = e; m_groups }
       else begin
+        (* A repetition with a nullable body can rank ends differently
+           across tiers (see [has_nullable_rep]): [s] is still the
+           authoritative leftmost start, but the span must come from
+           the backtracker, anchored there — groups ride along for
+           free. *)
         rincr recorder dfa_confirm_counter;
         match Rx_match.match_at ?cap ?steps_acc t.node t.ngroups subject s with
-        | Some _ as r -> r
+        | Some r -> Some (of_result subject t.ngroups r)
         | None ->
           (* impossible by construction; never let an engine bug change
              results — re-run the whole search on the legacy tier *)
           rincr recorder dfa_fallback_counter;
           Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_bail;
-          bt_search ?cap ?steps_acc ?limit t subject pos
+          Option.map (of_result subject t.ngroups)
+            (bt_search ?cap ?steps_acc ?limit t subject pos)
       end)
 
 let exec ?(pos = 0) ?limit t subject =
   let recorder = Telemetry.recorder () in
   guarded (fun ?cap ?steps_acc () ->
-      match tier_search ~recorder ?cap ?steps_acc ?limit t subject pos with
-      | None -> None
-      | Some res -> Some { subject; res; ngroups = t.ngroups })
+      tier_search ~recorder ?cap ?steps_acc ?limit t subject pos)
 
 let matches t subject =
   match t.dfa with
@@ -779,27 +878,33 @@ let matches_whole t subject =
   guarded (fun ?cap ?steps_acc () ->
       Rx_match.match_whole ?cap ?steps_acc t.node t.ngroups subject)
 
+(* One recorder fetch and one [guarded] entry for the whole sweep, not
+   one per match: the deadline cap is invariant across the sweep (each
+   charge shrinks [remaining] by exactly the steps the shared
+   accumulator grew), so hoisting the wrapper out of the loop changes
+   no budget or deadline behaviour — it only removes the per-[exec]
+   DLS fetches from the scanner's confirm path. *)
 let find_all t subject =
+  let recorder = Telemetry.recorder () in
   let len = String.length subject in
-  let rec loop pos acc =
-    if pos > len then List.rev acc
-    else
-      match exec ~pos t subject with
-      | None -> List.rev acc
-      | Some m ->
-        let next = if m_stop m = m_start m then m_stop m + 1 else m_stop m in
-        loop next (m :: acc)
-  in
-  loop 0 []
+  guarded (fun ?cap ?steps_acc () ->
+      let rec loop pos acc =
+        if pos > len then List.rev acc
+        else
+          match tier_search ~recorder ?cap ?steps_acc t subject pos with
+          | None -> List.rev acc
+          | Some m ->
+            let next = if m_stop m = m_start m then m_stop m + 1 else m_stop m in
+            loop next (m :: acc)
+      in
+      loop 0 [])
 
 let search_steps_histogram = Telemetry.Histogram.make "rx_search_steps"
 
 let exec_steps ~recorder ?(pos = 0) ?limit t subject ~steps =
   guarded ~steps_acc:steps (fun ?cap ?steps_acc () ->
       let steps = match steps_acc with Some acc -> acc | None -> steps in
-      match tier_search ~recorder ?cap ~steps_acc:steps ?limit t subject pos with
-      | None -> None
-      | Some res -> Some { subject; res; ngroups = t.ngroups })
+      tier_search ~recorder ?cap ~steps_acc:steps ?limit t subject pos)
 
 let exec_counted ?pos ?limit t subject ~steps =
   let recorder = Telemetry.recorder () in
@@ -995,5 +1100,199 @@ let read_compiled r =
     req_literals;
     nl_budget;
     dfa = build_dfa node;
+    end_exact = not (has_nullable_rep node);
     uid = Atomic.fetch_and_add uid_source 1;
   }
+
+(* --- fused multi-pattern tier ----------------------------------------------
+
+   [Rx_fused] is the raw machine; this wrapper decides which patterns
+   it can host, maps the machine's dense slot space back to the
+   caller's pattern indices, and owns the per-domain cache registry —
+   the catalog-level analogue of the per-pattern plumbing above. *)
+
+type fused = {
+  fstatic : Rx_fused.static;
+  f_slots : int array; (* machine slot -> caller pattern index *)
+  f_hosted : bool array; (* caller pattern index -> hosted? *)
+  fuid : int; (* keys the per-domain fused caches, like [t.uid] *)
+}
+
+module Fused = struct
+  exception Bail = Rx_fused.Bail
+
+  (* A fused program walks every byte with no skip lanes, so its size
+     budget sits between a single pattern's [max_dfa_program] and the
+     16-bit pc ceiling: big enough for several hundred catalog rules,
+     small enough that state keys and closures stay cheap. *)
+  let max_fused_program = 60000
+
+  (* A pattern is hostable when it runs on the DFA tier (so Pike
+     compilation is known to succeed and the pattern is within size
+     bounds — and [PATCHITPY_RX_TIER=backtrack] disables fusing along
+     with the rest of the DFA machinery) and has a derived FIRST set:
+     a pattern without one can match the empty string, which would
+     flag on every subject and tell the caller nothing. *)
+  let hostable p = p.dfa <> None && p.first_bytes <> None
+
+  let compile patterns =
+    let n = Array.length patterns in
+    let slots = ref [] in
+    let nslots = ref 0 in
+    let progs = ref [] in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let p = patterns.(i) in
+      if hostable p then begin
+        match Rx_pike.compile p.node with
+        | exception Rx_pike.Unsupported _ -> ()
+        | prog ->
+          (* budget check counts the fan-out preamble (one split per
+             slot); overflow skips the pattern — deterministically, in
+             pattern order — rather than failing the whole compile *)
+          if !total + Array.length prog + !nslots + 1 <= max_fused_program
+          then begin
+            slots := i :: !slots;
+            progs := prog :: !progs;
+            incr nslots;
+            total := !total + Array.length prog
+          end
+      end
+    done;
+    if !nslots = 0 then None
+    else begin
+      let f_slots = Array.of_list (List.rev !slots) in
+      let progs = Array.of_list (List.rev !progs) in
+      let f_hosted = Array.make n false in
+      Array.iter (fun i -> f_hosted.(i) <- true) f_slots;
+      Some
+        {
+          fstatic = Rx_fused.build progs;
+          f_slots;
+          f_hosted;
+          fuid = Atomic.fetch_and_add uid_source 1;
+        }
+    end
+
+  let is_hosted f i = f.f_hosted.(i)
+  let hosted_count f = Array.length f.f_slots
+  let pattern_count f = Array.length f.f_hosted
+  let program_size f = Rx_fused.program_size f.fstatic
+
+  (* Per-domain fused caches, mirroring [dfa_slot]: unsynchronized
+     tables keyed by [fuid], with a one-slot memo in front because a
+     process typically runs exactly one catalog.  The table is tiny —
+     a fused cache is big, and more than a couple of live catalogs per
+     domain means something is off. *)
+  type fused_slot = {
+    ftbl : (int, Rx_fused.cache) Hashtbl.t;
+    mutable flast_uid : int;
+    mutable flast : Rx_fused.cache option;
+  }
+
+  let max_fused_caches = 16
+
+  let fused_slot : fused_slot Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { ftbl = Hashtbl.create 4; flast_uid = -1; flast = None })
+
+  let get_cache f =
+    let slot = Domain.DLS.get fused_slot in
+    if slot.flast_uid = f.fuid then
+      match slot.flast with Some c -> c | None -> assert false
+    else begin
+      let c =
+        match Hashtbl.find_opt slot.ftbl f.fuid with
+        | Some c -> c
+        | None ->
+          if Hashtbl.length slot.ftbl >= max_fused_caches then
+            Hashtbl.reset slot.ftbl;
+          let c = Rx_fused.make_cache f.fstatic in
+          Hashtbl.replace slot.ftbl f.fuid c;
+          c
+      in
+      slot.flast_uid <- f.fuid;
+      slot.flast <- Some c;
+      c
+    end
+
+  let cache_clear f =
+    let slot = Domain.DLS.get fused_slot in
+    Hashtbl.remove slot.ftbl f.fuid;
+    if slot.flast_uid = f.fuid then begin
+      slot.flast_uid <- -1;
+      slot.flast <- None
+    end
+
+  let shrink_cache f ~max_states =
+    let slot = Domain.DLS.get fused_slot in
+    let c = Rx_fused.make_cache ~max_states f.fstatic in
+    Hashtbl.replace slot.ftbl f.fuid c;
+    if slot.flast_uid = f.fuid then slot.flast <- Some c
+
+  let state_count f = Rx_fused.state_count (get_cache f)
+
+  (* One fused pass: a byte per caller pattern index, ['\001'] iff
+     that pattern matches anywhere in [subject].  Unhosted patterns
+     stay ['\000'] — the caller must treat them as "unknown", not "no
+     match".  Runs under the installed step deadline like every other
+     entry point; [Bail] (cache thrash) propagates for the caller's
+     per-pattern fallback. *)
+  let run f subject =
+    let recorder = Telemetry.recorder () in
+    let mask = Bytes.make (Rx_fused.nslots f.fstatic) '\000' in
+    let cache = get_cache f in
+    let ok =
+      guarded (fun ?cap ?steps_acc () ->
+          match Rx_fused.search cache ?recorder ?cap ?steps_acc ~mask subject with
+          | () -> true
+          | exception Rx_fused.Bail -> false)
+    in
+    if not ok then begin
+      Telemetry.Trace.ambient_instant Telemetry.Trace.Dfa_bail;
+      raise Bail
+    end;
+    (* full-catalog hosting means the slot map is the identity: the
+       slot-space mask already is the caller-space answer *)
+    if Rx_fused.nslots f.fstatic = Array.length f.f_hosted then mask
+    else begin
+      let out = Bytes.make (Array.length f.f_hosted) '\000' in
+      Array.iteri
+        (fun s i ->
+          if Bytes.unsafe_get mask s <> '\000' then Bytes.set out i '\001')
+        f.f_slots;
+      out
+    end
+
+  (* Codec for the rule-pack section.  The slot map rides along with
+     the machine; [read] re-checks it against the catalog it is being
+     attached to, so a pack whose fused section disagrees with its own
+     rule list (possible only via forged checksums) is rejected as
+     corrupt rather than silently misrouting flags. *)
+  let write buf f =
+    Rx_fused.write_static buf f.fstatic;
+    Binio.w_u16 buf (Array.length f.f_hosted);
+    Binio.w_array (fun buf s -> Binio.w_u32 buf s) buf f.f_slots
+
+  let read ~npatterns r =
+    let fstatic = Rx_fused.read_static r in
+    let n = Binio.r_u16 r in
+    if n <> npatterns then
+      raise
+        (Binio.Corrupt
+           (Printf.sprintf "fused section built for %d patterns, catalog has %d"
+              n npatterns));
+    let f_slots = Binio.r_array (fun r -> Binio.r_u32 r) r in
+    if Array.length f_slots <> Rx_fused.nslots fstatic then
+      raise (Binio.Corrupt "fused slot map does not match the machine");
+    let prev = ref (-1) in
+    Array.iter
+      (fun s ->
+        if s <= !prev || s >= n then
+          raise (Binio.Corrupt "fused slot map out of order or out of range");
+        prev := s)
+      f_slots;
+    let f_hosted = Array.make n false in
+    Array.iter (fun i -> f_hosted.(i) <- true) f_slots;
+    { fstatic; f_slots; f_hosted; fuid = Atomic.fetch_and_add uid_source 1 }
+end

@@ -269,3 +269,75 @@ val read_compiled : Binio.r -> t
 (** Decodes a pattern written by {!write_compiled}.
     @raise Binio.Corrupt on structurally invalid input.
     @raise Binio.Truncated if the input ends early. *)
+
+(** {1 Fused multi-pattern matching} *)
+
+type fused
+(** A whole catalog of patterns fused into one tagged lazy DFA
+    ({!Rx_fused}): a single forward pass over a subject answers, for
+    every hosted pattern at once, whether it matches anywhere — an
+    exact existence filter the scanner runs in front of its per-rule
+    sweeps.  Immutable and shareable across domains; per-domain
+    transition caches are managed internally like the per-pattern
+    ones. *)
+
+(** Operations on fused catalogs.  [compile] decides hosting per
+    pattern: patterns on the backtracking tier (back-references,
+    oversized programs, [PATCHITPY_RX_TIER=backtrack]) and patterns
+    able to match the empty string are left out and must be scanned
+    per-pattern as before; so must every pattern beyond the fused
+    program size budget (taken in pattern order).  {!Fused.run}'s mask
+    is exact for hosted patterns in both directions, which is what
+    lets a caller skip per-pattern work without changing results. *)
+module Fused : sig
+  exception Bail
+  (** The fused pass thrashed its transition cache and gave up; the
+      caller must fall back to per-pattern scanning for this subject.
+      (Alias of [Rx_fused.Bail].) *)
+
+  val compile : t array -> fused option
+  (** Fuse the hostable subset of [patterns].  [None] when no pattern
+      is hostable (then there is nothing to accelerate). *)
+
+  val run : fused -> string -> Bytes.t
+  (** [run f subject] executes the fused pass and returns one byte per
+      pattern of the [compile]-time array: ['\001'] iff that pattern
+      matches somewhere in [subject].  Unhosted patterns are always
+      ['\000'] — "unknown", not "no match"; check {!is_hosted}.  Runs
+      under the installed step deadline like any other search.
+      @raise Bail on cache thrash (fall back to per-pattern scans).
+      @raise Deadline_exceeded / Budget_exceeded as usual. *)
+
+  val is_hosted : fused -> int -> bool
+  (** Whether pattern [i] of the compile-time array is hosted. *)
+
+  val hosted_count : fused -> int
+
+  val pattern_count : fused -> int
+  (** Length of the compile-time pattern array (hosted or not). *)
+
+  val program_size : fused -> int
+  (** Fused Pike-program length, for introspection and benchmarks. *)
+
+  val state_count : fused -> int
+  (** Interned DFA states in the calling domain's cache. *)
+
+  val cache_clear : fused -> unit
+  (** Drop the calling domain's transition cache (benchmarks). *)
+
+  val shrink_cache : fused -> max_states:int -> unit
+  (** Replace the calling domain's cache with one bounded to
+      [max_states] states, to force the flush/restart and {!Bail}
+      paths in tests.
+      @raise Invalid_argument when [max_states < 2]. *)
+
+  val write : Buffer.t -> fused -> unit
+  (** Appends the serialized fused machine and its pattern-index map
+      (the rule-pack fused section payload). *)
+
+  val read : npatterns:int -> Binio.r -> fused
+  (** Decodes a machine written by {!write} and re-checks it against a
+      catalog of [npatterns] patterns — a section disagreeing with the
+      catalog it is attached to is rejected.
+      @raise Binio.Corrupt / Binio.Truncated on malformed input. *)
+end

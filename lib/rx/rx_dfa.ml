@@ -194,6 +194,12 @@ type mach = {
   stamp : int array; (* per-pc visit stamps for closure dedup *)
   mutable gen : int;
   buf : int array; (* closure output: consuming pcs, in order *)
+  (* Interned start-state ids by left-context fact, valid while
+     [start_gen = fgen]: start states depend only on the program, so
+     the memo survives across searches (and subjects) until a flush
+     drops the interned states. *)
+  start_sids : int array;
+  mutable start_gen : int;
 }
 
 (* Cache-pressure counters, maintained on the slow (materialization)
@@ -227,6 +233,8 @@ let make_mach st prog ~prune ~swap ~max_states =
     stamp = Array.make n 0;
     gen = 0;
     buf = Array.make (n + 1) 0;
+    start_sids = Array.make 4 (-1);
+    start_gen = -1;
   }
 
 let make_cache ?(max_states = default_max_states) st =
@@ -421,6 +429,67 @@ let step_allowance_exceeded =
 
 let start_raw = [| 0 |]
 
+(* Start-skip shape, selected once per search from the compile-time
+   start analysis.  A plain tag plus the top-level hunt helpers below
+   (rather than a closure pair built per search) keeps the skip path
+   allocation-free. *)
+type skip_shape =
+  | Skip_prefix1
+  | Skip_prefixes
+  | Skip_memchr1 of char
+  | Skip_table of bytes
+  | Skip_bol_table of bytes
+  | Skip_bol
+
+(* [s] is a candidate match start for a required literal [prefix]
+   anchored on its rarest byte [prefix.[anchor]]; the memchr hunts the
+   anchor byte, so occurrences map back to starts at [- anchor] —
+   monotone in [s], hence the early stops.  False anchor hits never
+   wake the state machine up: the in-place verify loop rejects them
+   cheaper than DFA steps would. *)
+let rec hunt_prefix subject ~last ~len ~prefix ~anchor s =
+  let plen = String.length prefix in
+  if s > last || s + plen > len then last + 1
+  else
+    match String.index_from subject (s + anchor) prefix.[anchor] with
+    | exception Not_found -> last + 1
+    | ia ->
+      let i = ia - anchor in
+      if i > last || i + plen > len then last + 1
+      else begin
+        let j = ref 0 in
+        while
+          !j < plen
+          && String.unsafe_get subject (i + !j) = String.unsafe_get prefix !j
+        do
+          incr j
+        done;
+        if !j = plen then i
+        else hunt_prefix subject ~last ~len ~prefix ~anchor (i + 1)
+      end
+
+(* One lane of the multi-prefix shape: like [hunt_prefix] but records
+   the earliest verified hit in [best] and stops as soon as the lane
+   passes the best hit so far. *)
+let rec hunt_lane subject ~len ~prefix ~anchor ~best s =
+  let plen = String.length prefix in
+  if s < !best && s + plen <= len then
+    match String.index_from subject (s + anchor) prefix.[anchor] with
+    | exception Not_found -> ()
+    | ia ->
+      let i = ia - anchor in
+      if i < !best && i + plen <= len then begin
+        let j = ref 0 in
+        while
+          !j < plen
+          && String.unsafe_get subject (i + !j) = String.unsafe_get prefix !j
+        do
+          incr j
+        done;
+        if !j = plen then best := i
+        else hunt_lane subject ~len ~prefix ~anchor ~best (i + 1)
+      end
+
 (* Forward pass: returns the boundary where the leftmost-first match
    ends, or -1 when there is no match with a start in [pos..last].
    [stop_at_first] short-circuits at the first flag (boolean queries
@@ -443,140 +512,93 @@ let forward_end cache ~stop_at_first ~cap ~steps ~last ~first_bytes ~first_byte
     bol_only || first_bytes <> None || first_byte <> None
     || Array.length prefixes > 0
   in
-  (* First start offset >= s that the compile-time start analysis
-     allows, or [last + 1] when none remains — the FIRST-byte /
-     line-start skip of the backtracking search, kept on this tier.
-     The shape is selected once per search: a singleton FIRST set
-     delegates to memchr, the general table case is one tight byte
-     loop.  [stay ch] decides whether the hot loop should keep stepping
-     in place on a dead start rather than take the skip detour: always
-     for the table shape (cached bare-state transitions cost about what
-     the skip loop does, minus the detour overhead — code text rarely
-     has long infeasible gaps), only on an immediate first-byte hit for
-     the memchr shape (long gaps are where memchr wins), never for the
-     line-anchored shapes (jumping to the next line start can skip a
-     lot). *)
-  let next_feasible, stay =
-    match (first_byte, first_bytes) with
-    | _ when Array.length prefixes = 1 && not bol_only ->
-      (* a multi-byte required prefix: memchr on its rarest byte (the
-         [anchor]), then verify the whole literal in place — false
-         anchor hits never wake the state machine up, and anchoring on
-         the rarest byte keeps them scarce.  [stay] is constant-false
-         for the same reason: the verify loop rejects them cheaper than
-         DFA steps would. *)
+  (* [next_feasible s] is the first start offset >= s that the
+     compile-time start analysis allows, or [last + 1] when none
+     remains — the FIRST-byte / line-start skip of the backtracking
+     search, kept on this tier.  The shape is selected once per search
+     as a plain tag (the hunt helpers are top-level, so a detour
+     allocates nothing): a singleton FIRST set delegates to memchr,
+     required literals get memchr-plus-verify lanes, the general table
+     case is one tight byte loop. *)
+  let shape =
+    if Array.length prefixes = 1 && not bol_only then Skip_prefix1
+    else if Array.length prefixes >= 2 && not bol_only then Skip_prefixes
+    else
+      match (first_byte, first_bytes) with
+      | Some fb1, _ when not bol_only -> Skip_memchr1 fb1
+      | _, Some fb when not bol_only -> Skip_table fb
+      | _, Some fb -> Skip_bol_table fb
+      | _ -> Skip_bol
+  in
+  let next_feasible s =
+    match shape with
+    | Skip_prefix1 ->
       let prefix, anchor = prefixes.(0) in
-      let pa = prefix.[anchor] in
-      let plen = String.length prefix in
-      ( (fun s ->
-          (* [s] is a candidate match start; the memchr hunts the
-             anchor byte, so occurrences map back to starts at
-             [- anchor] — monotone in [s], hence the early stops. *)
-          let rec hunt s =
-            if s > last || s + plen > len then last + 1
-            else
-              match String.index_from subject (s + anchor) pa with
-              | exception Not_found -> last + 1
-              | ia ->
-                let i = ia - anchor in
-                if i > last then last + 1
-                else if i + plen > len then last + 1
-                else begin
-                  let j = ref 0 in
-                  while
-                    !j < plen
-                    && String.unsafe_get subject (i + !j)
-                       = String.unsafe_get prefix !j
-                  do
-                    incr j
-                  done;
-                  if !j = plen then i else hunt (i + 1)
-                end
-          in
-          hunt s),
-        fun _ -> false )
-    | _ when Array.length prefixes >= 2 && not bol_only ->
+      hunt_prefix subject ~last ~len ~prefix ~anchor s
+    | Skip_prefixes ->
       (* several required-literal alternatives (a leading alternation):
          one memchr lane per branch — each anchored on its literal's
          rarest byte and verified in place — and the skip lands on the
          earliest surviving hit.  Later lanes stop as soon as they pass
          the best hit so far, so the per-detour cost stays close to the
          single-prefix shape. *)
-      let k = Array.length prefixes in
-      ( (fun s ->
-          let best = ref (last + 1) in
-          for b = 0 to k - 1 do
-            let p, anchor = Array.unsafe_get prefixes b in
-            let plen = String.length p in
-            let pa = String.unsafe_get p anchor in
-            let rec hunt s =
-              if s < !best && s + plen <= len then
-                match String.index_from subject (s + anchor) pa with
-                | exception Not_found -> ()
-                | ia ->
-                  let i = ia - anchor in
-                  if i < !best && i + plen <= len then begin
-                    let j = ref 0 in
-                    while
-                      !j < plen
-                      && String.unsafe_get subject (i + !j)
-                         = String.unsafe_get p !j
-                    do
-                      incr j
-                    done;
-                    if !j = plen then best := i else hunt (i + 1)
-                  end
-            in
-            hunt s
-          done;
-          !best),
-        fun _ -> false )
-    | Some fb1, _ when not bol_only ->
-      ( (fun s ->
-          match String.index_from_opt subject s fb1 with
-          | Some i when i <= last -> i
-          | _ -> last + 1),
-        fun ch -> ch = fb1 )
-    | _, Some fb when not bol_only ->
-      ( (fun s ->
-          let s = ref s in
-          while
-            !s < len
-            && Bytes.unsafe_get fb (Char.code (String.unsafe_get subject !s))
-               = '\000'
-          do
-            incr s
-          done;
-          if !s < len && !s <= last then !s else last + 1),
-        fun _ -> true )
-    | _, Some fb ->
-      ( (fun s ->
-          let s = ref s in
-          while
-            !s <= last
-            && not
-                 ((!s = 0 || String.unsafe_get subject (!s - 1) = '\n')
-                 && !s < len
-                 && Bytes.unsafe_get fb
-                      (Char.code (String.unsafe_get subject !s))
-                    <> '\000')
-          do
-            incr s
-          done;
-          if !s <= last then !s else last + 1),
-        fun _ -> false )
-    | _ ->
-      ( (fun s ->
-          (* [skippable] implies [bol_only] here *)
-          let s = ref s in
-          while
-            !s <= last
-            && not (!s = 0 || String.unsafe_get subject (!s - 1) = '\n')
-          do
-            incr s
-          done;
-          if !s <= last then !s else last + 1),
-        fun _ -> false )
+      let best = ref (last + 1) in
+      for b = 0 to Array.length prefixes - 1 do
+        let p, anchor = Array.unsafe_get prefixes b in
+        hunt_lane subject ~len ~prefix:p ~anchor ~best s
+      done;
+      !best
+    | Skip_memchr1 fb1 -> (
+      match String.index_from_opt subject s fb1 with
+      | Some i when i <= last -> i
+      | _ -> last + 1)
+    | Skip_table fb ->
+      let s = ref s in
+      while
+        !s < len
+        && Bytes.unsafe_get fb (Char.code (String.unsafe_get subject !s))
+           = '\000'
+      do
+        incr s
+      done;
+      if !s < len && !s <= last then !s else last + 1
+    | Skip_bol_table fb ->
+      let s = ref s in
+      while
+        !s <= last
+        && not
+             ((!s = 0 || String.unsafe_get subject (!s - 1) = '\n')
+             && !s < len
+             && Bytes.unsafe_get fb (Char.code (String.unsafe_get subject !s))
+                <> '\000')
+      do
+        incr s
+      done;
+      if !s <= last then !s else last + 1
+    | Skip_bol ->
+      (* [skippable] implies [bol_only] here *)
+      let s = ref s in
+      while
+        !s <= last
+        && not (!s = 0 || String.unsafe_get subject (!s - 1) = '\n')
+      do
+        incr s
+      done;
+      if !s <= last then !s else last + 1
+  in
+  let stay ch =
+    (* whether the hot loop should keep stepping in place on a dead
+       start rather than take the skip detour: always for the table
+       shape (cached bare-state transitions cost about what the skip
+       loop does, minus the detour overhead — code text rarely has
+       long infeasible gaps), only on an immediate first-byte hit for
+       the memchr shape (long gaps are where memchr wins), never for
+       the line-anchored and prefix shapes (a verify loop or line jump
+       beats DFA steps on false hits). *)
+    match shape with
+    | Skip_table _ -> true
+    | Skip_memchr1 fb1 -> ch = fb1
+    | _ -> false
   in
   let p0 = if skippable then next_feasible pos else pos in
   if p0 > last then -1
@@ -589,25 +611,25 @@ let forward_end cache ~stop_at_first ~cap ~steps ~last ~first_bytes ~first_byte
         if !flushes > max_search_flushes then raise Bail;
         find_or_add cache m ctx raw
     in
-    (* Start states differ only by left-context fact; memoized per
-       flush generation so skip jumps re-enter in O(1). *)
-    let start_sids = [| -1; -1; -1; -1 |] in
-    let start_gen = ref (-1) in
+    (* Start states differ only by left-context fact; memoized in the
+       machine record per flush generation so skip jumps — and whole
+       subsequent searches — re-enter in O(1) with no per-call
+       scratch. *)
     let get_start ctx =
-      if !start_gen <> m.fgen then begin
-        Array.fill start_sids 0 4 (-1);
-        start_gen := m.fgen
+      if m.start_gen <> m.fgen then begin
+        Array.fill m.start_sids 0 4 (-1);
+        m.start_gen <- m.fgen
       end;
-      let s = Array.unsafe_get start_sids ctx in
+      let s = Array.unsafe_get m.start_sids ctx in
       if s >= 0 then s
       else begin
         let s = intern_sid ctx start_raw in
         (* intern_sid may have flushed: re-sync the memo generation *)
-        if !start_gen <> m.fgen then begin
-          Array.fill start_sids 0 4 (-1);
-          start_gen := m.fgen
+        if m.start_gen <> m.fgen then begin
+          Array.fill m.start_sids 0 4 (-1);
+          m.start_gen <- m.fgen
         end;
-        start_sids.(ctx) <- s;
+        m.start_sids.(ctx) <- s;
         s
       end
     in

@@ -49,24 +49,30 @@ let latency_histogram =
 (* --- request execution ---------------------------------------------------- *)
 
 (* Point-in-time cache statistics, surfaced by both [health] and
-   [stats]: the process-wide regex compile cache, and the DFA cache's
-   flush/bail counters (0 when no telemetry sink is installed). *)
+   [stats]: the process-wide regex compile cache, the DFA cache's
+   flush/bail counters, and the fused scan tier's
+   candidate/confirm/fallback counters (all 0 when no telemetry sink
+   is installed). *)
 let cache_extras () =
   let hits, entries = Rx.compile_cache_stats () in
-  let flushes, bails =
+  let flushes, bails, fused_candidates, fused_confirms, fused_fallbacks =
     match Telemetry.installed () with
-    | None -> (0, 0)
+    | None -> (0, 0, 0, 0, 0)
     | Some sink ->
       let report = Telemetry.Report.of_sink sink in
       let total name =
         Option.value ~default:0
           (List.assoc_opt name report.Telemetry.Report.counters)
       in
-      (total "rx_dfa_cache_flushes_total", total "rx_dfa_fallback_total")
+      ( total "rx_dfa_cache_flushes_total",
+        total "rx_dfa_fallback_total",
+        total "scanner_fused_candidates_total",
+        total "scanner_fused_confirms_total",
+        total "scanner_fused_fallbacks_total" )
   in
   Printf.sprintf
-    "\"rxCompileCache\":{\"hits\":%d,\"entries\":%d},\"dfaCache\":{\"flushes\":%d,\"bails\":%d}"
-    hits entries flushes bails
+    "\"rxCompileCache\":{\"hits\":%d,\"entries\":%d},\"dfaCache\":{\"flushes\":%d,\"bails\":%d},\"fusedScan\":{\"candidates\":%d,\"confirms\":%d,\"fallbacks\":%d}"
+    hits entries flushes bails fused_candidates fused_confirms fused_fallbacks
 
 let health_body t =
   let pack =
