@@ -1,0 +1,224 @@
+(* See loadgen.mli. *)
+
+type result = {
+  target_rps : float;
+  achieved_rps : float;
+  sent : int;
+  errors : int;
+  p50_ns : float;
+  p99_ns : float;
+}
+
+type client = { request : int -> bool; close : unit -> unit }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let run ~rate ~duration ~connections ~connect =
+  let total = max 1 (int_of_float (rate *. duration)) in
+  let interval_ns = 1e9 /. rate in
+  (* A slot per request: workers write disjoint indices, no locking. *)
+  let latency_ns = Array.make total Float.nan in
+  let errors = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let last_done = Atomic.make 0 in
+  (* Give every worker time to connect before the schedule opens. *)
+  let start = Telemetry.now_ns () + 20_000_000 in
+  let worker () =
+    let client = connect () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < total then begin
+        let scheduled = start + int_of_float (float_of_int i *. interval_ns) in
+        let rec pace () =
+          let ahead = scheduled - Telemetry.now_ns () in
+          if ahead > 0 then begin
+            (* Sleep the bulk, yield-spin the last millisecond: sleepf
+               wakes late by scheduler quanta, and a late send would be
+               charged to the server. *)
+            if ahead > 2_000_000 then
+              Unix.sleepf (float_of_int (ahead - 1_000_000) /. 1e9)
+            else Thread.yield ();
+            pace ()
+          end
+        in
+        pace ();
+        (match client.request i with
+        | true ->
+          latency_ns.(i) <- float_of_int (Telemetry.now_ns () - scheduled)
+        | false -> Atomic.incr errors
+        | exception _ -> Atomic.incr errors);
+        Atomic.set last_done (Telemetry.now_ns ());
+        loop ()
+      end
+    in
+    loop ();
+    client.close ()
+  in
+  let threads = Array.init connections (fun _ -> Thread.create worker ()) in
+  Array.iter Thread.join threads;
+  let completed = ref 0 in
+  Array.iter (fun l -> if not (Float.is_nan l) then incr completed) latency_ns;
+  let elapsed_ns = max 1 (Atomic.get last_done - start) in
+  let samples =
+    Array.of_list
+      (List.filter (fun l -> not (Float.is_nan l)) (Array.to_list latency_ns))
+  in
+  Array.sort compare samples;
+  {
+    target_rps = rate;
+    achieved_rps = float_of_int !completed /. (float_of_int elapsed_ns /. 1e9);
+    sent = total;
+    errors = Atomic.get errors;
+    p50_ns = percentile samples 0.50;
+    p99_ns = percentile samples 0.99;
+  }
+
+let sustained ~p99_bound_ns ~rates attempt =
+  let ok r =
+    r.errors = 0
+    && r.achieved_rps >= 0.95 *. r.target_rps
+    && r.p99_ns <= p99_bound_ns
+  in
+  let rec climb best = function
+    | [] -> best
+    | rate :: rest ->
+      let r = attempt rate in
+      if ok r then climb (Some (rate, r)) rest else best
+  in
+  climb None rates
+
+(* --- protocol clients ------------------------------------------------------ *)
+
+(* A tiny buffered reader shared by both clients: the pending bytes of
+   a persistent connection between responses. *)
+type reader = { fd : Unix.file_descr; chunk : bytes; mutable pending : string }
+
+let reader fd = { fd; chunk = Bytes.create 65536; pending = "" }
+
+let refill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> false
+  | n ->
+    r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+    true
+  | exception Unix.Unix_error (EINTR, _, _) -> true
+
+let rec write_all fd s off =
+  let len = String.length s - off in
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s off
+
+(* --- HTTP ------------------------------------------------------------------ *)
+
+let find_sub haystack needle from =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Enough of an HTTP/1.1 response parser for our own gateway: a status
+   line, headers with a content-length (the gateway always sends one),
+   then exactly that many body bytes. *)
+let read_http_response r =
+  let rec header_end () =
+    match find_sub r.pending "\r\n\r\n" 0 with
+    | Some i -> Some i
+    | None -> if refill r then header_end () else None
+  in
+  match header_end () with
+  | None -> None
+  | Some hdr_end -> (
+    let head = String.sub r.pending 0 hdr_end in
+    let status =
+      match String.split_on_char ' ' head with
+      | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
+      | _ -> 0
+    in
+    let content_length =
+      match find_sub (String.lowercase_ascii head) "content-length:" 0 with
+      | None -> None
+      | Some i ->
+        let rest = String.sub head (i + 15) (String.length head - i - 15) in
+        let line =
+          match String.index_opt rest '\r' with
+          | Some j -> String.sub rest 0 j
+          | None -> rest
+        in
+        int_of_string_opt (String.trim line)
+    in
+    match content_length with
+    | None -> None
+    | Some len ->
+      let total = hdr_end + 4 + len in
+      let rec complete () =
+        if String.length r.pending >= total then begin
+          let body = String.sub r.pending (hdr_end + 4) len in
+          r.pending <-
+            String.sub r.pending total (String.length r.pending - total);
+          Some (status, body)
+        end
+        else if refill r then complete ()
+        else None
+      in
+      complete ())
+
+let http_client ~port ~path ~body =
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt fd TCP_NODELAY true;
+  let r = reader fd in
+  {
+    request =
+      (fun i ->
+        let payload = body i in
+        write_all fd
+          (Printf.sprintf
+             "POST %s HTTP/1.1\r\nhost: localhost\r\ncontent-length: %d\r\n\r\n%s"
+             path (String.length payload) payload)
+          0;
+        match read_http_response r with
+        | Some (200, _) -> true
+        | Some _ | None -> false);
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }
+
+(* --- NDJSON ---------------------------------------------------------------- *)
+
+let read_line r =
+  let rec go () =
+    match String.index_opt r.pending '\n' with
+    | Some i ->
+      let line = String.sub r.pending 0 i in
+      r.pending <-
+        String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+      Some line
+    | None -> if refill r then go () else None
+  in
+  go ()
+
+let ndjson_client ~socket ~request =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX socket);
+  let r = reader fd in
+  {
+    request =
+      (fun i ->
+        write_all fd (Server.Protocol.encode_request (request i) ^ "\n") 0;
+        match read_line r with
+        | None -> false
+        | Some line -> (
+          match Server.Protocol.decode_response line with
+          | Ok (Server.Protocol.Reply _) -> true
+          | Ok (Server.Protocol.Error_reply _) | Error _ -> false));
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+  }

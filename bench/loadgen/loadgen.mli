@@ -1,0 +1,64 @@
+(** Open-loop load generation against the serve front-ends.
+
+    A closed loop (submit, wait, submit) measures the server at its own
+    pace and hides every stall; an open loop schedules request [i] at
+    [start + i/rate] regardless of how the previous ones fared, and
+    charges latency from the {e scheduled} send time — so a server that
+    falls behind accumulates visible backlog latency instead of
+    silently slowing the generator (no coordinated omission).
+
+    Mechanics: [connections] worker threads each own one persistent
+    connection; a shared counter hands out request indices; each worker
+    sleeps (then yield-spins the last stretch) until its request's
+    scheduled instant, fires, and records completion minus scheduled
+    time.  With enough workers the pool approximates a true open loop;
+    when all are busy the backlog shows up as latency, which is the
+    honest outcome.
+
+    {!sustained} walks a rate ladder and reports the highest rate the
+    server sustains: achieved throughput within 5% of target, no
+    errors, p99 under the bound. *)
+
+type result = {
+  target_rps : float;
+  achieved_rps : float;  (** completions over the run's wall clock *)
+  sent : int;
+  errors : int;
+  p50_ns : float;  (** over scheduled-send-to-completion latencies *)
+  p99_ns : float;
+}
+
+type client = {
+  request : int -> bool;
+      (** perform request [i]; [false] or an exception is an error *)
+  close : unit -> unit;
+}
+
+val run :
+  rate:float ->
+  duration:float ->
+  connections:int ->
+  connect:(unit -> client) ->
+  result
+(** Drives [rate * duration] requests at [rate] per second across
+    [connections] clients and waits for the stragglers. *)
+
+val sustained :
+  p99_bound_ns:float ->
+  rates:float list ->
+  (float -> result) ->
+  (float * result) option
+(** Runs the ladder in order (give it ascending) and returns the last
+    rate whose result sustained — within 5% of target, error-free, p99
+    under bound — stopping at the first that does not.  [None] when
+    even the first rate fails. *)
+
+val http_client : port:int -> path:string -> body:(int -> string) -> client
+(** A keep-alive HTTP/1.1 client on loopback [port]: request [i] POSTs
+    [body i] to [path] and succeeds on a 200 with a complete
+    content-length-framed response. *)
+
+val ndjson_client :
+  socket:string -> request:(int -> Server.Protocol.request) -> client
+(** An NDJSON client on the Unix socket: one frame out, one frame
+    back; succeeds when the response line decodes as a {!Reply}. *)

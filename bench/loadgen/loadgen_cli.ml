@@ -1,0 +1,122 @@
+(* Standalone open-loop load generator against a running daemon:
+
+     patchitpy serve --http 8080 --socket /tmp/p.sock &
+     loadgen_cli --http 8080 --rate 2000 --duration 5 --mix duplicate
+     loadgen_cli --socket /tmp/p.sock --ladder 500,1000,2000,4000
+
+   Bodies come from the 609-sample corpus: the duplicate-heavy mix
+   cycles 8 bodies (what fleets of AI generators emitting near-identical
+   snippets look like — the result cache's case), the unique mix stamps
+   every body with a distinct suffix (the cache's worst case). *)
+
+open Cmdliner
+
+let bodies =
+  lazy
+    (Array.of_list
+       (List.map
+          (fun (s : Corpus.Generator.sample) -> s.Corpus.Generator.code)
+          (Corpus.Generator.all_samples ())))
+
+let body_of_mix = function
+  | `Duplicate -> fun i -> (Lazy.force bodies).(i mod 8)
+  | `Unique ->
+    fun i ->
+      let all = Lazy.force bodies in
+      Printf.sprintf "%s\n# unique-%d\n" all.(i mod Array.length all) i
+
+let print_result label (r : Loadgen.result) =
+  Printf.printf
+    "%-24s target %8.0f rps  achieved %8.0f rps  sent %6d  errors %4d  p50 %8.0f ns  p99 %8.0f ns\n%!"
+    label r.Loadgen.target_rps r.Loadgen.achieved_rps r.Loadgen.sent
+    r.Loadgen.errors r.Loadgen.p50_ns r.Loadgen.p99_ns
+
+let run_main http socket rate duration connections mix ladder p99_bound_ms =
+  let body = body_of_mix mix in
+  let connect =
+    match (http, socket) with
+    | Some port, _ ->
+      fun () -> Loadgen.http_client ~port ~path:"/v1/scan" ~body
+    | None, Some path ->
+      fun () ->
+        Loadgen.ndjson_client ~socket:path ~request:(fun i ->
+            {
+              Server.Protocol.id = string_of_int i;
+              deadline_steps = None;
+              kind =
+                Server.Protocol.Scan
+                  { file = Printf.sprintf "loadgen-%d.py" (i mod 8);
+                    source = body i };
+            })
+    | None, None ->
+      prerr_endline "loadgen: need --http PORT or --socket PATH";
+      exit 2
+  in
+  match ladder with
+  | [] ->
+    print_result
+      (Printf.sprintf "%s/%.0frps"
+         (match mix with `Duplicate -> "duplicate" | `Unique -> "unique")
+         rate)
+      (Loadgen.run ~rate ~duration ~connections ~connect);
+    0
+  | rates -> (
+    let attempt rate =
+      let r = Loadgen.run ~rate ~duration ~connections ~connect in
+      print_result (Printf.sprintf "ladder/%.0frps" rate) r;
+      r
+    in
+    match
+      Loadgen.sustained ~p99_bound_ns:(p99_bound_ms *. 1e6) ~rates attempt
+    with
+    | Some (rate, r) ->
+      Printf.printf "sustained: %.0f rps (p99 %.0f ns <= %.0f ms bound)\n" rate
+        r.Loadgen.p99_ns p99_bound_ms;
+      0
+    | None ->
+      print_endline "sustained: none (first ladder rate already failed)";
+      1)
+
+let cmd =
+  let http =
+    Arg.(value & opt (some int) None
+         & info [ "http" ] ~docv:"PORT" ~doc:"Drive the HTTP gateway on loopback $(docv).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Drive the NDJSON Unix socket at $(docv).")
+  in
+  let rate =
+    Arg.(value & opt float 1000.
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Open-loop target request rate.")
+  in
+  let duration =
+    Arg.(value & opt float 5.
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds per run (default 5).")
+  in
+  let connections =
+    Arg.(value & opt int 8
+         & info [ "connections" ] ~docv:"N" ~doc:"Persistent client connections (default 8).")
+  in
+  let mix =
+    Arg.(value
+         & opt (enum [ ("duplicate", `Duplicate); ("unique", `Unique) ]) `Duplicate
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"Body mix: $(b,duplicate) cycles 8 corpus bodies (cache-friendly), $(b,unique) stamps each body distinct.")
+  in
+  let ladder =
+    Arg.(value & opt (list float) []
+         & info [ "ladder" ] ~docv:"R1,R2,..."
+             ~doc:"Instead of one run, climb this ascending rate ladder and report the highest sustained rate.")
+  in
+  let p99_bound_ms =
+    Arg.(value & opt float 25.
+         & info [ "p99-bound-ms" ] ~docv:"MS"
+             ~doc:"p99 bound for a ladder rate to count as sustained (default 25).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc:"Open-loop load generator for patchitpy serve.")
+    Term.(const run_main $ http $ socket $ rate $ duration $ connections $ mix
+          $ ladder $ p99_bound_ms)
+
+let () = exit (Cmd.eval' cmd)

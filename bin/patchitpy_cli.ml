@@ -415,8 +415,46 @@ let serve_cmd =
                    always on; this flag only adds the on-exit dump — the \
                    $(b,trace) request kind reads it live.")
   in
-  let run socket jobs queue drain_timeout trace_dir lang rules_file only
-      exclude rule_pack =
+  let http =
+    Arg.(value & opt (some int) None
+         & info [ "http" ] ~docv:"PORT"
+             ~doc:"Also serve HTTP/1.1 on loopback port $(docv): POST \
+                   /v1/scan, POST /v1/patch, GET /v1/health, GET \
+                   /v1/stats, GET /metrics (Prometheus).  Scan and patch \
+                   response bodies are byte-identical to one-shot \
+                   $(b,scan --json) output.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache-mb" ] ~docv:"MIB"
+             ~doc:"Content-hash result cache budget in MiB (default 64; \
+                   0 disables).  Scan/patch responses for byte-identical \
+                   request bodies under the same rule catalog are served \
+                   from the cache without touching a worker.")
+  in
+  let quota_rps =
+    Arg.(value & opt (some float) None
+         & info [ "quota-rps" ] ~docv:"RATE"
+             ~doc:"Per-tenant HTTP admission rate in requests/second \
+                   (token bucket; off when absent).  The tenant is the \
+                   x-patchitpy-tenant header, else the peer address; \
+                   over-quota requests get 429 with Retry-After.")
+  in
+  let quota_burst =
+    Arg.(value & opt (some float) None
+         & info [ "quota-burst" ] ~docv:"N"
+             ~doc:"Token-bucket burst capacity (default 2x --quota-rps, \
+                   at least 1).")
+  in
+  let max_request_mb =
+    Arg.(value & opt int 8
+         & info [ "max-request-mb" ] ~docv:"MIB"
+             ~doc:"Per-frame request bound in MiB (default 8): an NDJSON \
+                   line over it is answered with a typed too_large error, \
+                   an HTTP body over it with 413.")
+  in
+  let run socket http jobs queue drain_timeout trace_dir cache_mb quota_rps
+      quota_burst max_request_mb lang rules_file only exclude rule_pack =
     if jobs < 1 then begin
       prerr_endline "error: --jobs must be >= 1";
       exit 2
@@ -425,6 +463,19 @@ let serve_cmd =
       prerr_endline "error: --queue must be >= 1";
       exit 2
     end;
+    if cache_mb < 0 then begin
+      prerr_endline "error: --cache-mb must be >= 0";
+      exit 2
+    end;
+    if max_request_mb < 1 then begin
+      prerr_endline "error: --max-request-mb must be >= 1";
+      exit 2
+    end;
+    (match quota_rps with
+    | Some r when r <= 0. ->
+      prerr_endline "error: --quota-rps must be > 0";
+      exit 2
+    | _ -> ());
     (* Oversubscribed domains time-slice one another and every minor GC
        becomes an all-domain barrier — the PR 7 tracing diagnosis.  Not
        an error (CI boxes lie about their core counts), but worth a
@@ -447,24 +498,41 @@ let serve_cmd =
         (fun (p : Rulepack.t) -> (p.Rulepack.version, p.Rulepack.catalog_hash))
         pack
     in
+    let quota =
+      Option.map
+        (fun rate ->
+          let burst =
+            match quota_burst with
+            | Some b when b >= 1. -> b
+            | Some _ | None -> Float.max 1. (2. *. rate)
+          in
+          (rate, burst))
+        quota_rps
+    in
     exit
       (Server.Serve.run ?pack ~scanner
          {
            Server.Serve.socket;
+           http_port = http;
            jobs;
            queue_capacity = queue;
            drain_timeout;
            trace_dir;
+           max_request_bytes = max_request_mb * 1024 * 1024;
+           cache_bytes = cache_mb * 1024 * 1024;
+           quota;
          })
   in
   let doc =
     "Run a long-lived scan/patch service: newline-delimited JSON requests \
      (schema patchitpy-serve/1) over stdin/stdout and an optional Unix \
-     socket, answered by a pool of worker domains sharing one compiled \
-     scan plan."
+     socket, plus an optional HTTP/1.1 gateway, answered by a pool of \
+     worker domains sharing one compiled scan plan behind a content-hash \
+     result cache."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket $ jobs $ queue $ drain_timeout $ trace_dir
+    Term.(const run $ socket $ http $ jobs $ queue $ drain_timeout
+          $ trace_dir $ cache_mb $ quota_rps $ quota_burst $ max_request_mb
           $ lang_arg $ rules_file_arg $ only_arg $ exclude_arg $ rule_pack_arg)
 
 (* --- rules --------------------------------------------------------------- *)

@@ -1,0 +1,369 @@
+(* See http.mli for the contract.  The parser is written against a
+   byte-source abstraction and uses one internal exception to bail out
+   with a typed error; nothing escapes [read_request] except transport
+   exceptions raised by the caller's own [read] function.
+
+   Hard rules, applied before allocating:
+   - the request line + header block may not exceed [max_header_bytes]
+     (one shared budget, counted per consumed byte);
+   - the decoded body may not exceed [max_body_bytes], whether framed
+     by Content-Length (checked before reading) or chunked (checked as
+     chunks accumulate);
+   - ambiguous framing (Content-Length together with Transfer-Encoding,
+     conflicting Content-Length values, obs-fold continuations) is
+     rejected outright — these are the request-smuggling shapes. *)
+
+type request = {
+  meth : string;
+  target : string;
+  version : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Bad_request of string
+  | Too_large of string
+  | Unsupported of string
+  | Version_not_supported of string
+
+let error_message = function
+  | Bad_request m | Too_large m | Unsupported m | Version_not_supported m -> m
+
+let error_status = function
+  | Bad_request _ -> 400
+  | Too_large _ -> 413
+  | Unsupported _ -> 501
+  | Version_not_supported _ -> 505
+
+type limits = { max_header_bytes : int; max_body_bytes : int }
+
+let default_limits =
+  { max_header_bytes = 16 * 1024; max_body_bytes = 8 * 1024 * 1024 }
+
+(* --- the byte source ------------------------------------------------------- *)
+
+type conn = {
+  read : bytes -> int -> int -> int;
+  chunk : bytes;
+  mutable pending : string;  (* bytes read but not yet consumed *)
+  mutable pos : int;
+}
+
+let conn read = { read; chunk = Bytes.create 8192; pending = ""; pos = 0 }
+
+let conn_of_string s =
+  let offset = ref 0 in
+  conn (fun buf pos len ->
+      let n = min len (String.length s - !offset) in
+      Bytes.blit_string s !offset buf pos n;
+      offset := !offset + n;
+      n)
+
+(* [true] when at least one unconsumed byte is available. *)
+let refill c =
+  if c.pos < String.length c.pending then true
+  else
+    match c.read c.chunk 0 (Bytes.length c.chunk) with
+    | 0 -> false
+    | n ->
+      c.pending <- Bytes.sub_string c.chunk 0 n;
+      c.pos <- 0;
+      true
+
+let read_byte c =
+  if refill c then begin
+    let b = c.pending.[c.pos] in
+    c.pos <- c.pos + 1;
+    Some b
+  end
+  else None
+
+(* --- parsing --------------------------------------------------------------- *)
+
+exception Fail of error
+
+let bad msg = raise (Fail (Bad_request msg))
+let too_large msg = raise (Fail (Too_large msg))
+
+(* The shared header-block budget: every consumed byte of request line,
+   headers and (for chunked bodies) chunk-size lines and trailers is
+   charged against it, so a peer cannot stream an unbounded header
+   section however it is shaped. *)
+type budget = { mutable left : int }
+
+let charge budget n what =
+  budget.left <- budget.left - n;
+  if budget.left < 0 then
+    too_large (Printf.sprintf "%s exceeds the header budget" what)
+
+(* One line, terminated by CRLF (a bare LF is tolerated, the CR is
+   stripped either way).  EOF mid-line is malformed input. *)
+let read_line c budget what =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match read_byte c with
+    | None -> bad (Printf.sprintf "unexpected end of input in %s" what)
+    | Some '\n' ->
+      charge budget (Buffer.length buf + 1) what;
+      let line = Buffer.contents buf in
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    | Some ch ->
+      Buffer.add_char buf ch;
+      (* fail streaming, before the line completes *)
+      if Buffer.length buf > budget.left then
+        too_large (Printf.sprintf "%s exceeds the header budget" what);
+      go ()
+  in
+  go ()
+
+let read_exact c n what =
+  let buf = Buffer.create (min n 65536) in
+  let rec go remaining =
+    if remaining = 0 then Buffer.contents buf
+    else if not (refill c) then
+      bad (Printf.sprintf "unexpected end of input in %s" what)
+    else begin
+      let avail = String.length c.pending - c.pos in
+      let take = min avail remaining in
+      Buffer.add_substring buf c.pending c.pos take;
+      c.pos <- c.pos + take;
+      go (remaining - take)
+    end
+  in
+  go n
+
+let is_token_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' ->
+    true
+  | _ -> false
+
+let is_target_char ch = ch > ' ' && ch <> '\x7f'
+
+let validate what pred s =
+  if s = "" then bad (Printf.sprintf "empty %s" what);
+  String.iter
+    (fun ch ->
+      if not (pred ch) then
+        bad (Printf.sprintf "illegal byte 0x%02x in %s" (Char.code ch) what))
+    s
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+    validate "method" is_token_char meth;
+    validate "request target" is_target_char target;
+    let minor =
+      match version with
+      | "HTTP/1.1" -> 1
+      | "HTTP/1.0" -> 0
+      | v ->
+        let well_formed =
+          String.length v = 8
+          && String.sub v 0 5 = "HTTP/"
+          && (match (v.[5], v.[7]) with
+             | '0' .. '9', '0' .. '9' -> v.[6] = '.'
+             | _ -> false)
+        in
+        if well_formed then
+          raise (Fail (Version_not_supported (v ^ " is not supported")))
+        else bad "malformed HTTP version"
+    in
+    (meth, target, minor)
+  | _ -> bad "malformed request line"
+
+let trim_ows s =
+  let n = String.length s in
+  let is_ows = function ' ' | '\t' -> true | _ -> false in
+  let i = ref 0 and j = ref n in
+  while !i < n && is_ows s.[!i] do incr i done;
+  while !j > !i && is_ows s.[!j - 1] do decr j done;
+  String.sub s !i (!j - !i)
+
+let parse_header line =
+  (* obs-fold: a continuation line is a smuggling vector; reject. *)
+  (match line.[0] with
+  | ' ' | '\t' -> bad "obsolete header line folding is not accepted"
+  | _ -> ());
+  match String.index_opt line ':' with
+  | None -> bad "header line without a colon"
+  | Some i ->
+    let name = String.sub line 0 i in
+    (* whitespace between name and colon is another smuggling shape *)
+    validate "header name" is_token_char name;
+    let value = trim_ows (String.sub line (i + 1) (String.length line - i - 1)) in
+    String.iter
+      (fun ch ->
+        if ch < ' ' && ch <> '\t' then bad "control byte in header value")
+      value;
+    (String.lowercase_ascii name, value)
+
+let header r name =
+  List.assoc_opt name r.headers
+
+let headers_all headers name =
+  List.filter_map (fun (n, v) -> if n = name then Some v else None) headers
+
+(* --- body framing ---------------------------------------------------------- *)
+
+let parse_content_length limits values =
+  match values with
+  | [] -> 0
+  | first :: rest ->
+    if List.exists (fun v -> v <> first) rest then
+      bad "conflicting content-length values";
+    if first = "" || not (String.for_all (fun c -> c >= '0' && c <= '9') first)
+    then bad "malformed content-length";
+    (* 18 digits always fits a 63-bit int; longer is over any budget *)
+    if String.length first > 18 then
+      too_large "content-length exceeds the body budget";
+    let n = int_of_string first in
+    if n > limits.max_body_bytes then
+      too_large
+        (Printf.sprintf "content-length %d exceeds the body budget of %d bytes"
+           n limits.max_body_bytes);
+    n
+
+let parse_chunk_size line =
+  (* chunk-size [";" extensions] — extensions are ignored *)
+  let hex = match String.index_opt line ';' with
+    | Some i -> trim_ows (String.sub line 0 i)
+    | None -> trim_ows line
+  in
+  if hex = "" then bad "empty chunk size";
+  if String.length hex > 15 then too_large "chunk size exceeds the body budget";
+  let digit = function
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | _ -> bad "malformed chunk size"
+  in
+  String.fold_left (fun acc c -> (acc * 16) + digit c) 0 hex
+
+let read_chunked c limits budget =
+  let body = Buffer.create 4096 in
+  let rec chunks () =
+    let size = parse_chunk_size (read_line c budget "chunk size") in
+    if Buffer.length body + size > limits.max_body_bytes then
+      too_large
+        (Printf.sprintf "chunked body exceeds the body budget of %d bytes"
+           limits.max_body_bytes);
+    if size = 0 then begin
+      (* trailer section: lines until the empty one, discarded but
+         still charged against the header budget *)
+      let rec trailers () =
+        if read_line c budget "chunk trailer" <> "" then trailers ()
+      in
+      trailers ();
+      Buffer.contents body
+    end
+    else begin
+      Buffer.add_string body (read_exact c size "chunk data");
+      (match read_exact c 2 "chunk terminator" with
+      | "\r\n" -> ()
+      | _ -> bad "chunk data not terminated by CRLF");
+      chunks ()
+    end
+  in
+  chunks ()
+
+(* --- the request reader ---------------------------------------------------- *)
+
+let read_request ?(limits = default_limits) c =
+  match
+    (* Leading blank lines are skipped per RFC 9112 §2.2 robustness;
+       a clean EOF before any request byte is a normal keep-alive
+       close, not an error. *)
+    let rec first_line budget =
+      if not (refill c) then None
+      else
+        match read_line c budget "request line" with
+        | "" -> first_line budget
+        | line -> Some (line, budget)
+    in
+    first_line { left = limits.max_header_bytes }
+  with
+  | None -> None
+  | Some (line, budget) -> (
+    match
+      let meth, target, version = parse_request_line line in
+      let rec read_headers acc =
+        match read_line c budget "headers" with
+        | "" -> List.rev acc
+        | line -> read_headers (parse_header line :: acc)
+      in
+      let headers = read_headers [] in
+      let body =
+        match headers_all headers "transfer-encoding" with
+        | [] ->
+          let n =
+            parse_content_length limits (headers_all headers "content-length")
+          in
+          if n = 0 then "" else read_exact c n "body"
+        | [ te ] when String.lowercase_ascii (trim_ows te) = "chunked" ->
+          if headers_all headers "content-length" <> [] then
+            bad "both content-length and transfer-encoding present";
+          read_chunked c limits budget
+        | te :: _ ->
+          raise
+            (Fail
+               (Unsupported
+                  (Printf.sprintf "transfer-encoding %S is not supported" te)))
+      in
+      { meth; target; version; headers; body }
+    with
+    | req -> Some (Ok req)
+    | exception Fail e -> Some (Error e))
+  | exception Fail e -> Some (Error e)
+
+(* --- connection semantics -------------------------------------------------- *)
+
+let connection_tokens r =
+  match header r "connection" with
+  | None -> []
+  | Some v ->
+    List.map
+      (fun t -> String.lowercase_ascii (trim_ows t))
+      (String.split_on_char ',' v)
+
+let keep_alive r =
+  let tokens = connection_tokens r in
+  if r.version >= 1 then not (List.mem "close" tokens)
+  else List.mem "keep-alive" tokens
+
+(* --- responses ------------------------------------------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | 505 -> "HTTP Version Not Supported"
+  | _ -> "Status"
+
+let response ?(version = 1) ?(headers = []) ~status ~body () =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.%d %d %s\r\n" version status (status_text status));
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf value;
+      Buffer.add_string buf "\r\n")
+    headers;
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
+  Buffer.add_string buf body;
+  Buffer.contents buf

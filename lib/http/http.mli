@@ -1,0 +1,99 @@
+(** A minimal, total HTTP/1.1 server layer.
+
+    Only what the gateway needs, built to survive the open internet's
+    byte stream: an incremental request parser (request line, headers,
+    [Content-Length] and [chunked] bodies) that returns {e typed
+    errors} — never raises — on any malformed input, enforces hard
+    byte bounds on header block and body before allocating for them,
+    and decides keep-alive per message; plus a response serializer that
+    emits the whole response (status line, headers, body) as one
+    string so the transport can issue a single [write].
+
+    No sockets here: a {!conn} wraps any [read]-shaped function, so
+    the parser is testable (and fuzzable) on plain strings, and the
+    server wires it to [Unix.read].  Decoding is strict where
+    ambiguity is dangerous (smuggling-shaped messages — both
+    [Content-Length] and [Transfer-Encoding], conflicting lengths,
+    obs-fold continuations — are rejected) and lenient only in
+    RFC-sanctioned places (optional whitespace around header values,
+    case-insensitive names). *)
+
+type request = {
+  meth : string;  (** request method, verbatim (["GET"], ["POST"], ...) *)
+  target : string;  (** request target, verbatim (path + optional query) *)
+  version : int;  (** minor version: 0 for HTTP/1.0, 1 for HTTP/1.1 *)
+  headers : (string * string) list;
+      (** in wire order; names lowercased, values trimmed of optional
+          whitespace *)
+  body : string;  (** decoded body (chunked bodies arrive de-chunked) *)
+}
+
+type error =
+  | Bad_request of string  (** malformed bytes; maps to 400 *)
+  | Too_large of string  (** a header block or body over bounds; 413 *)
+  | Unsupported of string  (** a transfer-encoding we don't speak; 501 *)
+  | Version_not_supported of string  (** not HTTP/1.0 or 1.1; 505 *)
+
+val error_message : error -> string
+val error_status : error -> int
+(** The response status an error maps to: 400, 413, 501 or 505. *)
+
+type limits = {
+  max_header_bytes : int;
+      (** request line + header block, CRLFs included (default 16 KiB) *)
+  max_body_bytes : int;
+      (** decoded body bytes, however framed (default 8 MiB) *)
+}
+
+val default_limits : limits
+
+type conn
+(** A buffered byte source feeding the parser.  Holds carry-over
+    between requests on a keep-alive connection, so one [conn] must
+    persist for the connection's whole lifetime. *)
+
+val conn : (bytes -> int -> int -> int) -> conn
+(** [conn read] wraps a [read buf pos len] function with [Unix.read]
+    semantics: returns the number of bytes filled, 0 at end of input.
+    Exceptions from [read] (e.g. [Unix.Unix_error]) propagate to the
+    {!read_request} caller — they are transport failures, not protocol
+    errors. *)
+
+val conn_of_string : string -> conn
+(** A connection that replays a fixed byte string then EOF — the test
+    and fuzzing entry point. *)
+
+val read_request : ?limits:limits -> conn -> (request, error) result option
+(** Reads one request off the connection.  [None] on a clean EOF
+    before the first byte of a request (the peer closed between
+    requests — normal keep-alive termination).  [Some (Error _)] on
+    malformed or over-bound input, including EOF mid-request; the
+    connection is then poisoned garbage and must be closed after the
+    error response.  Total: adversarial bytes can only produce typed
+    errors, and no allocation exceeds the limits plus one buffer
+    chunk. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (give the name in lowercase); the
+    first occurrence wins. *)
+
+val keep_alive : request -> bool
+(** Whether the connection survives this exchange: HTTP/1.1 defaults
+    to persistent unless [Connection: close]; HTTP/1.0 defaults to
+    close unless [Connection: keep-alive]. *)
+
+val status_text : int -> string
+(** The canonical reason phrase (["OK"], ["Too Many Requests"], ...);
+    ["Status"] for codes we never emit. *)
+
+val response :
+  ?version:int ->
+  ?headers:(string * string) list ->
+  status:int ->
+  body:string ->
+  unit ->
+  string
+(** The full serialized response: status line, given headers plus a
+    computed [Content-Length], blank line, body — one string, so the
+    caller can issue exactly one [write] per response.  [version]
+    defaults to 1 (HTTP/1.1). *)

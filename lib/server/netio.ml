@@ -1,0 +1,22 @@
+let write_syscalls_counter = Telemetry.Counter.make "server_write_syscalls_total"
+
+(* The telemetry counter only aggregates when a sink is installed;
+   tests also want the raw process-wide count without one. *)
+let syscalls = Atomic.make 0
+
+let write_all fd s =
+  let bytes = Bytes.unsafe_of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then begin
+      match Unix.write fd bytes off (len - off) with
+      | n ->
+        Atomic.incr syscalls;
+        Telemetry.Counter.incr write_syscalls_counter;
+        go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let write_syscalls () = Atomic.get syscalls

@@ -1,0 +1,18 @@
+(** Response byte output, with the syscall count on the record.
+
+    Every front-end response — an NDJSON line, a whole HTTP response —
+    is serialized into one string first and handed here, so under
+    normal conditions each response costs exactly one [write] syscall
+    (short writes on a full socket buffer retry from the offset and
+    count again).  [server_write_syscalls_total] counts actual [write]
+    invocations; comparing it against responses delivered proves the
+    one-write-per-response property instead of asserting it. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Writes the whole string, retrying on short writes and [EINTR].
+    Other [Unix.Unix_error]s propagate (the connection is gone — the
+    caller drops it). *)
+
+val write_syscalls : unit -> int
+(** Total [write] syscalls issued through {!write_all} so far, process
+    wide — the test hook behind [server_write_syscalls_total]. *)

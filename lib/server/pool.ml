@@ -28,6 +28,9 @@ type t = {
       (* (format version, catalog hash) when the plan came from a rule
          pack — surfaced by [health] so clients can tell which rules a
          daemon is running without access to its command line *)
+  rcache : Rcache.t option;
+      (* the content-hash result cache probed at submission; hits are
+         delivered synchronously without touching the queue *)
   queue : job Bqueue.t;
   jobs : int;
   queue_capacity : int;
@@ -53,6 +56,16 @@ let latency_histogram =
    flush/bail counters, and the fused scan tier's
    candidate/confirm/fallback counters (all 0 when no telemetry sink
    is installed). *)
+let result_cache_extras t =
+  match t.rcache with
+  | None -> "\"resultCache\":{\"enabled\":false}"
+  | Some cache ->
+    let s = Rcache.stats cache in
+    Printf.sprintf
+      "\"resultCache\":{\"enabled\":true,\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"evictions\":%d,\"entries\":%d,\"bytes\":%d,\"maxBytes\":%d,\"shards\":%d}"
+      s.Rcache.hits s.Rcache.misses s.Rcache.insertions s.Rcache.evictions
+      s.Rcache.entries s.Rcache.bytes s.Rcache.max_bytes s.Rcache.shards
+
 let cache_extras () =
   let hits, entries = Rx.compile_cache_stats () in
   let flushes, bails, fused_candidates, fused_confirms, fused_fallbacks =
@@ -83,9 +96,9 @@ let health_body t =
         hash
   in
   Printf.sprintf
-    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d,\"rulePack\":%s,%s}"
+    "{\"status\":\"ok\",\"schema\":\"%s\",\"jobs\":%d,\"queueDepth\":%d,\"inFlight\":%d,\"rulePack\":%s,%s,%s}"
     Protocol.schema t.jobs (Bqueue.length t.queue)
-    (Atomic.get t.in_flight) pack (cache_extras ())
+    (Atomic.get t.in_flight) pack (cache_extras ()) (result_cache_extras t)
 
 (* Nearest-rank percentile over a sorted array; 0 when empty. *)
 let percentile_ns sorted p =
@@ -135,42 +148,49 @@ let latency_breakdown () =
       exemplars
   end
 
-let stats_body fmt =
+(* The raw Prometheus text exposition — the [stats] request embeds it
+   as a JSON string to keep NDJSON framing; the HTTP gateway serves it
+   verbatim on [GET /metrics]. *)
+let prometheus_text () =
+  match Telemetry.installed () with
+  | None -> ""
+  | Some sink ->
+    let report = Telemetry.Report.of_sink sink in
+    let hits, entries = Rx.compile_cache_stats () in
+    let cache_lines =
+      Printf.sprintf
+        "# HELP rx_compile_cache_hits_total Hits in the process-wide \
+         regex compile cache.\n\
+         # TYPE rx_compile_cache_hits_total counter\n\
+         rx_compile_cache_hits_total %d\n\
+         # HELP rx_compile_cache_entries Entries in the process-wide \
+         regex compile cache.\n\
+         # TYPE rx_compile_cache_entries gauge\n\
+         rx_compile_cache_entries %d\n"
+        hits entries
+    in
+    Telemetry.Report.to_prometheus report ^ cache_lines
+
+let stats_body t fmt =
   match Telemetry.installed () with
   | None -> (
     match fmt with
     | Protocol.Stats_json ->
-      Printf.sprintf "{\"enabled\":false,%s,%s}" (cache_extras ())
-        (latency_breakdown ())
+      Printf.sprintf "{\"enabled\":false,%s,%s,%s}" (cache_extras ())
+        (result_cache_extras t) (latency_breakdown ())
     | Protocol.Stats_prometheus -> "\"\"")
   | Some sink -> (
-    let report = Telemetry.Report.of_sink sink in
     match fmt with
     | Protocol.Stats_json ->
       (* splice cache stats and the flight-recorder latency breakdown
          into the report document (which always ends in '}') *)
-      let json = Telemetry.Report.to_json report in
+      let json = Telemetry.Report.to_json (Telemetry.Report.of_sink sink) in
       String.sub json 0 (String.length json - 1)
-      ^ "," ^ cache_extras () ^ "," ^ latency_breakdown () ^ "}"
+      ^ "," ^ cache_extras () ^ "," ^ result_cache_extras t ^ ","
+      ^ latency_breakdown () ^ "}"
     | Protocol.Stats_prometheus ->
       (* multi-line text, embedded as a JSON string to keep framing *)
-      let hits, entries = Rx.compile_cache_stats () in
-      let cache_lines =
-        Printf.sprintf
-          "# HELP rx_compile_cache_hits_total Hits in the process-wide \
-           regex compile cache.\n\
-           # TYPE rx_compile_cache_hits_total counter\n\
-           rx_compile_cache_hits_total %d\n\
-           # HELP rx_compile_cache_entries Entries in the process-wide \
-           regex compile cache.\n\
-           # TYPE rx_compile_cache_entries gauge\n\
-           rx_compile_cache_entries %d\n"
-          hits entries
-      in
-      "\""
-      ^ Telemetry.Report.escape
-          (Telemetry.Report.to_prometheus report ^ cache_lines)
-      ^ "\"")
+      "\"" ^ Telemetry.Report.escape (prometheus_text ()) ^ "\"")
 
 let execute t (req : Protocol.request) =
   Telemetry.Counter.incr requests_counter;
@@ -193,7 +213,7 @@ let execute t (req : Protocol.request) =
       reply
         (serialize (fun () -> Patchitpy.Jsonout.patch_to_json ~file result))
     | Protocol.Health -> reply (serialize (fun () -> health_body t))
-    | Protocol.Stats fmt -> reply (serialize (fun () -> stats_body fmt))
+    | Protocol.Stats fmt -> reply (serialize (fun () -> stats_body t fmt))
     | Protocol.Trace_dump { count; mode; format } ->
       let records =
         match mode with
@@ -270,12 +290,13 @@ let rec worker_loop t =
     Atomic.decr t.in_flight;
     worker_loop t
 
-let create ?pack ~jobs ~queue_capacity ~scanner () =
+let create ?pack ?rcache ~jobs ~queue_capacity ~scanner () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     {
       scanner;
       pack;
+      rcache;
       queue = Bqueue.create ~capacity:queue_capacity;
       jobs;
       queue_capacity;
@@ -286,7 +307,9 @@ let create ?pack ~jobs ~queue_capacity ~scanner () =
   t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
-let submit ?trace t request ~deliver =
+let rcache t = t.rcache
+
+let enqueue ?trace t request ~deliver =
   Telemetry.Histogram.observe queue_depth_histogram (Bqueue.length t.queue);
   Atomic.incr t.in_flight;
   let trace =
@@ -324,6 +347,49 @@ let submit ?trace t request ~deliver =
                  t.queue_capacity
              | `Closed -> "server is draining; not accepting requests");
          })
+
+(* Scan and patch results are deterministic functions of (rule
+   catalog, file label, source, options), so they are the cacheable
+   kinds; everything else reports live state. *)
+let cache_plan (req : Protocol.request) =
+  match req.kind with
+  | Protocol.Scan { file; source } | Protocol.Patch { file; source } ->
+    let options =
+      match req.deadline_steps with None -> "" | Some n -> string_of_int n
+    in
+    Some (Protocol.kind_name req.kind, file, source, options)
+  | Protocol.Health | Protocol.Stats _ | Protocol.Trace_dump _ -> None
+
+let submit ?trace t request ~deliver =
+  match (t.rcache, cache_plan request) with
+  | None, _ | _, None -> enqueue ?trace t request ~deliver
+  | Some cache, Some (kind, file, source, options) -> (
+    let module Tr = Telemetry.Trace in
+    let t0 = if Tr.enabled () then Tr.now_ns () else 0 in
+    let key = Rcache.key cache ~kind ~file ~options ~body:source in
+    match Rcache.find cache key with
+    | Some body ->
+      (* A hit is delivered synchronously from the submitting thread —
+         no queue, no worker domain.  The trace builder (if any) is
+         abandoned, like an overloaded submission: finishing it here
+         would publish into the calling domain's ring, and rings are
+         single-writer per domain. *)
+      ignore (trace : Tr.t option);
+      (try deliver (Protocol.Reply { id = request.Protocol.id; kind; body })
+       with _ -> ())
+    | None ->
+      (match trace with
+      | None -> ()
+      | Some b -> Tr.add_span b Tr.Cache_lookup ~start:t0 ~stop:(Tr.now_ns ()));
+      (* Populate on the way out: the wrapper runs on the worker domain
+         at delivery time, so the insert costs the submitter nothing. *)
+      let deliver response =
+        (match response with
+        | Protocol.Reply { body; _ } -> Rcache.add cache key body
+        | Protocol.Error_reply _ -> ());
+        deliver response
+      in
+      enqueue ?trace t request ~deliver)
 
 let pending t = Atomic.get t.in_flight
 

@@ -23,6 +23,7 @@ type t
 
 val create :
   ?pack:int * string ->
+  ?rcache:Rcache.t ->
   jobs:int ->
   queue_capacity:int ->
   scanner:Patchitpy.Scanner.t ->
@@ -33,7 +34,14 @@ val create :
     are immutable and domain-safe.  [pack] is the (format version,
     catalog hash) of the rule pack the plan was loaded from, if any;
     the [health] reply reports it so clients can tell which rules a
-    daemon is running. *)
+    daemon is running.  [rcache] puts a content-hash result cache in
+    front of the queue: {!submit} probes it for [scan]/[patch]
+    requests and delivers hits synchronously; misses populate it at
+    delivery time.  Its salt must be the rule-pack fingerprint of
+    [scanner]'s catalog. *)
+
+val rcache : t -> Rcache.t option
+(** The result cache given to {!create}, for stats and invalidation. *)
 
 val submit :
   ?trace:Telemetry.Trace.t ->
@@ -42,7 +50,8 @@ val submit :
   deliver:(Protocol.response -> unit) ->
   unit
 (** Never blocks.  [deliver] is invoked exactly once per call: from a
-    worker domain with the request's response, or synchronously with an
+    worker domain with the request's response, synchronously with the
+    cached response on a result-cache hit, or synchronously with an
     [overloaded] error when the queue is full or the pool draining.
     [deliver] must be thread-safe against other deliveries to the same
     destination; exceptions it raises are swallowed.
@@ -52,7 +61,15 @@ val submit :
     ring: pass [trace] to carry over a builder that already holds an
     intake span, or omit it to have one created here.  The enqueue time
     is stamped at push, so the queue-wait phase is exact.  Overloaded
-    submissions are not recorded (they never reach a worker domain). *)
+    submissions and cache hits are not recorded (they never reach a
+    worker domain); a cache miss contributes a [cache-lookup] span to
+    the record. *)
+
+val prometheus_text : unit -> string
+(** The raw Prometheus text exposition (the [stats prometheus] reply
+    embeds the same text as a JSON string; the HTTP gateway serves it
+    verbatim on [GET /metrics]).  Empty when no telemetry sink is
+    installed. *)
 
 val execute : t -> Protocol.request -> Protocol.response
 (** Executes one request synchronously on the calling domain, with the

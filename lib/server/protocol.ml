@@ -36,7 +36,7 @@ type kind =
 
 type request = { id : string; deadline_steps : int option; kind : kind }
 
-type error_kind = Invalid | Overloaded | Timeout | Internal
+type error_kind = Invalid | Too_large | Overloaded | Timeout | Internal
 
 type response =
   | Reply of { id : string; kind : string; body : string }
@@ -44,12 +44,14 @@ type response =
 
 let error_kind_to_string = function
   | Invalid -> "invalid"
+  | Too_large -> "too_large"
   | Overloaded -> "overloaded"
   | Timeout -> "timeout"
   | Internal -> "error"
 
 let error_kind_of_string = function
   | "invalid" -> Some Invalid
+  | "too_large" -> Some Too_large
   | "overloaded" -> Some Overloaded
   | "timeout" -> Some Timeout
   | "error" -> Some Internal

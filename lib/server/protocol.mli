@@ -58,6 +58,7 @@ type request = {
 
 type error_kind =
   | Invalid  (** malformed or unsupported request; never enqueued *)
+  | Too_large  (** request frame over the configured byte bound *)
   | Overloaded  (** submission queue full; retry later *)
   | Timeout  (** the request's step deadline was exhausted *)
   | Internal  (** the request raised; the worker survived *)

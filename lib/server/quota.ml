@@ -1,0 +1,85 @@
+(* See quota.mli.  One global mutex: the critical section is a
+   hashtable probe and a few float operations, and admission control
+   sits in front of work that costs microseconds at best — striping
+   here would be complexity without a measurable win. *)
+
+type bucket = { mutable tokens : float; mutable last_ns : int }
+
+type t = {
+  lock : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+  rate : float;  (* tokens per second *)
+  burst : float;
+  max_tenants : int;
+  rejections : int Atomic.t;
+}
+
+let rejections_counter = Telemetry.Counter.make "server_quota_rejections_total"
+
+let create ?(max_tenants = 4096) ~rate ~burst () =
+  if rate <= 0. || burst <= 0. then
+    invalid_arg "Quota.create: rate and burst must be > 0";
+  {
+    lock = Mutex.create ();
+    buckets = Hashtbl.create 64;
+    rate;
+    burst;
+    max_tenants;
+    rejections = Atomic.make 0;
+  }
+
+let refill t bucket now_ns =
+  let elapsed = float_of_int (now_ns - bucket.last_ns) /. 1e9 in
+  bucket.tokens <- Float.min t.burst (bucket.tokens +. (elapsed *. t.rate));
+  bucket.last_ns <- now_ns
+
+(* Called with the lock held, before admitting a brand-new tenant. *)
+let bound_table t now_ns =
+  if Hashtbl.length t.buckets >= t.max_tenants then begin
+    let idle =
+      Hashtbl.fold
+        (fun tenant bucket acc ->
+          refill t bucket now_ns;
+          if bucket.tokens >= t.burst then tenant :: acc else acc)
+        t.buckets []
+    in
+    List.iter (Hashtbl.remove t.buckets) idle;
+    if Hashtbl.length t.buckets >= t.max_tenants then
+      Hashtbl.reset t.buckets
+  end
+
+let check t ~tenant =
+  let now_ns = Telemetry.now_ns () in
+  let verdict =
+    Mutex.protect t.lock (fun () ->
+        let bucket =
+          match Hashtbl.find_opt t.buckets tenant with
+          | Some b ->
+            refill t b now_ns;
+            b
+          | None ->
+            bound_table t now_ns;
+            let b = { tokens = t.burst; last_ns = now_ns } in
+            Hashtbl.replace t.buckets tenant b;
+            b
+        in
+        if bucket.tokens >= 1. then begin
+          bucket.tokens <- bucket.tokens -. 1.;
+          `Admit
+        end
+        else `Reject ((1. -. bucket.tokens) /. t.rate))
+  in
+  (match verdict with
+  | `Admit -> ()
+  | `Reject _ ->
+    Atomic.incr t.rejections;
+    Telemetry.Counter.incr rejections_counter);
+  verdict
+
+type stats = { tenants : int; rejections : int }
+
+let stats t =
+  {
+    tenants = Mutex.protect t.lock (fun () -> Hashtbl.length t.buckets);
+    rejections = Atomic.get t.rejections;
+  }

@@ -1,0 +1,27 @@
+(** Per-tenant token-bucket admission control.
+
+    Each tenant (an HTTP header identity, or a per-connection fallback)
+    gets a bucket of [burst] tokens refilled continuously at [rate]
+    tokens per second; a request spends one token.  An empty bucket
+    rejects with the number of seconds until a token is available —
+    the gateway turns that into [429] plus a [Retry-After] header.
+
+    The tenant table is bounded: past [max_tenants] (default 4096),
+    idle tenants (bucket refilled to burst) are swept, and if every
+    bucket is active the table is cleared outright — brief
+    over-admission, never unbounded memory.
+
+    Instrument: [server_quota_rejections_total]. *)
+
+type t
+
+val create : ?max_tenants:int -> rate:float -> burst:float -> unit -> t
+(** [rate] tokens per second, [burst] bucket capacity (both > 0). *)
+
+val check : t -> tenant:string -> [ `Admit | `Reject of float ]
+(** Spend one token for [tenant]; [`Reject retry_after] gives the
+    seconds until the bucket next holds a full token. *)
+
+type stats = { tenants : int; rejections : int }
+
+val stats : t -> stats

@@ -45,6 +45,7 @@ external now_ns : unit -> (int[@untagged]) = "tele_now_ns" "tele_now_ns_unboxed"
 
 type phase =
   | Intake
+  | Cache_lookup
   | Queue_wait
   | Dispatch
   | Scan
@@ -57,6 +58,7 @@ type instant = Dfa_flush | Dfa_bail | Deadline_hit | Budget_exhausted
 
 let phase_name = function
   | Intake -> "intake"
+  | Cache_lookup -> "cache-lookup"
   | Queue_wait -> "queue-wait"
   | Dispatch -> "dispatch"
   | Scan -> "scan"

@@ -28,6 +28,7 @@
 
 type phase =
   | Intake  (** front-end protocol decode *)
+  | Cache_lookup  (** result-cache probe between intake and submit *)
   | Queue_wait  (** submit to worker pop *)
   | Dispatch  (** worker pop to execution start *)
   | Scan  (** full scan ([Scanner.scan_state]) *)
@@ -43,8 +44,9 @@ type instant =
   | Budget_exhausted  (** [Rx.Budget_exceeded] surfaced *)
 
 val phase_name : phase -> string
-(** Stable wire names: ["intake"], ["queue-wait"], ["dispatch"],
-    ["scan"], ["rescan"], ["patch-round"], ["serialize"], ["write"]. *)
+(** Stable wire names: ["intake"], ["cache-lookup"], ["queue-wait"],
+    ["dispatch"], ["scan"], ["rescan"], ["patch-round"], ["serialize"],
+    ["write"]. *)
 
 val instant_name : instant -> string
 (** ["dfa-flush"], ["dfa-bail"], ["deadline"], ["budget"]. *)

@@ -1,0 +1,359 @@
+(* The HTTP/1.1 parser under friendly and hostile bytes.
+
+   The contract under test (http.mli): [read_request] is total —
+   adversarial input produces typed errors, never exceptions — bounds
+   are enforced before allocation, smuggling-shaped messages are
+   rejected, and the decoded request is faithful to the wire. *)
+
+let parse ?limits s = Http.read_request ?limits (Http.conn_of_string s)
+
+let parse_ok s =
+  match parse s with
+  | Some (Ok r) -> r
+  | Some (Error e) -> Alcotest.failf "unexpected error: %s" (Http.error_message e)
+  | None -> Alcotest.failf "unexpected EOF on %S" s
+
+let parse_err s =
+  match parse s with
+  | Some (Error e) -> e
+  | Some (Ok r) -> Alcotest.failf "%S parsed as %s %s" s r.Http.meth r.Http.target
+  | None -> Alcotest.failf "unexpected EOF on %S" s
+
+let status_of s = Http.error_status (parse_err s)
+
+(* --- well-formed requests -------------------------------------------------- *)
+
+let test_simple_get () =
+  let r = parse_ok "GET /v1/health HTTP/1.1\r\nHost: localhost\r\n\r\n" in
+  Alcotest.(check string) "method" "GET" r.Http.meth;
+  Alcotest.(check string) "target" "/v1/health" r.Http.target;
+  Alcotest.(check int) "version" 1 r.Http.version;
+  Alcotest.(check string) "body" "" r.Http.body;
+  Alcotest.(check (option string)) "host lowered" (Some "localhost")
+    (Http.header r "host");
+  Alcotest.(check bool) "1.1 keeps alive" true (Http.keep_alive r)
+
+let test_content_length_body () =
+  let r =
+    parse_ok "POST /v1/scan HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world"
+  in
+  Alcotest.(check string) "body" "hello world" r.Http.body
+
+let test_bare_lf_lines () =
+  (* robust parsers accept a bare LF line terminator *)
+  let r = parse_ok "GET / HTTP/1.1\nhost: a\n\n" in
+  Alcotest.(check string) "target" "/" r.Http.target;
+  Alcotest.(check (option string)) "header" (Some "a") (Http.header r "host")
+
+let test_header_semantics () =
+  let r =
+    parse_ok
+      "GET / HTTP/1.1\r\nX-Dup: first\r\nx-dup: second\r\nPadded:   v  \r\n\r\n"
+  in
+  (* case-insensitive lookup, first occurrence wins, OWS trimmed *)
+  Alcotest.(check (option string)) "first wins" (Some "first")
+    (Http.header r "x-dup");
+  Alcotest.(check (option string)) "ows trimmed" (Some "v")
+    (Http.header r "padded");
+  Alcotest.(check (option string)) "missing" None (Http.header r "absent")
+
+let test_keep_alive_matrix () =
+  let ka s = Http.keep_alive (parse_ok s) in
+  Alcotest.(check bool) "1.1 default persistent" true
+    (ka "GET / HTTP/1.1\r\n\r\n");
+  Alcotest.(check bool) "1.1 close" false
+    (ka "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  Alcotest.(check bool) "1.0 default close" false (ka "GET / HTTP/1.0\r\n\r\n");
+  Alcotest.(check bool) "1.0 keep-alive" true
+    (ka "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+
+let test_pipelined_requests () =
+  (* one conn, two requests back to back, then clean EOF *)
+  let c =
+    Http.conn_of_string
+      "POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n"
+  in
+  (match Http.read_request c with
+  | Some (Ok r) ->
+    Alcotest.(check string) "first target" "/a" r.Http.target;
+    Alcotest.(check string) "first body" "abc" r.Http.body
+  | _ -> Alcotest.fail "first request must parse");
+  (match Http.read_request c with
+  | Some (Ok r) -> Alcotest.(check string) "second target" "/b" r.Http.target
+  | _ -> Alcotest.fail "second request must parse");
+  match Http.read_request c with
+  | None -> ()
+  | _ -> Alcotest.fail "clean EOF after the last request"
+
+let test_chunked_body () =
+  let r =
+    parse_ok
+      ("POST /v1/scan HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"
+      ^ "5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\nx-trailer: t\r\n\r\n")
+  in
+  (* sizes in hex, extensions ignored, trailers consumed *)
+  Alcotest.(check string) "de-chunked" "hello world" r.Http.body
+
+let test_chunked_hex_sizes () =
+  let body = String.make 0x1a 'z' in
+  let r =
+    parse_ok
+      (Printf.sprintf
+         "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n1A\r\n%s\r\n0\r\n\r\n"
+         body)
+  in
+  Alcotest.(check string) "hex size" body r.Http.body
+
+(* --- typed errors ---------------------------------------------------------- *)
+
+let test_malformed_requests () =
+  List.iter
+    (fun s ->
+      Alcotest.(check int) (Printf.sprintf "400 for %S" s) 400 (status_of s))
+    [
+      "GARBAGE\r\n\r\n";
+      "GET  / HTTP/1.1\r\n\r\n" (* double space *);
+      "GET / HTTP/1.1 extra\r\n\r\n";
+      "G<T / HTTP/1.1\r\n\r\n" (* non-token method *);
+      "GET /\x01 HTTP/1.1\r\n\r\n" (* control byte in target *);
+      "GET / http/1.1\r\n\r\n" (* lowercase protocol *);
+      "GET / HTTP/1.1\r\nno-colon\r\n\r\n";
+      "GET / HTTP/1.1\r\nbad name: v\r\n\r\n" (* space in name *);
+      "GET / HTTP/1.1\r\nname : v\r\n\r\n" (* ws before colon: smuggling *);
+      "GET / HTTP/1.1\r\na: b\r\n folded\r\n\r\n" (* obs-fold *);
+      "POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n";
+      "POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n";
+      "POST / HTTP/1.1\r\ncontent-length: 1 2\r\n\r\n";
+      "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n\r\n"
+      (* junk chunk size *);
+      "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n3\r\nabcXY0\r\n\r\n"
+      (* chunk data not CRLF-terminated *);
+    ]
+
+let test_smuggling_rejected () =
+  (* CL + TE together is the classic request-smuggling vector *)
+  Alcotest.(check int) "cl+te" 400
+    (status_of
+       "POST / HTTP/1.1\r\ncontent-length: 3\r\ntransfer-encoding: \
+        chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n");
+  (* two conflicting content-lengths *)
+  Alcotest.(check int) "conflicting cl" 400
+    (status_of
+       "POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 4\r\n\r\nabcd");
+  (* duplicate but agreeing lengths are RFC-tolerated *)
+  let r =
+    parse_ok
+      "POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 3\r\n\r\nabc"
+  in
+  Alcotest.(check string) "agreeing cl" "abc" r.Http.body
+
+let test_unsupported_and_version () =
+  Alcotest.(check int) "te gzip is 501" 501
+    (status_of "POST / HTTP/1.1\r\ntransfer-encoding: gzip\r\n\r\n");
+  Alcotest.(check int) "HTTP/2.0 is 505" 505
+    (status_of "GET / HTTP/2.0\r\n\r\n");
+  Alcotest.(check int) "HTTP/0.9 is 505" 505 (status_of "GET / HTTP/0.9\r\n\r\n")
+
+let test_eof_semantics () =
+  (* clean EOF before any byte: None *)
+  (match parse "" with
+  | None -> ()
+  | _ -> Alcotest.fail "empty input is a clean EOF");
+  (* EOF mid-request-line, mid-headers, mid-body: typed errors *)
+  List.iter
+    (fun s ->
+      match parse s with
+      | Some (Error _) -> ()
+      | Some (Ok _) -> Alcotest.failf "%S must not parse" s
+      | None -> Alcotest.failf "%S is a truncated request, not a clean EOF" s)
+    [
+      "GET / HT";
+      "GET / HTTP/1.1\r\nhost: a";
+      "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+      "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nab";
+    ]
+
+let test_limits () =
+  let limits = { Http.max_header_bytes = 256; max_body_bytes = 64 } in
+  let parse s = Http.read_request ~limits (Http.conn_of_string s) in
+  let status s =
+    match parse s with
+    | Some (Error e) -> Http.error_status e
+    | _ -> Alcotest.failf "%S must be rejected" s
+  in
+  (* a header block over budget, streamed — never buffered whole *)
+  Alcotest.(check int) "oversized headers" 413
+    (status
+       (Printf.sprintf "GET / HTTP/1.1\r\nbig: %s\r\n\r\n"
+          (String.make 4096 'x')));
+  (* a declared content-length over budget: rejected before reading *)
+  Alcotest.(check int) "oversized declared body" 413
+    (status
+       (Printf.sprintf "POST / HTTP/1.1\r\ncontent-length: 100000\r\n\r\n%s"
+          (String.make 128 'x')));
+  (* a content-length too long to even parse as an int *)
+  Alcotest.(check int) "absurd content-length" 413
+    (status
+       "POST / HTTP/1.1\r\ncontent-length: 99999999999999999999999\r\n\r\n");
+  (* chunked bodies accumulate against the same budget *)
+  Alcotest.(check int) "oversized chunked body" 413
+    (status
+       (Printf.sprintf
+          "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n80\r\n%s\r\n0\r\n\r\n"
+          (String.make 128 'x')));
+  (* under every bound still parses *)
+  match parse "POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\nok" with
+  | Some (Ok r) -> Alcotest.(check string) "within bounds" "ok" r.Http.body
+  | _ -> Alcotest.fail "a small request must still parse"
+
+(* --- response serializer --------------------------------------------------- *)
+
+let test_response_serializer () =
+  let s =
+    Http.response ~headers:[ ("content-type", "application/json") ] ~status:200
+      ~body:"{\"ok\":true}" ()
+  in
+  Alcotest.(check bool) "status line" true
+    (String.length s > 17 && String.sub s 0 17 = "HTTP/1.1 200 OK\r\n");
+  let has sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "content-length computed" true
+    (has "content-length: 11\r\n");
+  Alcotest.(check bool) "custom header kept" true
+    (has "content-type: application/json\r\n");
+  Alcotest.(check bool) "body last" true
+    (String.sub s (String.length s - 11) 11 = "{\"ok\":true}");
+  Alcotest.(check string) "429 reason" "Too Many Requests"
+    (Http.status_text 429);
+  Alcotest.(check string) "413 reason" "Content Too Large"
+    (Http.status_text 413)
+
+(* --- fuzzing --------------------------------------------------------------- *)
+
+(* Raw bytes, biased toward HTTP-shaped fragments so the fuzzer reaches
+   deep parser states instead of dying on the request line. *)
+let gen_hostile =
+  QCheck.Gen.(
+    let fragment =
+      oneof
+        [
+          oneofl
+            [
+              "GET "; "POST "; " HTTP/1.1"; " HTTP/1.0"; "\r\n"; "\n"; "\r";
+              ": "; "content-length"; "transfer-encoding"; "chunked"; "0";
+              "\r\n\r\n"; "content-length: 5\r\n"; ";ext"; " "; "\t";
+            ];
+          map (String.make 1) (char_range '\x00' '\xff');
+          small_string ~gen:printable;
+        ]
+    in
+    map (String.concat "") (list_size (int_bound 30) fragment))
+
+let totality_fuzz =
+  QCheck.Test.make ~count:2000 ~name:"read_request is total on arbitrary bytes"
+    (QCheck.make gen_hostile ~print:(Printf.sprintf "%S"))
+    (fun s ->
+      match Http.read_request (Http.conn_of_string s) with
+      | None | Some (Error _) -> true
+      | Some (Ok r) ->
+        (* whatever parsed must honor the default bounds *)
+        String.length r.Http.body <= Http.default_limits.Http.max_body_bytes
+      | exception e ->
+        QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) s)
+
+(* Well-formed requests round-trip: serialize by hand, parse, compare. *)
+let gen_wire =
+  QCheck.Gen.(
+    let token =
+      string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; 'A'; '-'; '0' ]) (int_range 1 8)
+    in
+    let body = small_string ~gen:(char_range '\x00' '\xff') in
+    let* meth = oneofl [ "GET"; "POST"; "PUT"; "CUSTOM" ] in
+    let* path = oneofl [ "/"; "/v1/scan"; "/a/b?c=d" ] in
+    let* hdrs = list_size (int_bound 4) (pair token token) in
+    let* body = body in
+    let* chunked = bool in
+    return (meth, path, hdrs, body, chunked))
+
+let wire_of (meth, path, hdrs, body, chunked) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+  List.iter (fun (k, v) -> Buffer.add_string b (k ^ ": " ^ v ^ "\r\n")) hdrs;
+  if chunked then begin
+    Buffer.add_string b "transfer-encoding: chunked\r\n\r\n";
+    (* split the body into two chunks when possible *)
+    let n = String.length body in
+    let cut = n / 2 in
+    let chunk s =
+      if String.length s > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+    in
+    chunk (String.sub body 0 cut);
+    chunk (String.sub body cut (n - cut));
+    Buffer.add_string b "0\r\n\r\n"
+  end
+  else
+    Buffer.add_string b
+      (Printf.sprintf "content-length: %d\r\n\r\n%s" (String.length body) body);
+  Buffer.contents b
+
+let roundtrip_fuzz =
+  QCheck.Test.make ~count:500 ~name:"well-formed requests round-trip"
+    (QCheck.make gen_wire)
+    (fun ((meth, path, hdrs, body, _) as w) ->
+      match Http.read_request (Http.conn_of_string (wire_of w)) with
+      | Some (Ok r) ->
+        r.Http.meth = meth && r.Http.target = path && r.Http.body = body
+        && List.for_all
+             (fun (k, _) ->
+               (* first occurrence of each lowercased name wins *)
+               let lk = String.lowercase_ascii k in
+               Http.header r lk
+               = List.find_map
+                   (fun (k', v) ->
+                     if String.lowercase_ascii k' = lk then Some v else None)
+                   hdrs)
+             hdrs
+      | Some (Error e) ->
+        QCheck.Test.fail_reportf "rejected valid request: %s"
+          (Http.error_message e)
+      | None -> QCheck.Test.fail_reportf "EOF on valid request")
+
+let () =
+  Alcotest.run "http"
+    [
+      ( "requests",
+        [
+          Alcotest.test_case "simple GET" `Quick test_simple_get;
+          Alcotest.test_case "content-length body" `Quick
+            test_content_length_body;
+          Alcotest.test_case "bare LF lines" `Quick test_bare_lf_lines;
+          Alcotest.test_case "header semantics" `Quick test_header_semantics;
+          Alcotest.test_case "keep-alive matrix" `Quick test_keep_alive_matrix;
+          Alcotest.test_case "pipelined requests" `Quick
+            test_pipelined_requests;
+          Alcotest.test_case "chunked body" `Quick test_chunked_body;
+          Alcotest.test_case "chunked hex sizes" `Quick test_chunked_hex_sizes;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed is 400" `Quick test_malformed_requests;
+          Alcotest.test_case "smuggling shapes rejected" `Quick
+            test_smuggling_rejected;
+          Alcotest.test_case "unsupported and version" `Quick
+            test_unsupported_and_version;
+          Alcotest.test_case "EOF semantics" `Quick test_eof_semantics;
+          Alcotest.test_case "byte bounds" `Quick test_limits;
+        ] );
+      ( "response",
+        [ Alcotest.test_case "serializer" `Quick test_response_serializer ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest totality_fuzz;
+          QCheck_alcotest.to_alcotest roundtrip_fuzz;
+        ] );
+    ]

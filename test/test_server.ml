@@ -6,6 +6,8 @@
 module Protocol = Server.Protocol
 module Bqueue = Server.Bqueue
 module Pool = Server.Pool
+module Serve = Server.Serve
+module Netio = Server.Netio
 
 let catalog_scanner = lazy (Patchitpy.Scanner.compile Patchitpy.(Catalog.all ()))
 
@@ -67,8 +69,8 @@ let gen_response =
             Protocol.Error_reply { id; error; message })
           (opt gen_bytes)
           (oneofl
-             [ Protocol.Invalid; Protocol.Overloaded; Protocol.Timeout;
-               Protocol.Internal ])
+             [ Protocol.Invalid; Protocol.Too_large; Protocol.Overloaded;
+               Protocol.Timeout; Protocol.Internal ])
           gen_bytes;
       ])
 
@@ -728,6 +730,199 @@ let test_rx_deadline () =
       Alcotest.(check bool) "outer intact" true
         (Option.get (Rx.deadline_remaining ()) > 400_000))
 
+(* --- NDJSON connection loop under hostile frames --------------------------- *)
+
+(* Drives one socket connection end to end: write the frames, half-close,
+   read every response line until the server closes its side. *)
+let drive_connection ~max_request_bytes frames =
+  let scanner = Lazy.force catalog_scanner in
+  let pool = Pool.create ~jobs:1 ~queue_capacity:16 ~scanner () in
+  let client, server = Unix.socketpair ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  let loop =
+    Thread.create
+      (fun () -> Serve.connection_loop pool ~max_request_bytes server)
+      ()
+  in
+  List.iter
+    (fun frame ->
+      let line = frame ^ "\n" in
+      let rec write off =
+        if off < String.length line then
+          match
+            Unix.write_substring client line off (String.length line - off)
+          with
+          | n -> write (off + n)
+          | exception Unix.Unix_error (EINTR, _, _) -> write off
+      in
+      write 0)
+    frames;
+  Unix.shutdown client Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec read_all () =
+    match Unix.read client chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      read_all ()
+    | exception Unix.Unix_error (EINTR, _, _) -> read_all ()
+  in
+  read_all ();
+  Thread.join loop;
+  (try Unix.close client with Unix.Unix_error _ -> ());
+  ignore (Pool.shutdown pool);
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l ->
+         match Protocol.decode_response l with
+         | Ok r -> r
+         | Error msg -> Alcotest.failf "undecodable response %S: %s" l msg)
+
+let scan_frame id =
+  Protocol.encode_request
+    {
+      Protocol.id;
+      deadline_steps = None;
+      kind = Protocol.Scan { file = id ^ ".py"; source = "import os\n" };
+    }
+
+let test_connection_too_large_resync () =
+  (* a 3 MiB frame against a 1 MiB bound, sandwiched between valid
+     requests: typed too_large reply, framing resynchronizes, the
+     connection survives *)
+  let bound = 1 lsl 20 in
+  let responses =
+    drive_connection ~max_request_bytes:bound
+      [ scan_frame "before"; String.make (3 * bound) 'a'; scan_frame "after" ]
+  in
+  let replies, errors =
+    List.partition_map
+      (function
+        | Protocol.Reply { id; _ } -> Left id
+        | Protocol.Error_reply { id; error; message } ->
+          Right (id, error, message))
+      responses
+  in
+  Alcotest.(check (list string)) "both valid frames answered"
+    [ "after"; "before" ]
+    (List.sort compare replies);
+  match errors with
+  | [ (None, Protocol.Too_large, message) ] ->
+    Alcotest.(check bool) "message names the limit" true
+      (contains_substring message (string_of_int bound))
+  | _ -> Alcotest.failf "expected exactly one too_large error"
+
+(* Random frame mixes — valid, junk, oversized — against a 1 MiB bound:
+   one typed response per non-blank frame, correct kind each, and the
+   loop never wedges or drops the connection early. *)
+let gen_frames =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (frequency
+         [
+           (3, map (fun i -> `Valid (Printf.sprintf "q%d" i)) small_nat);
+           (3, map (fun s -> `Junk s)
+                (string_size ~gen:(char_range ' ' '~') (int_bound 60)));
+           (1, map (fun extra -> `Oversize ((1 lsl 20) + 1 + extra))
+                (int_bound (1 lsl 20)));
+         ]))
+
+let hostile_frames =
+  QCheck.Test.make ~count:10 ~name:"hostile NDJSON frames get typed replies"
+    (QCheck.make gen_frames)
+    (fun frames ->
+      let wire =
+        List.map
+          (function
+            | `Valid id -> scan_frame id
+            | `Junk s -> s
+            | `Oversize n -> String.make n 'z')
+          frames
+      in
+      let responses = drive_connection ~max_request_bytes:(1 lsl 20) wire in
+      let expect_replies =
+        List.filter_map (function `Valid id -> Some id | _ -> None) frames
+      and expect_invalid =
+        List.length
+          (List.filter
+             (function `Junk s -> String.trim s <> "" | _ -> false)
+             frames)
+      and expect_too_large =
+        List.length
+          (List.filter (function `Oversize _ -> true | _ -> false) frames)
+      in
+      let replies = ref [] and invalid = ref 0 and too_large = ref 0 in
+      List.iter
+        (function
+          | Protocol.Reply { id; _ } -> replies := id :: !replies
+          | Protocol.Error_reply { error = Protocol.Invalid; _ } ->
+            incr invalid
+          | Protocol.Error_reply { error = Protocol.Too_large; id = None; _ }
+            ->
+            incr too_large
+          | Protocol.Error_reply { message; _ } ->
+            QCheck.Test.fail_reportf "unexpected error kind: %s" message)
+        responses;
+      List.sort compare !replies = List.sort compare expect_replies
+      && !invalid = expect_invalid
+      && !too_large = expect_too_large)
+
+(* --- one write syscall per response ---------------------------------------- *)
+
+let test_single_write_per_response () =
+  let before = Netio.write_syscalls () in
+  let n = 5 in
+  let responses =
+    drive_connection ~max_request_bytes:Serve.default_max_request_bytes
+      (List.init n (fun i -> scan_frame (Printf.sprintf "w%d" i)))
+  in
+  Alcotest.(check int) "all answered" n (List.length responses);
+  (* small responses into an empty socketpair buffer never short-write:
+     the counter must advance exactly once per response *)
+  Alcotest.(check int) "one write syscall per response" n
+    (Netio.write_syscalls () - before)
+
+(* --- stale unix socket claim ----------------------------------------------- *)
+
+let test_claim_unix_socket () =
+  let path = Filename.temp_file "patchitpy-claim" ".sock" in
+  Sys.remove path;
+  (* nothing there: claimable *)
+  Alcotest.(check bool) "absent path is claimable" true
+    (Serve.claim_unix_socket path = Ok ());
+  (* a stale socket file — its owner is gone, nothing accepts — is
+     removed and claimed *)
+  let stale = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind stale (ADDR_UNIX path);
+  Unix.close stale;
+  Alcotest.(check bool) "socket file persists after close" true
+    (Sys.file_exists path);
+  Alcotest.(check bool) "stale socket is claimed" true
+    (Serve.claim_unix_socket path = Ok ());
+  Alcotest.(check bool) "stale socket removed" false (Sys.file_exists path);
+  (* a live listener is refused *)
+  let live = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind live (ADDR_UNIX path);
+  Unix.listen live 1;
+  (match Serve.claim_unix_socket path with
+  | Error msg ->
+    Alcotest.(check bool) "error names liveness" true
+      (contains_substring msg "live")
+  | Ok () -> Alcotest.fail "a live daemon's socket must not be claimed");
+  Unix.close live;
+  Sys.remove path;
+  (* a non-socket file is refused and left alone *)
+  let out = open_out path in
+  output_string out "not a socket";
+  close_out out;
+  (match Serve.claim_unix_socket path with
+  | Error msg ->
+    Alcotest.(check bool) "error names the refusal" true
+      (contains_substring msg "not a socket")
+  | Ok () -> Alcotest.fail "a regular file must not be claimed");
+  Alcotest.(check bool) "file left in place" true (Sys.file_exists path);
+  Sys.remove path
+
 let () =
   Alcotest.run "server"
     [
@@ -768,6 +963,16 @@ let () =
             test_pool_drain;
           Alcotest.test_case "drain timeout cuts the wait" `Quick
             test_pool_drain_timeout;
+        ] );
+      ( "connection",
+        [
+          Alcotest.test_case "oversized frame resynchronizes" `Quick
+            test_connection_too_large_resync;
+          QCheck_alcotest.to_alcotest hostile_frames;
+          Alcotest.test_case "one write syscall per response" `Quick
+            test_single_write_per_response;
+          Alcotest.test_case "stale socket claim" `Quick
+            test_claim_unix_socket;
         ] );
       ( "tracing",
         [
