@@ -432,6 +432,16 @@ let serve_cmd =
                    request bodies under the same rule catalog are served \
                    from the cache without touching a worker.")
   in
+  let cache_file =
+    Arg.(value & opt (some string) None
+         & info [ "cache-file" ] ~docv:"PATH"
+             ~doc:"Persist the result cache to $(docv) on graceful \
+                   shutdown and restore it at the next boot, so a \
+                   restarted daemon answers repeat traffic from its \
+                   first second.  Snapshots bind the rule catalog's \
+                   fingerprint; a missing, corrupt or wrong-catalog \
+                   file just means a cold cache.")
+  in
   let quota_rps =
     Arg.(value & opt (some float) None
          & info [ "quota-rps" ] ~docv:"RATE"
@@ -453,8 +463,9 @@ let serve_cmd =
                    line over it is answered with a typed too_large error, \
                    an HTTP body over it with 413.")
   in
-  let run socket http jobs queue drain_timeout trace_dir cache_mb quota_rps
-      quota_burst max_request_mb lang rules_file only exclude rule_pack =
+  let run socket http jobs queue drain_timeout trace_dir cache_mb cache_file
+      quota_rps quota_burst max_request_mb lang rules_file only exclude
+      rule_pack =
     if jobs < 1 then begin
       prerr_endline "error: --jobs must be >= 1";
       exit 2
@@ -492,7 +503,15 @@ let serve_cmd =
       resolve_scanner ~rules_file ~only ~exclude ~lang rule_pack
     in
     (* Workers share the one plan; health replies carry the pack's
-       identity so clients can tell which rules the daemon runs. *)
+       identity so clients can tell which rules the daemon runs.  Each
+       worker domain prewarms the pack at spawn: transition-cache
+       seeding, table prefault and canary replay are per-domain, so
+       the thunk must run inside the worker, not here. *)
+    let warm_boot =
+      Option.map
+        (fun (p : Rulepack.t) () -> ignore (Rulepack.prewarm p : int))
+        pack
+    in
     let pack =
       Option.map
         (fun (p : Rulepack.t) -> (p.Rulepack.version, p.Rulepack.catalog_hash))
@@ -510,7 +529,7 @@ let serve_cmd =
         quota_rps
     in
     exit
-      (Server.Serve.run ?pack ~scanner
+      (Server.Serve.run ?pack ?warm_boot ~scanner
          {
            Server.Serve.socket;
            http_port = http;
@@ -520,6 +539,7 @@ let serve_cmd =
            trace_dir;
            max_request_bytes = max_request_mb * 1024 * 1024;
            cache_bytes = cache_mb * 1024 * 1024;
+           cache_file;
            quota;
          })
   in
@@ -532,8 +552,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket $ http $ jobs $ queue $ drain_timeout
-          $ trace_dir $ cache_mb $ quota_rps $ quota_burst $ max_request_mb
-          $ lang_arg $ rules_file_arg $ only_arg $ exclude_arg $ rule_pack_arg)
+          $ trace_dir $ cache_mb $ cache_file $ quota_rps $ quota_burst
+          $ max_request_mb $ lang_arg $ rules_file_arg $ only_arg
+          $ exclude_arg $ rule_pack_arg)
 
 (* --- rules --------------------------------------------------------------- *)
 
@@ -589,19 +610,62 @@ let rules_pack_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
              ~doc:"Where to write the pack (default patchitpy.pack).")
   in
-  let run output =
+  let warm =
+    Arg.(value & flag
+         & info [ "warm" ]
+             ~doc:"Replay a corpus through the compiled catalog before \
+                   serializing and embed the heated DFA transition \
+                   tables in the pack, so a process that loads it scans \
+                   at steady-state speed from its first request.  Uses \
+                   the built-in generated corpus unless \
+                   $(b,--warm-corpus) names another.")
+  in
+  let warm_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "warm-corpus" ] ~docv:"DIR"
+             ~doc:"Heat the tables by scanning the *.py files under \
+                   $(docv) instead of the built-in generated corpus.  \
+                   Implies $(b,--warm).")
+  in
+  let run output warm warm_corpus =
     (* [create] compiles the catalog and validates every rewrite
        program, so a malformed rule fails here, not at patch time. *)
     let pack = Rulepack.create () in
-    Rulepack.save ~path:output pack;
+    let warm_tables =
+      if not (warm || warm_corpus <> None) then None
+      else begin
+        let corpus =
+          match warm_corpus with
+          | Some dir -> List.map read_file (collect_sources `Python dir)
+          | None ->
+            List.map
+              (fun (s : Corpus.Generator.sample) -> s.Corpus.Generator.code)
+              (Corpus.Generator.all_samples ())
+        in
+        Some (Rulepack.collect_warm ~corpus pack)
+      end
+    in
+    Rulepack.save ?warm:warm_tables ~path:output pack;
     Printf.printf "wrote %s: %d bytes, format v%d, catalog %s\n" output
-      (file_size output) pack.Rulepack.version pack.Rulepack.catalog_hash
+      (file_size output) pack.Rulepack.version pack.Rulepack.catalog_hash;
+    match warm_tables with
+    | None -> ()
+    | Some w ->
+      let i = Rulepack.warm_info_of w in
+      Printf.printf
+        "warm tables: %d patterns, %d dfa states (%d bytes), %d fused \
+         states (%d bytes), %d canaries (%d bytes)\n"
+        i.Rulepack.warm_patterns i.Rulepack.warm_dfa_states
+        i.Rulepack.warm_dfa_bytes i.Rulepack.warm_fused_states
+        i.Rulepack.warm_fused_bytes i.Rulepack.warm_canaries
+        i.Rulepack.warm_canary_bytes
   in
   let doc =
     "Compile the full rule catalog (Python and JavaScript) into a \
-     versioned binary pack for $(b,--rule-pack) / $(b,PATCHITPY_RULE_PACK)."
+     versioned binary pack for $(b,--rule-pack) / $(b,PATCHITPY_RULE_PACK), \
+     optionally with pre-warmed DFA transition tables ($(b,--warm))."
   in
-  Cmd.v (Cmd.info "pack" ~doc) Term.(const run $ output)
+  Cmd.v (Cmd.info "pack" ~doc) Term.(const run $ output $ warm $ warm_corpus)
 
 let rules_inspect_cmd =
   let file =
@@ -616,12 +680,24 @@ let rules_inspect_cmd =
     let catalog_matches =
       match Rulepack.verify_catalog pack with Ok () -> true | Error _ -> false
     in
-    if json then
+    if json then begin
+      let warm_fields =
+        match pack.Rulepack.warm with
+        | None -> "\"warmSection\":false"
+        | Some w ->
+          Printf.sprintf
+            "\"warmSection\":true,\"warmPatterns\":%d,\"warmDfaStates\":%d,\"warmDfaBytes\":%d,\"warmFusedStates\":%d,\"warmFusedBytes\":%d,\"warmCanaries\":%d,\"warmCanaryBytes\":%d"
+            w.Rulepack.warm_patterns w.Rulepack.warm_dfa_states
+            w.Rulepack.warm_dfa_bytes w.Rulepack.warm_fused_states
+            w.Rulepack.warm_fused_bytes w.Rulepack.warm_canaries
+            w.Rulepack.warm_canary_bytes
+      in
       Printf.printf
-        "{\"file\":\"%s\",\"bytes\":%d,\"formatVersion\":%d,\"catalogHash\":\"%s\",\"pythonRules\":%d,\"jsRules\":%d,\"fusedSection\":%b,\"matchesThisBuild\":%b}\n"
+        "{\"file\":\"%s\",\"bytes\":%d,\"formatVersion\":%d,\"catalogHash\":\"%s\",\"pythonRules\":%d,\"jsRules\":%d,\"fusedSection\":%b,%s,\"matchesThisBuild\":%b}\n"
         (Patchitpy.Jsonout.escape_string file)
         (file_size file) pack.Rulepack.version pack.Rulepack.catalog_hash
-        python js pack.Rulepack.fused_section catalog_matches
+        python js pack.Rulepack.fused_section warm_fields catalog_matches
+    end
     else begin
       Printf.printf "%s: %d bytes\n" file (file_size file);
       Printf.printf "format version: %d\n" pack.Rulepack.version;
@@ -631,7 +707,17 @@ let rules_inspect_cmd =
       Printf.printf "rules: %d python, %d javascript\n" python js;
       Printf.printf "fused section: %s\n"
         (if pack.Rulepack.fused_section then "present"
-         else "absent (re-fused from rules on first scan)")
+         else "absent (re-fused from rules on first scan)");
+      (match pack.Rulepack.warm with
+      | None -> Printf.printf "warm section: absent (cold first scan)\n"
+      | Some w ->
+        Printf.printf
+          "warm section: %d patterns, %d dfa states (%d bytes), %d fused \
+           states (%d bytes), %d canaries (%d bytes)\n"
+          w.Rulepack.warm_patterns w.Rulepack.warm_dfa_states
+          w.Rulepack.warm_dfa_bytes w.Rulepack.warm_fused_states
+          w.Rulepack.warm_fused_bytes w.Rulepack.warm_canaries
+          w.Rulepack.warm_canary_bytes)
     end;
     if not catalog_matches then exit 1
   in

@@ -62,15 +62,23 @@ let result_cache_extras t =
   | Some cache ->
     let s = Rcache.stats cache in
     Printf.sprintf
-      "\"resultCache\":{\"enabled\":true,\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"evictions\":%d,\"entries\":%d,\"bytes\":%d,\"maxBytes\":%d,\"shards\":%d}"
+      "\"resultCache\":{\"enabled\":true,\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"evictions\":%d,\"restored\":%d,\"entries\":%d,\"bytes\":%d,\"maxBytes\":%d,\"shards\":%d}"
       s.Rcache.hits s.Rcache.misses s.Rcache.insertions s.Rcache.evictions
-      s.Rcache.entries s.Rcache.bytes s.Rcache.max_bytes s.Rcache.shards
+      s.Rcache.restored s.Rcache.entries s.Rcache.bytes s.Rcache.max_bytes
+      s.Rcache.shards
 
 let cache_extras () =
   let hits, entries = Rx.compile_cache_stats () in
-  let flushes, bails, fused_candidates, fused_confirms, fused_fallbacks =
+  let ( flushes,
+        bails,
+        fused_candidates,
+        fused_confirms,
+        fused_fallbacks,
+        warm_dfa,
+        warm_fused,
+        cache_restored ) =
     match Telemetry.installed () with
-    | None -> (0, 0, 0, 0, 0)
+    | None -> (0, 0, 0, 0, 0, 0, 0, 0)
     | Some sink ->
       let report = Telemetry.Report.of_sink sink in
       let total name =
@@ -81,11 +89,15 @@ let cache_extras () =
         total "rx_dfa_fallback_total",
         total "scanner_fused_candidates_total",
         total "scanner_fused_confirms_total",
-        total "scanner_fused_fallbacks_total" )
+        total "scanner_fused_fallbacks_total",
+        total "rx_dfa_warm_seeded_states_total",
+        total "rx_fused_warm_seeded_states_total",
+        total "server_cache_restored_entries_total" )
   in
   Printf.sprintf
-    "\"rxCompileCache\":{\"hits\":%d,\"entries\":%d},\"dfaCache\":{\"flushes\":%d,\"bails\":%d},\"fusedScan\":{\"candidates\":%d,\"confirms\":%d,\"fallbacks\":%d}"
+    "\"rxCompileCache\":{\"hits\":%d,\"entries\":%d},\"dfaCache\":{\"flushes\":%d,\"bails\":%d},\"fusedScan\":{\"candidates\":%d,\"confirms\":%d,\"fallbacks\":%d},\"warmStart\":{\"dfaSeededStates\":%d,\"fusedSeededStates\":%d,\"cacheRestoredEntries\":%d}"
     hits entries flushes bails fused_candidates fused_confirms fused_fallbacks
+    warm_dfa warm_fused cache_restored
 
 let health_body t =
   let pack =
@@ -290,7 +302,7 @@ let rec worker_loop t =
     Atomic.decr t.in_flight;
     worker_loop t
 
-let create ?pack ?rcache ~jobs ~queue_capacity ~scanner () =
+let create ?pack ?rcache ?warm_boot ~jobs ~queue_capacity ~scanner () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     {
@@ -304,7 +316,16 @@ let create ?pack ?rcache ~jobs ~queue_capacity ~scanner () =
       workers = [||];
     }
   in
-  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* Each worker heats its own domain before taking work: transition
+     caches are per-domain, so warm-boot work (rule-pack table seeding,
+     canary replay) must run inside the domain it is meant to heat —
+     running it once in the spawning domain would leave every worker
+     cold. *)
+  t.workers <-
+    Array.init jobs (fun _ ->
+        Domain.spawn (fun () ->
+            (match warm_boot with Some f -> f () | None -> ());
+            worker_loop t));
   t
 
 let rcache t = t.rcache

@@ -24,6 +24,7 @@ type t
 val create :
   ?pack:int * string ->
   ?rcache:Rcache.t ->
+  ?warm_boot:(unit -> unit) ->
   jobs:int ->
   queue_capacity:int ->
   scanner:Patchitpy.Scanner.t ->
@@ -38,7 +39,10 @@ val create :
     front of the queue: {!submit} probes it for [scan]/[patch]
     requests and delivers hits synchronously; misses populate it at
     delivery time.  Its salt must be the rule-pack fingerprint of
-    [scanner]'s catalog. *)
+    [scanner]'s catalog.  [warm_boot] runs once inside every worker
+    domain before it takes its first job — transition caches are
+    per-domain, so per-domain heat (e.g. {!Rulepack.prewarm} of a warm
+    pack) must run there, not in the spawning domain. *)
 
 val rcache : t -> Rcache.t option
 (** The result cache given to {!create}, for stats and invalidation. *)

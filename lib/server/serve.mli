@@ -33,6 +33,12 @@ type config = {
           at the next newline), an HTTP body over it a 413 *)
   cache_bytes : int;
       (** result-cache byte budget; 0 disables the cache *)
+  cache_file : string option;
+      (** when set, the result cache is restored from this snapshot
+          file at boot ({!Rcache.restore_snapshot} — a missing,
+          mismatched or corrupt file just means a cold start) and
+          persisted back on graceful drain ({!Rcache.save_snapshot},
+          best-effort, temp + rename) *)
   quota : (float * float) option;
       (** HTTP per-tenant token bucket as (rate per second, burst);
           [None] admits everything *)
@@ -57,7 +63,11 @@ val connection_loop : Pool.t -> max_request_bytes:int -> Unix.file_descr -> unit
     a socketpair without a listener. *)
 
 val run :
-  ?pack:int * string -> scanner:Patchitpy.Scanner.t -> config -> int
+  ?pack:int * string ->
+  ?warm_boot:(unit -> unit) ->
+  scanner:Patchitpy.Scanner.t ->
+  config ->
+  int
 (** Blocks until shutdown; returns the process exit code: 0 after a
     graceful or timed-out drain, 1 when the socket path could not be
     claimed ({!claim_unix_socket}).  Installs a process-wide telemetry

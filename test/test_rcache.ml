@@ -228,6 +228,124 @@ let test_pool_invalidation_swaps () =
     ((Rcache.stats rcache).Rcache.misses > misses_before);
   ignore (Pool.shutdown pool)
 
+(* --- snapshot / restore ----------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "rcache-snap" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_snapshot_roundtrip () =
+  with_temp_file (fun path ->
+      let t = mk ~shards:2 ~max_bytes:65536 () in
+      let bodies = List.init 20 (fun i -> Printf.sprintf "source-%d" i) in
+      List.iter (fun b -> Rcache.add t (key t b) ("RESPONSE:" ^ b)) bodies;
+      let saved =
+        match Rcache.save_snapshot t ~path with
+        | Ok n -> n
+        | Error e -> Alcotest.failf "save: %s" e
+      in
+      Alcotest.(check int) "all entries saved" 20 saved;
+      (* restore into a fresh cache with the same salt *)
+      let t2 = mk ~shards:2 ~max_bytes:65536 () in
+      (match Rcache.restore_snapshot t2 ~path with
+      | Ok n -> Alcotest.(check int) "all entries restored" 20 n
+      | Error e -> Alcotest.failf "restore: %s" e);
+      Alcotest.(check int) "stats counts restores" 20
+        (Rcache.stats t2).Rcache.restored;
+      List.iter
+        (fun b ->
+          Alcotest.(check (option string)) "restored hit" (Some ("RESPONSE:" ^ b))
+            (Rcache.find t2 (key t2 b)))
+        bodies;
+      (* restored entries are live LRU citizens: an invalidate clears them *)
+      Rcache.invalidate t2 ~salt:"next-pack";
+      Alcotest.(check int) "invalidate clears restored" 0
+        (Rcache.stats t2).Rcache.entries)
+
+let test_snapshot_salt_refusal () =
+  with_temp_file (fun path ->
+      let t = mk () in
+      Rcache.add t (key t "a") "A";
+      (match Rcache.save_snapshot t ~path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      let other = Rcache.create ~shards:1 ~max_bytes:4096 ~salt:"other-pack" () in
+      (match Rcache.restore_snapshot other ~path with
+      | Ok _ -> Alcotest.fail "restore under a different salt must refuse"
+      | Error _ -> ());
+      Alcotest.(check int) "cache untouched after refusal" 0
+        (Rcache.stats other).Rcache.entries;
+      Alcotest.(check int) "no restores counted" 0
+        (Rcache.stats other).Rcache.restored)
+
+let test_snapshot_missing_file () =
+  let t = mk () in
+  match Rcache.restore_snapshot t ~path:"/nonexistent/rcache.snap" with
+  | Ok _ -> Alcotest.fail "restore from a missing file must error"
+  | Error _ ->
+    Alcotest.(check int) "cache untouched" 0 (Rcache.stats t).Rcache.entries
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc s)
+
+(* Truncations and single-bit flips over the snapshot file: every one
+   is a typed [Error] (the trailer checksum covers all of it) with the
+   cache left untouched — never a crash, never a partial replay. *)
+let test_snapshot_corruption_sweeps () =
+  with_temp_file (fun path ->
+      let t = mk ~shards:2 ~max_bytes:65536 () in
+      for i = 0 to 15 do
+        Rcache.add t (key t (string_of_int i)) (Printf.sprintf "R%d" i)
+      done;
+      (match Rcache.save_snapshot t ~path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      let good = read_file path in
+      let n = String.length good in
+      let attempt bytes label =
+        write_file path bytes;
+        let fresh = mk ~shards:2 ~max_bytes:65536 () in
+        (match Rcache.restore_snapshot fresh ~path with
+        | Ok _ -> Alcotest.failf "%s restored Ok" label
+        | Error _ -> ());
+        Alcotest.(check int) (label ^ ": cache untouched") 0
+          (Rcache.stats fresh).Rcache.entries
+      in
+      let step = max 1 (n / 97) in
+      let k = ref 0 in
+      while !k < n do
+        attempt (String.sub good 0 !k) (Printf.sprintf "truncation at %d" !k);
+        let b = Bytes.of_string good in
+        Bytes.set b !k (Char.chr (Char.code (Bytes.get b !k) lxor 0x40));
+        attempt (Bytes.to_string b) (Printf.sprintf "bit flip at %d" !k);
+        k := !k + step
+      done;
+      (* the pristine file still restores after all that *)
+      write_file path good;
+      let fresh = mk ~shards:2 ~max_bytes:65536 () in
+      match Rcache.restore_snapshot fresh ~path with
+      | Ok 16 -> ()
+      | Ok n -> Alcotest.failf "pristine file restored %d of 16" n
+      | Error e -> Alcotest.failf "pristine file refused: %s" e)
+
+let test_snapshot_empty_cache () =
+  with_temp_file (fun path ->
+      let t = mk () in
+      (match Rcache.save_snapshot t ~path with
+      | Ok n -> Alcotest.(check int) "zero entries saved" 0 n
+      | Error e -> Alcotest.failf "save: %s" e);
+      let t2 = mk () in
+      match Rcache.restore_snapshot t2 ~path with
+      | Ok n -> Alcotest.(check int) "zero entries restored" 0 n
+      | Error e -> Alcotest.failf "restore: %s" e)
+
 (* --- concurrency ----------------------------------------------------------- *)
 
 let test_concurrent_domains () =
@@ -295,6 +413,19 @@ let () =
             test_pool_hits_byte_identical;
           Alcotest.test_case "pack swap invalidates" `Quick
             test_pool_invalidation_swaps;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "save/restore round-trip" `Quick
+            test_snapshot_roundtrip;
+          Alcotest.test_case "different fingerprint refused" `Quick
+            test_snapshot_salt_refusal;
+          Alcotest.test_case "missing file errors" `Quick
+            test_snapshot_missing_file;
+          Alcotest.test_case "truncation and bit-flip sweeps" `Quick
+            test_snapshot_corruption_sweeps;
+          Alcotest.test_case "empty cache round-trips" `Quick
+            test_snapshot_empty_cache;
         ] );
       ( "races",
         [

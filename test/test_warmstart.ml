@@ -1,0 +1,311 @@
+(* Warm-start tests: transition-table export/import at the Rx level,
+   the rule pack's warm section, the corpus-wide differential proving
+   warm-seeded scans byte-identical to cold ones, and adversarial
+   sweeps over the warm section bytes (typed error or clean cold
+   fall-back — never a crash, never a changed result). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample_flask =
+  "import os\n\
+   from flask import Flask, request\n\n\
+   @app.route(\"/run\")\n\
+   def run_cmd():\n\
+  \    cmd = request.args.get(\"cmd\", \"\")\n\
+  \    os.system(cmd)\n\
+  \    return f\"<p>{cmd}</p>\"\n"
+
+(* --- Rx-level export/import ------------------------------------------------ *)
+
+(* The observable for "the cache is hot" without poking internals:
+   [warm_export] is [None] over an empty cache and [Some blob] (with
+   header state counts) over a heated one. *)
+
+let test_rx_export_import () =
+  Rx.warm_registry_clear ();
+  let p = Rx.compile {|\bos\.system\(|} in
+  Rx.dfa_cache_clear p;
+  check_bool "fresh cache exports nothing" true (Rx.warm_export p = None);
+  ignore (Rx.exec p sample_flask);
+  let blob =
+    match Rx.warm_export p with
+    | Some b -> b
+    | None -> Alcotest.fail "heated cache exports nothing"
+  in
+  let counts =
+    match Rx.warm_blob_counts blob with
+    | Some c -> c
+    | None -> Alcotest.fail "own blob header unreadable"
+  in
+  check_bool "some states captured" true (fst counts + snd counts > 0);
+  (* register, drop, recreate: the seeded cache must export the same
+     table shape without a single search having run *)
+  Rx.warm_register ~source:(Rx.pattern p) blob;
+  Rx.dfa_cache_clear p;
+  Rx.dfa_cache_touch p;
+  (match Rx.warm_export p with
+  | None -> Alcotest.fail "seeded cache exports nothing"
+  | Some b2 ->
+    check_bool "seeded counts match" true (Rx.warm_blob_counts b2 = Some counts));
+  (* and matching over the seeded cache is unchanged *)
+  check_bool "seeded match agrees" true (Rx.matches p sample_flask);
+  Rx.warm_registry_clear ()
+
+let test_rx_import_garbage () =
+  Rx.warm_registry_clear ();
+  let p = Rx.compile {|\beval\(|} in
+  ignore (Rx.exec p "eval(x)\n");
+  let blob =
+    match Rx.warm_export p with Some b -> b | None -> Alcotest.fail "no blob"
+  in
+  (* a blob registered for the wrong pattern, truncated blobs, flipped
+     blobs: seeding must degrade to cold, matching must not change *)
+  let q = Rx.compile {|\bsubprocess\.call\(|} in
+  let corrupt =
+    [
+      blob;
+      String.sub blob 0 (String.length blob / 2);
+      "";
+      "\xff\xff\xff\xff";
+      (let b = Bytes.of_string blob in
+       Bytes.set b (Bytes.length b / 2)
+         (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0x55));
+       Bytes.to_string b);
+    ]
+  in
+  List.iter
+    (fun bad ->
+      Rx.warm_registry_clear ();
+      Rx.warm_register ~source:(Rx.pattern q) bad;
+      Rx.dfa_cache_clear q;
+      Rx.dfa_cache_touch q;
+      check_bool "corrupt seed: match unchanged" true
+        (Rx.matches q "subprocess.call(cmd)\n");
+      check_bool "corrupt seed: no match unchanged" false
+        (Rx.matches q "subprocess.run(cmd)\n"))
+    corrupt;
+  Rx.warm_registry_clear ()
+
+let test_fused_export_import () =
+  let patterns =
+    Array.of_list
+      (List.map
+         (fun (r : Patchitpy.Rule.t) -> r.Patchitpy.Rule.pattern)
+         Patchitpy.(Catalog.all ()))
+  in
+  let f =
+    match Rx.Fused.compile patterns with
+    | Some f -> f
+    | None -> Alcotest.fail "catalog not fusable"
+  in
+  let mask1 = Rx.Fused.run f sample_flask in
+  let blob =
+    match Rx.Fused.warm_export f with
+    | Some b -> b
+    | None -> Alcotest.fail "heated fused cache exports nothing"
+  in
+  let states =
+    match Rx.Fused.warm_blob_counts blob with
+    | Some n -> n
+    | None -> Alcotest.fail "own fused blob header unreadable"
+  in
+  check_bool "fused states captured" true (states > 0);
+  Rx.Fused.warm_attach f blob;
+  Rx.Fused.cache_clear f;
+  Rx.Fused.cache_touch f;
+  check_int "seeded fused state count" states (Rx.Fused.state_count f);
+  let mask2 = Rx.Fused.run f sample_flask in
+  check_bool "seeded fused mask identical" true (Bytes.equal mask1 mask2)
+
+(* --- warm pack: build, inspect, differential ------------------------------- *)
+
+let warm_pack_bytes =
+  lazy
+    (let pack = Rulepack.create () in
+     let corpus =
+       List.map
+         (fun (s : Corpus.Generator.sample) -> s.Corpus.Generator.code)
+         (Corpus.Generator.all_samples ())
+     in
+     let warm = Rulepack.collect_warm ~corpus pack in
+     let info = Rulepack.warm_info_of warm in
+     if info.Rulepack.warm_patterns = 0 then
+       Alcotest.fail "corpus replay heated no pattern at all";
+     Rulepack.encode ~warm pack)
+
+let decode_ok bytes =
+  match Rulepack.decode bytes with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "decode: %s" (Rulepack.error_to_string e)
+
+let test_warm_pack_info () =
+  let p = decode_ok (Lazy.force warm_pack_bytes) in
+  match p.Rulepack.warm with
+  | None -> Alcotest.fail "decoded warm pack reports no warm section"
+  | Some w ->
+    check_bool "patterns carried" true (w.Rulepack.warm_patterns > 0);
+    check_bool "dfa states carried" true (w.Rulepack.warm_dfa_states > 0);
+    check_bool "fused states carried" true (w.Rulepack.warm_fused_states > 0);
+    check_bool "dfa bytes accounted" true (w.Rulepack.warm_dfa_bytes > 0);
+    check_int "canaries carried" 16 w.Rulepack.warm_canaries;
+    check_bool "canary bytes accounted" true (w.Rulepack.warm_canary_bytes > 0);
+    check_int "canaries decoded" 16 (List.length p.Rulepack.canaries)
+
+(* A cold pack decoded from the same catalog must report no warm
+   section and register nothing. *)
+let test_cold_pack_unaffected () =
+  Rx.warm_registry_clear ();
+  let cold = Rulepack.encode (Rulepack.create ()) in
+  let p = decode_ok cold in
+  check_bool "no warm info" true (p.Rulepack.warm = None);
+  check_int "nothing registered" 0 (Rx.warm_registry_size ())
+
+let finding_key (f : Patchitpy.Scanner.finding) =
+  Printf.sprintf "%s:%d:%d:%d:%d:%s" f.rule.Patchitpy.Rule.id f.line f.column
+    f.offset f.stop f.snippet
+
+let scan_fingerprint scanner code =
+  String.concat "\n" (List.map finding_key (Patchitpy.Scanner.scan scanner code))
+
+(* The acceptance differential: scans through a warm-seeded plan are
+   byte-identical to the source-compiled catalog's over the whole
+   corpus.  At jobs 4 every worker domain creates (and warm-seeds) its
+   own caches, so the parallel run exercises seeding in domains that
+   never scanned cold. *)
+let warm_differential ~jobs () =
+  Rx.warm_registry_clear ();
+  let catalog = Patchitpy.Engine.default_scanner () in
+  let packed =
+    let p = decode_ok (Lazy.force warm_pack_bytes) in
+    check_bool "warm tables registered" true (Rx.warm_registry_size () > 0);
+    ignore (Rulepack.prewarm p : int);
+    Rulepack.scanner p `Python
+  in
+  let samples = Corpus.Generator.all_samples () in
+  check_bool "corpus is non-trivial" true (List.length samples > 500);
+  let pairs =
+    Experiments.Par.map_samples ~jobs
+      (fun (s : Corpus.Generator.sample) ->
+        (scan_fingerprint catalog s.code, scan_fingerprint packed s.code))
+      samples
+  in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "sample %d diverges between catalog and warm pack:\n%s\n---\n%s"
+          i a b)
+    pairs;
+  Rx.warm_registry_clear ()
+
+(* --- adversarial warm-section bytes ---------------------------------------
+
+   Truncations and un-fixed bit flips anywhere fail the whole-pack
+   checksum: typed [Error].  Flips *inside the warm section* with the
+   trailer re-checksummed decode fine — the warm payload is the one
+   part allowed to degrade — and any seeding they cause must fall back
+   cold without changing a single scan result. *)
+
+let refix_checksum bytes =
+  let b = Bytes.of_string bytes in
+  let dlen = Bytes.length b - 8 in
+  Bytes.set_int64_le b dlen (Binio.hash64 ~len:dlen (Bytes.sub_string b 0 dlen));
+  Bytes.to_string b
+
+(* Walks the section table to find the warm section's payload window.
+   Layout: magic(8) | version u32 | hash str(4+n) | nsections u8 |
+   sections (tag u8, len u32, payload). *)
+let warm_section_window bytes =
+  let u32 p =
+    Char.code bytes.[p]
+    lor (Char.code bytes.[p + 1] lsl 8)
+    lor (Char.code bytes.[p + 2] lsl 16)
+    lor (Char.code bytes.[p + 3] lsl 24)
+  in
+  let p = ref (8 + 4) in
+  let hash_len = u32 !p in
+  p := !p + 4 + hash_len;
+  let nsections = Char.code bytes.[!p] in
+  incr p;
+  let window = ref None in
+  for _ = 1 to nsections do
+    let tag = Char.code bytes.[!p] in
+    let len = u32 (!p + 1) in
+    if tag = 4 then window := Some (!p + 5, len);
+    p := !p + 5 + len
+  done;
+  match !window with
+  | Some w -> w
+  | None -> Alcotest.fail "warm pack has no warm section"
+
+let test_warm_truncations () =
+  let b = Lazy.force warm_pack_bytes in
+  let n = String.length b in
+  let step = max 1 (n / 97) in
+  let k = ref 0 in
+  while !k < n do
+    (match Rulepack.decode (String.sub b 0 !k) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d decoded to Ok" !k);
+    k := !k + step
+  done
+
+let test_warm_section_flips () =
+  Rx.warm_registry_clear ();
+  let b = Lazy.force warm_pack_bytes in
+  let off, len = warm_section_window b in
+  let catalog = Patchitpy.Engine.default_scanner () in
+  let reference = scan_fingerprint catalog sample_flask in
+  check_bool "sample has findings" true (String.length reference > 0);
+  let step = max 1 (len / 61) in
+  let k = ref 0 in
+  while !k < len do
+    let flipped = Bytes.of_string b in
+    Bytes.set flipped (off + !k)
+      (Char.chr (Char.code (Bytes.get flipped (off + !k)) lxor 0x80));
+    let forged = refix_checksum (Bytes.to_string flipped) in
+    Rx.warm_registry_clear ();
+    (match Rulepack.decode forged with
+    | Error _ ->
+      (* a flip that lands in the section length/tag can break pack
+         structure — a typed error is an acceptable outcome *)
+      ()
+    | Ok p ->
+      let scanner = Rulepack.scanner p `Python in
+      ignore (Rulepack.prewarm p : int);
+      if scan_fingerprint scanner sample_flask <> reference then
+        Alcotest.failf "flip at warm+%d changed scan results" !k);
+    k := !k + step
+  done;
+  Rx.warm_registry_clear ()
+
+let () =
+  Alcotest.run "warmstart"
+    [
+      ( "rx",
+        [
+          Alcotest.test_case "dfa export/import round-trip" `Quick
+            test_rx_export_import;
+          Alcotest.test_case "garbage seeds degrade cold" `Quick
+            test_rx_import_garbage;
+          Alcotest.test_case "fused export/import round-trip" `Quick
+            test_fused_export_import;
+        ] );
+      ( "pack",
+        [
+          Alcotest.test_case "warm section info" `Quick test_warm_pack_info;
+          Alcotest.test_case "cold pack registers nothing" `Quick
+            test_cold_pack_unaffected;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "warm scan, jobs=1" `Slow (warm_differential ~jobs:1);
+          Alcotest.test_case "warm scan, jobs=4" `Slow (warm_differential ~jobs:4);
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "truncations" `Quick test_warm_truncations;
+          Alcotest.test_case "warm-section bit flips" `Slow
+            test_warm_section_flips;
+        ] );
+    ]
